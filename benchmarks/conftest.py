@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one row of the experiment index in
+DESIGN.md.  Since the paper is a 2-page short paper, its "results" are the
+qualitative Figure 4 comparison plus the motivation that symbolic analyses
+scale better than explicit-state exploration; the benchmarks therefore print
+small tables (who admits which behaviours, how problem size and runtime grow)
+in addition to the pytest-benchmark timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print an aligned table; benchmarks use this for the paper-style rows."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    print()
+    print(f"== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return print_table

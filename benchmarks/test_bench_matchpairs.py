@@ -1,0 +1,91 @@
+"""Experiment "§3 match pairs": precise DFS generation vs endpoint over-approximation.
+
+The paper notes that the precise match-pair set (obtained by depth-first
+abstract execution) "can be prohibitively expensive in computation time" and
+proposes an over-approximation as future work.  This benchmark regenerates
+that trade-off: generation time and set size for both strategies as the
+number of racing messages grows; the shape to check is the factorial blow-up
+of the precise enumeration against the flat cost of the endpoint strategy.
+"""
+
+import time
+
+import pytest
+
+from repro.matching import (
+    count_feasible_matchings,
+    endpoint_match_pairs,
+    precise_match_pairs,
+)
+from repro.program import run_program
+from repro.workloads import racy_fanin, token_ring
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        ("fanin", n): run_program(racy_fanin(n), seed=0).trace for n in (2, 3, 4, 5)
+    } | {
+        ("ring", n): run_program(token_ring(n, rounds=2), seed=0).trace for n in (3, 4)
+    }
+
+
+@pytest.mark.benchmark(group="matchpairs")
+def test_endpoint_generation_time(benchmark, traces):
+    trace = traces[("fanin", 5)]
+    pairs = benchmark(lambda: endpoint_match_pairs(trace))
+    assert len(pairs) == 5
+
+
+@pytest.mark.benchmark(group="matchpairs")
+def test_precise_generation_time(benchmark, traces):
+    trace = traces[("fanin", 4)]
+    pairs = benchmark(lambda: precise_match_pairs(trace))
+    assert len(pairs) == 4
+
+
+@pytest.mark.benchmark(group="matchpairs")
+def test_generation_cost_table(benchmark, traces, table_printer):
+    """The paper-shaped comparison: precise cost explodes, endpoint stays flat."""
+    rows = []
+    for (kind, n), trace in sorted(traces.items()):
+        start = time.perf_counter()
+        endpoint = endpoint_match_pairs(trace)
+        endpoint_ms = (time.perf_counter() - start) * 1000
+
+        start = time.perf_counter()
+        precise = precise_match_pairs(trace)
+        precise_ms = (time.perf_counter() - start) * 1000
+
+        matchings = count_feasible_matchings(trace)
+        rows.append(
+            [
+                f"{kind}-{n}",
+                endpoint.pair_count(),
+                f"{endpoint_ms:.2f}",
+                precise.pair_count(),
+                f"{precise_ms:.2f}",
+                matchings,
+            ]
+        )
+    table_printer(
+        "Match-pair generation: endpoint over-approximation vs precise DFS",
+        ["workload", "endpoint pairs", "endpoint ms", "precise pairs", "precise ms", "feasible matchings"],
+        rows,
+    )
+
+    # Benchmark the precise strategy on the largest fan-in for the timing DB.
+    trace = traces[("fanin", 5)]
+    benchmark(lambda: precise_match_pairs(trace))
+
+
+@pytest.mark.benchmark(group="matchpairs")
+def test_overapproximation_is_safe(benchmark, traces):
+    """The precise set is always contained in the endpoint set (safety)."""
+
+    def check_all():
+        for trace in traces.values():
+            assert precise_match_pairs(trace).is_subset_of(endpoint_match_pairs(trace))
+        return True
+
+    assert benchmark(check_all)

@@ -1,0 +1,49 @@
+"""repro — a full reproduction of "Symbolically Modeling Concurrent MCAPI
+Executions" (Fischer, Mercer, Rungta; PPoPP 2011).
+
+The package is organised bottom-up:
+
+* :mod:`repro.smt` — a from-scratch SMT solving stack (CDCL SAT core,
+  difference-logic / LIA / EUF theory solvers, DPLL(T), SMT-LIB export),
+  standing in for the Yices solver the paper used.
+* :mod:`repro.mcapi` — a simulator of the MCAPI connectionless-message API
+  with an explicitly non-deterministic delivery network.
+* :mod:`repro.program` — a small concurrent modelling language plus a
+  concolic interpreter that records execution traces.
+* :mod:`repro.trace` — trace events and containers.
+* :mod:`repro.matching` — match-pair generation (endpoint over-approximation
+  and the paper's precise depth-first abstract execution).
+* :mod:`repro.encoding` — the paper's contribution: the SMT encoding
+  ``P = POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧ PEvents``.
+* :mod:`repro.verification` — the user-facing verifier, witness decoding and
+  replay, and the ``mcapi-verify`` CLI.
+* :mod:`repro.baselines` — MCC-style, Elwakil-style, exhaustive and
+  DPOR-style baselines used by the experiments.
+* :mod:`repro.workloads` — the paper's Figure 1 program and parameterised
+  benchmark workloads.
+
+Quickstart::
+
+    from repro.workloads import figure1_program
+    from repro.verification import SymbolicVerifier
+
+    result = SymbolicVerifier().verify_program(figure1_program(assert_a_is_y=True))
+    print(result.describe())
+"""
+
+from repro.verification.verifier import SymbolicVerifier, Verdict, VerificationResult
+from repro.encoding.encoder import EncoderOptions, MatchPairStrategy, TraceEncoder
+from repro.program.interpreter import run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SymbolicVerifier",
+    "Verdict",
+    "VerificationResult",
+    "EncoderOptions",
+    "MatchPairStrategy",
+    "TraceEncoder",
+    "run_program",
+    "__version__",
+]

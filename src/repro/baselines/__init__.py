@@ -1,0 +1,27 @@
+"""Baseline analyses the paper compares against (or motivates with).
+
+* :mod:`repro.baselines.explicit` — exhaustive explicit-state exploration
+  (ground truth, with and without the no-delay assumption).
+* :mod:`repro.baselines.mcc` — MCC-style checking: all thread interleavings,
+  but no transmission delays.
+* :mod:`repro.baselines.elwakil` — the delay-free SMT encoding in the style
+  of Elwakil & Yang (PADTAD 2010).
+* :mod:`repro.baselines.dpor` — sleep-set partial-order reduction
+  (Inspect/DPOR-style) used for the runtime comparison benchmarks.
+"""
+
+from repro.baselines.explicit import ExplicitStateExplorer, ExplorationResult, Matching
+from repro.baselines.mcc import MccChecker, MccResult
+from repro.baselines.elwakil import ElwakilEncoder, no_overtaking_constraints
+from repro.baselines.dpor import SleepSetExplorer
+
+__all__ = [
+    "ExplicitStateExplorer",
+    "ExplorationResult",
+    "Matching",
+    "MccChecker",
+    "MccResult",
+    "ElwakilEncoder",
+    "no_overtaking_constraints",
+    "SleepSetExplorer",
+]

@@ -1,0 +1,173 @@
+"""A sleep-set partial-order-reduction explorer (Inspect/DPOR-style baseline).
+
+The paper motivates SMT-based analyses with Fusion's speed-up over Inspect, a
+stateless model checker using dynamic partial-order reduction [Flanagan &
+Godefroid, POPL 2005].  This module provides the explicit-state comparison
+point for the runtime benchmarks: the same exhaustive exploration as
+:class:`repro.baselines.explicit.ExplicitStateExplorer` but pruned with
+*sleep sets* over a conservative independence relation, so redundant
+interleavings of commuting actions are visited only once.
+
+Independence used (conservative — anything doubtful is treated as dependent,
+which preserves soundness of the reduction):
+
+* two deliveries are independent iff they target different endpoints;
+* a thread step and a delivery are independent iff the thread does not own
+  the destination endpoint;
+* two thread steps of different threads are independent iff neither is about
+  to perform a send, receive or wait that shares an endpoint with the other.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.baselines.explicit import ExplorationResult, _World
+from repro.mcapi.endpoint import EndpointId
+from repro.mcapi.scheduler import Action, TaskStatus
+from repro.program.ast import Program, Receive, ReceiveNonblocking, Send, Wait
+from repro.program.interpreter import ThreadTask
+from repro.utils.errors import McapiError
+
+__all__ = ["SleepSetExplorer"]
+
+
+class SleepSetExplorer:
+    """Exhaustive exploration with sleep-set pruning."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_runs: Optional[int] = None,
+        max_depth: int = 10_000,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+
+    # ------------------------------------------------------------------ public
+
+    def explore(self) -> ExplorationResult:
+        result = ExplorationResult()
+        root = _World(self.program, delay_free=False)
+        self._dfs(root, frozenset(), 0, result)
+        return result
+
+    # ------------------------------------------------------------------ independence
+
+    def _action_endpoints(self, world: _World, action: Action) -> Set[EndpointId]:
+        """Endpoints an action may touch (used by the independence relation)."""
+        if action.kind == "deliver":
+            record = world.runtime.network.find(action.message_id)
+            return {record.message.destination}
+        task = next(t for t in world.tasks if t.name == action.task_name)
+        statement = task._peek()
+        endpoints: Set[EndpointId] = set()
+        if isinstance(statement, Send):
+            endpoints.add(task._endpoint_for(statement.destination))
+        elif isinstance(statement, (Receive, ReceiveNonblocking)):
+            endpoints.add(task._endpoint_for(statement.endpoint))
+        elif isinstance(statement, Wait):
+            endpoints.add(task._endpoint_for(None))
+        return endpoints
+
+    def _owned_endpoint(self, world: _World, task_name: str) -> EndpointId:
+        task = next(t for t in world.tasks if t.name == task_name)
+        return task._endpoint_for(None)
+
+    def independent(self, world: _World, a: Action, b: Action) -> bool:
+        """Conservative independence check between two enabled actions."""
+        if a.kind == "deliver" and b.kind == "deliver":
+            ra = world.runtime.network.find(a.message_id)
+            rb = world.runtime.network.find(b.message_id)
+            return ra.message.destination != rb.message.destination
+        if a.kind == "run" and b.kind == "run":
+            if a.task_name == b.task_name:
+                return False
+            return not (self._action_endpoints(world, a) & self._action_endpoints(world, b))
+        # Mixed run/deliver.
+        run_action = a if a.kind == "run" else b
+        deliver_action = a if a.kind == "deliver" else b
+        record = world.runtime.network.find(deliver_action.message_id)
+        destination = record.message.destination
+        if destination == self._owned_endpoint(world, run_action.task_name):
+            return False
+        return destination not in self._action_endpoints(world, run_action)
+
+    # ------------------------------------------------------------------ DFS
+
+    def _budget_left(self, result: ExplorationResult) -> bool:
+        if self.max_runs is None:
+            return True
+        return result.complete_runs + result.deadlocks < self.max_runs
+
+    def _dfs(
+        self,
+        world: _World,
+        sleep: FrozenSet[Tuple[str, object]],
+        depth: int,
+        result: ExplorationResult,
+    ) -> None:
+        if not self._budget_left(result):
+            result.truncated = True
+            return
+        if depth > self.max_depth:
+            raise McapiError(f"exploration exceeded max depth {self.max_depth}")
+
+        if world.all_done():
+            result.complete_runs += 1
+            result.matchings.add(world.matching())
+            for label in world.assertion_failures():
+                result.assertion_failures.add(label)
+            return
+
+        actions = world.enabled_actions()
+        explorable = [a for a in actions if a.key() not in sleep]
+        if not actions:
+            result.deadlocks += 1
+            return
+        if not explorable:
+            # Everything enabled is asleep: this state's behaviours are
+            # covered by sibling branches.
+            return
+
+        done_here: List[Action] = []
+        for action in explorable:
+            if not self._budget_left(result):
+                result.truncated = True
+                return
+            child = world.fork()
+            # Child sleep set: actions explored earlier from this state that
+            # are independent of the chosen action stay asleep.
+            child_sleep = {
+                earlier.key()
+                for earlier in done_here
+                if self.independent(world, earlier, action)
+            }
+            child_sleep |= {
+                key
+                for key in sleep
+                if self._still_independent(world, key, action)
+            }
+            child.perform(action)
+            result.transitions_explored += 1
+            self._dfs(child, frozenset(child_sleep), depth + 1, result)
+            done_here.append(action)
+
+    def _still_independent(
+        self, world: _World, sleeping_key: Tuple[str, object], action: Action
+    ) -> bool:
+        """Keep a sleeping action asleep only if it is independent of ``action``."""
+        kind, payload = sleeping_key
+        if kind == "run":
+            sleeping = Action(kind="run", task_name=payload)  # type: ignore[arg-type]
+        else:
+            sleeping = Action(kind="deliver", message_id=payload)  # type: ignore[arg-type]
+        try:
+            return self.independent(world, sleeping, action)
+        except (StopIteration, McapiError):
+            # The sleeping action no longer exists in this state; drop it.
+            return False

@@ -1,0 +1,237 @@
+"""Exhaustive explicit-state exploration of a program's schedules.
+
+This is the ground-truth oracle of the reproduction: it enumerates *every*
+scheduler decision sequence — which thread steps next and, when the network
+model allows it, which in-flight message is delivered next — and records the
+behaviours reached (send/receive matchings, assertion failures, deadlocks).
+
+Two delivery modes matter for the paper's comparison:
+
+* ``delay_free=False`` (default): deliveries are explicit choices under the
+  :class:`repro.mcapi.network.UnorderedDelivery` policy.  This explores all
+  behaviours the paper's symbolic encoding models, and is used to validate
+  the encoding's soundness and completeness on small programs.
+* ``delay_free=True``: after every step all deliverable messages are flushed
+  to their endpoints in global send order — the no-transmission-delay
+  assumption of MCC.  The MCC baseline (:mod:`repro.baselines.mcc`) is this
+  mode plus MCC's reporting conventions.
+
+The explorer is exponential by construction (that is the point of comparing
+it against the SMT encoding); ``max_runs`` bounds the work.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.mcapi.network import ImmediateDelivery, UnorderedDelivery
+from repro.mcapi.runtime import McapiRuntime
+from repro.mcapi.scheduler import Action, Scheduler, Task, TaskStatus
+from repro.program.ast import Program
+from repro.program.interpreter import ProgramRunner, ThreadTask
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import McapiError
+
+__all__ = [
+    "ExplorationResult",
+    "ExplicitStateExplorer",
+    "Matching",
+    "canonical_matching",
+]
+
+#: A complete behaviour signature: the set of (receive, send) pairs, where
+#: each operation is identified canonically by ``(thread, thread_index)`` so
+#: that matchings are comparable *across* runs and across tools (trace-local
+#: send/recv ids are assigned in execution order and would not be stable).
+OperationKey = Tuple[str, int]
+Matching = FrozenSet[Tuple[OperationKey, OperationKey]]
+
+
+def canonical_matching(trace: ExecutionTrace, matching: Dict[int, int]) -> Matching:
+    """Convert a ``recv_id -> send_id`` matching into the canonical form.
+
+    Used to compare the symbolic verifier's pairings (expressed in
+    trace-local identifiers) with the explicit-state explorers' behaviours.
+    """
+    receives = {op.recv_id: op for op in trace.receive_operations()}
+    sends = {event.send_id: event for event in trace.sends()}
+    pairs = set()
+    for recv_id, send_id in matching.items():
+        recv = receives[recv_id]
+        issue_event = trace[recv.issue_event_id]
+        send = sends[send_id]
+        pairs.add(
+            (
+                (issue_event.thread, issue_event.thread_index),
+                (send.thread, send.thread_index),
+            )
+        )
+    return frozenset(pairs)
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate of everything the exploration observed."""
+
+    matchings: Set[Matching] = field(default_factory=set)
+    assertion_failures: Set[str] = field(default_factory=set)
+    deadlocks: int = 0
+    complete_runs: int = 0
+    truncated: bool = False
+    transitions_explored: int = 0
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.assertion_failures) or self.deadlocks > 0
+
+    def pairing_count(self) -> int:
+        return len(self.matchings)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "complete_runs": self.complete_runs,
+            "distinct_matchings": len(self.matchings),
+            "assertion_failures": sorted(self.assertion_failures),
+            "deadlocks": self.deadlocks,
+            "transitions": self.transitions_explored,
+            "truncated": self.truncated,
+        }
+
+
+class _World:
+    """A self-contained simulation state that can be forked with deepcopy."""
+
+    def __init__(self, program: Program, delay_free: bool) -> None:
+        policy = ImmediateDelivery() if delay_free else UnorderedDelivery()
+        runner = ProgramRunner(program, policy=policy)
+        runtime, endpoints, tasks, builder = runner._setup()
+        self.runtime = runtime
+        self.tasks: List[ThreadTask] = tasks
+        self.builder = builder
+        self.delay_free = delay_free
+
+    # -- scheduling primitives ---------------------------------------------------
+
+    def task_statuses(self) -> Dict[str, TaskStatus]:
+        return {task.name: task.status(self.runtime) for task in self.tasks}
+
+    def enabled_actions(self) -> List[Action]:
+        actions: List[Action] = []
+        for task in self.tasks:
+            if task.status(self.runtime) is TaskStatus.READY:
+                actions.append(Action.run(task))
+        if not self.delay_free:
+            for record in self.runtime.deliverable_messages():
+                actions.append(Action.deliver(record))
+        return actions
+
+    def perform(self, action: Action) -> None:
+        if action.kind == "run":
+            task = next(t for t in self.tasks if t.name == action.task_name)
+            task.step(self.runtime)
+        else:
+            record = self.runtime.network.find(action.message_id)
+            self.runtime.deliver(record)
+        self.runtime.advance_step()
+        if self.delay_free:
+            self._flush_deliveries()
+
+    def _flush_deliveries(self) -> None:
+        """Deliver everything immediately, oldest message first (no delays)."""
+        while True:
+            deliverable = self.runtime.deliverable_messages()
+            if not deliverable:
+                return
+            record = min(deliverable, key=lambda r: r.message_id)
+            self.runtime.deliver(record)
+            self.runtime.advance_step()
+
+    def all_done(self) -> bool:
+        return all(
+            task.status(self.runtime) is TaskStatus.DONE for task in self.tasks
+        )
+
+    def fork(self) -> "_World":
+        return copy.deepcopy(self)
+
+    # -- outcome extraction --------------------------------------------------------
+
+    def trace(self) -> ExecutionTrace:
+        return self.builder.trace
+
+    def matching(self) -> Matching:
+        observed = {
+            op.recv_id: op.observed_send_id
+            for op in self.builder.trace.receive_operations()
+            if op.observed_send_id is not None
+        }
+        return canonical_matching(self.builder.trace, observed)
+
+    def assertion_failures(self) -> List[str]:
+        labels: List[str] = []
+        for task in self.tasks:
+            for failure in task.assertion_failures:
+                labels.append(failure.label or f"{failure.thread}@{failure.event_id}")
+        return labels
+
+
+class ExplicitStateExplorer:
+    """Depth-first exhaustive exploration of scheduler choices."""
+
+    def __init__(
+        self,
+        program: Program,
+        delay_free: bool = False,
+        max_runs: Optional[int] = None,
+        max_depth: int = 10_000,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.delay_free = delay_free
+        self.max_runs = max_runs
+        self.max_depth = max_depth
+
+    def explore(self) -> ExplorationResult:
+        result = ExplorationResult()
+        root = _World(self.program, delay_free=self.delay_free)
+        if self.delay_free:
+            root._flush_deliveries()
+        self._dfs(root, 0, result)
+        return result
+
+    # ------------------------------------------------------------------ internals
+
+    def _budget_left(self, result: ExplorationResult) -> bool:
+        if self.max_runs is None:
+            return True
+        return result.complete_runs + result.deadlocks < self.max_runs
+
+    def _dfs(self, world: _World, depth: int, result: ExplorationResult) -> None:
+        if not self._budget_left(result):
+            result.truncated = True
+            return
+        if depth > self.max_depth:
+            raise McapiError(f"exploration exceeded max depth {self.max_depth}")
+
+        if world.all_done():
+            result.complete_runs += 1
+            result.matchings.add(world.matching())
+            for label in world.assertion_failures():
+                result.assertion_failures.add(label)
+            return
+
+        actions = world.enabled_actions()
+        if not actions:
+            result.deadlocks += 1
+            return
+
+        for action in actions:
+            if not self._budget_left(result):
+                result.truncated = True
+                return
+            child = world.fork()
+            child.perform(action)
+            result.transitions_explored += 1
+            self._dfs(child, depth + 1, result)

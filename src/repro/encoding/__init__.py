@@ -1,0 +1,64 @@
+"""The SMT encoding of MCAPI execution traces (the paper's contribution)."""
+
+from repro.encoding.encoder import (
+    EncodedProblem,
+    EncoderOptions,
+    MatchPairStrategy,
+    TraceEncoder,
+)
+from repro.encoding.matchenc import match_pair_constraints, match_predicate
+from repro.encoding.order import (
+    clock_bounds,
+    pair_fifo_constraints,
+    program_order_constraints,
+)
+from repro.encoding.events import assignment_constraints, branch_constraints, event_constraints
+from repro.encoding.properties import (
+    MatchProperty,
+    Property,
+    ReceiveValueProperty,
+    TermProperty,
+    TraceAssertionsProperty,
+    negated_properties,
+)
+from repro.encoding.unique import uniqueness_constraints, uniqueness_constraints_pruned
+from repro.encoding.variables import (
+    clock_name,
+    clock_var,
+    match_name,
+    match_var,
+    recv_value_name,
+    recv_value_var,
+)
+from repro.encoding.witness import Witness, decode_witness
+
+__all__ = [
+    "EncodedProblem",
+    "EncoderOptions",
+    "MatchPairStrategy",
+    "TraceEncoder",
+    "match_pair_constraints",
+    "match_predicate",
+    "clock_bounds",
+    "pair_fifo_constraints",
+    "program_order_constraints",
+    "assignment_constraints",
+    "branch_constraints",
+    "event_constraints",
+    "MatchProperty",
+    "Property",
+    "ReceiveValueProperty",
+    "TermProperty",
+    "TraceAssertionsProperty",
+    "negated_properties",
+    "uniqueness_constraints",
+    "uniqueness_constraints_pruned",
+    "clock_name",
+    "clock_var",
+    "match_name",
+    "match_var",
+    "recv_value_name",
+    "recv_value_var",
+    "Witness",
+    "decode_witness",
+]

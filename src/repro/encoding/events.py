@@ -1,0 +1,53 @@
+"""``PEvents``: the remaining events of the execution.
+
+The trace is recorded *concolically*: assignments and send payloads are
+already expressed over the receive value symbols, so the only constraints the
+event section has to contribute are the **branch outcomes** — the generated
+problem must model exactly those executions that "follow the same sequence of
+conditional branch outcomes as the provided execution trace" (paper §1/§2).
+
+Assignment events are also translatable (as defining equations over fresh
+symbols) when the caller asks for them; this is useful when exporting the
+problem to SMT-LIB for inspection, but redundant for solving because the
+interpreter substituted assignments eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.smt.terms import Eq, IntVar, Not, Term
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import EncodingError
+
+__all__ = ["branch_constraints", "assignment_constraints", "event_constraints"]
+
+
+def branch_constraints(trace: ExecutionTrace) -> List[Term]:
+    """Assert each branch condition with the polarity observed in the trace."""
+    constraints: List[Term] = []
+    for event in trace.branches():
+        if event.condition is None:
+            raise EncodingError(f"branch event {event.event_id} has no condition")
+        constraints.append(event.condition if event.outcome else Not(event.condition))
+    return constraints
+
+
+def assignment_constraints(trace: ExecutionTrace) -> List[Term]:
+    """Optional defining equations ``assign_symbol = expression``.
+
+    Only produced for assignment events that carry a value symbol; the
+    default interpreter does not allocate them (it substitutes eagerly), so
+    for normal traces this returns an empty list.
+    """
+    constraints: List[Term] = []
+    for event in trace.assignments():
+        if event.value_symbol is None or event.expression is None:
+            continue
+        constraints.append(Eq(IntVar(event.value_symbol), event.expression))
+    return constraints
+
+
+def event_constraints(trace: ExecutionTrace) -> List[Term]:
+    """All event constraints: branch outcomes plus any assignment definitions."""
+    return branch_constraints(trace) + assignment_constraints(trace)

@@ -1,0 +1,68 @@
+"""``PMatchPairs`` and the ``match`` predicate (paper Figures 2 and the §2 text).
+
+For a receive ``r`` and a candidate send ``s`` the predicate ``match(r, s)``
+asserts:
+
+1. the send happens before the receive — for a blocking receive this is the
+   receive event itself; for a non-blocking receive it is the associated
+   ``wait`` (paper §2: "the match function asserts that the call to send
+   occurs before the call to the wait operation that is associated with the
+   receive");
+2. the message received is the message sent — the receive's value symbol
+   equals the send's (symbolic) payload expression;
+3. the identifiers of the two operations are equal — the receive's unbound
+   match variable equals the send's unique identifier.
+
+``PMatchPairs`` (Figure 2) is then the conjunction over all receives of the
+disjunction of ``match(r, s)`` over the candidate sends of ``r``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.encoding.variables import clock_var, match_var, recv_value_var
+from repro.matching.matchpairs import MatchPairs
+from repro.smt.terms import And, Eq, FALSE, IntVal, Lt, Or, Term
+from repro.trace.events import SendEvent
+from repro.trace.trace import ExecutionTrace, ReceiveOperation
+from repro.utils.errors import EncodingError
+
+__all__ = ["match_predicate", "match_pair_constraints"]
+
+
+def match_predicate(recv: ReceiveOperation, send: SendEvent) -> Term:
+    """The paper's ``match(recv, send)`` predicate as an SMT term."""
+    if send.destination != recv.endpoint:
+        raise EncodingError(
+            f"send {send.send_id} targets {send.destination}, but receive "
+            f"{recv.recv_id} listens on {recv.endpoint}"
+        )
+    if send.payload_expr is None:
+        raise EncodingError(f"send {send.send_id} has no symbolic payload expression")
+    happens_before = Lt(
+        clock_var(send.event_id), clock_var(recv.completion_event_id)
+    )
+    value_transferred = Eq(recv_value_var(recv), send.payload_expr)
+    identifiers_equal = Eq(match_var(recv), IntVal(send.send_id))
+    return And(happens_before, value_transferred, identifiers_equal)
+
+
+def match_pair_constraints(
+    trace: ExecutionTrace, match_pairs: MatchPairs
+) -> List[Term]:
+    """The Figure 2 algorithm: one disjunction of matches per receive.
+
+    A receive with *no* candidate sends makes the problem unsatisfiable (it
+    can never complete in the modelled semantics); the constant ``false`` is
+    emitted for it so the outcome is explicit rather than silently dropped.
+    """
+    constraints: List[Term] = []
+    for recv_id in match_pairs.receive_ids():
+        recv = match_pairs.receive(recv_id)
+        disjuncts: List[Term] = []
+        for send_id in match_pairs.get_sends(recv_id):
+            send = match_pairs.send(send_id)
+            disjuncts.append(match_predicate(recv, send))
+        constraints.append(Or(disjuncts) if disjuncts else FALSE)
+    return constraints

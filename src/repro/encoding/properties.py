@@ -1,0 +1,132 @@
+"""Correctness properties and ``PProp``.
+
+A property is a predicate that must hold in *every* execution modelled by the
+problem.  Following the paper, the encoder conjoins the negation of all
+properties (``¬PProp``) so that a satisfiable problem is a witness of a
+property violation.
+
+Three kinds of properties cover the paper's usage and the benchmarks:
+
+* :class:`TraceAssertionsProperty` — the assertions the program itself
+  executed (the default definition of "a correct system");
+* :class:`ReceiveValueProperty` — a predicate over the value obtained by a
+  specific receive operation (e.g. *recv(A) obtained Y*), which is how the
+  Figure 4 behaviours are phrased as properties;
+* :class:`TermProperty` — an arbitrary SMT term over the encoding's
+  variables, for advanced users.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.encoding.variables import match_var, recv_value_var
+from repro.smt.terms import And, Eq, IntVal, Not, Or, Term, TRUE
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import EncodingError
+
+__all__ = [
+    "Property",
+    "TraceAssertionsProperty",
+    "ReceiveValueProperty",
+    "MatchProperty",
+    "TermProperty",
+    "negated_properties",
+]
+
+
+class Property(ABC):
+    """A safety property over the symbolic executions of a trace."""
+
+    name: str = "property"
+
+    @abstractmethod
+    def term(self, trace: ExecutionTrace) -> Term:
+        """The property as an SMT term (must hold in every execution)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class TraceAssertionsProperty(Property):
+    """The conjunction of every assertion statement recorded in the trace."""
+
+    name: str = "trace-assertions"
+
+    def term(self, trace: ExecutionTrace) -> Term:
+        conditions: List[Term] = []
+        for event in trace.assertions():
+            if event.condition is None:
+                raise EncodingError(f"assertion event {event.event_id} has no condition")
+            conditions.append(event.condition)
+        return And(conditions) if conditions else TRUE
+
+
+@dataclass
+class ReceiveValueProperty(Property):
+    """``predicate`` must hold of the value obtained by receive ``recv_id``.
+
+    The predicate is supplied as a function from the receive's value variable
+    (an SMT term) to a Boolean term, e.g.::
+
+        ReceiveValueProperty(0, lambda v: Eq(v, IntVal(20)), name="A-got-Y")
+    """
+
+    recv_id: int
+    predicate: Callable[[Term], Term]
+    name: str = "receive-value"
+
+    def term(self, trace: ExecutionTrace) -> Term:
+        operations = {op.recv_id: op for op in trace.receive_operations()}
+        if self.recv_id not in operations:
+            raise EncodingError(f"trace has no receive with id {self.recv_id}")
+        return self.predicate(recv_value_var(operations[self.recv_id]))
+
+
+@dataclass
+class MatchProperty(Property):
+    """Receive ``recv_id`` always matches one of ``allowed_send_ids``."""
+
+    recv_id: int
+    allowed_send_ids: Sequence[int]
+    name: str = "match-restriction"
+
+    def term(self, trace: ExecutionTrace) -> Term:
+        operations = {op.recv_id: op for op in trace.receive_operations()}
+        if self.recv_id not in operations:
+            raise EncodingError(f"trace has no receive with id {self.recv_id}")
+        variable = match_var(operations[self.recv_id])
+        options = [Eq(variable, IntVal(send_id)) for send_id in self.allowed_send_ids]
+        if not options:
+            raise EncodingError("MatchProperty needs at least one allowed send")
+        return Or(options)
+
+
+@dataclass
+class TermProperty(Property):
+    """An arbitrary property term over the encoding's variables."""
+
+    formula: Term
+    name: str = "term-property"
+
+    def term(self, trace: ExecutionTrace) -> Term:
+        return self.formula
+
+
+def negated_properties(
+    trace: ExecutionTrace, properties: Sequence[Property]
+) -> Optional[Term]:
+    """``¬PProp``: the negated conjunction of all properties.
+
+    Returns ``None`` when there are no properties *with content* (an empty
+    property set would make the problem trivially unsatisfiable, which is not
+    what a caller asking "is this trace feasible at all?" wants).
+    """
+    terms = [prop.term(trace) for prop in properties]
+    terms = [t for t in terms if not t.is_true]
+    if not terms:
+        return None
+    return Not(And(terms))

@@ -1,0 +1,56 @@
+"""Naming conventions for the SMT variables of the trace encoding.
+
+Every trace event gets an integer *clock* variable; every receive operation
+gets an integer *match identifier* variable and (from the trace itself) a
+*value symbol*.  Keeping the naming in one place lets the witness decoder,
+the properties DSL and the tests all agree on how to find things in a model.
+"""
+
+from __future__ import annotations
+
+from repro.smt.terms import IntVar, Term
+from repro.trace.events import TraceEvent
+from repro.trace.trace import ReceiveOperation
+
+__all__ = [
+    "clock_name",
+    "clock_var",
+    "match_name",
+    "match_var",
+    "recv_value_name",
+    "recv_value_var",
+]
+
+
+def clock_name(event_id: int) -> str:
+    """Name of the clock variable of trace event ``event_id``."""
+    return f"clk_{event_id}"
+
+
+def clock_var(event: TraceEvent | int) -> Term:
+    """The clock variable of an event (or raw event id)."""
+    event_id = event if isinstance(event, int) else event.event_id
+    return IntVar(clock_name(event_id))
+
+
+def match_name(recv_id: int) -> str:
+    """Name of the match-identifier variable of receive ``recv_id``."""
+    return f"match_{recv_id}"
+
+
+def match_var(recv: ReceiveOperation | int) -> Term:
+    """The match-identifier variable of a receive operation (or raw id)."""
+    recv_id = recv if isinstance(recv, int) else recv.recv_id
+    return IntVar(match_name(recv_id))
+
+
+def recv_value_name(recv_id: int) -> str:
+    """Name of the value symbol of receive ``recv_id`` (matches TraceBuilder)."""
+    return f"recv_val_{recv_id}"
+
+
+def recv_value_var(recv: ReceiveOperation | int) -> Term:
+    """The value symbol of a receive operation (or raw id)."""
+    if isinstance(recv, int):
+        return IntVar(recv_value_name(recv))
+    return IntVar(recv.value_symbol)

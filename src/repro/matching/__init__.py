@@ -1,0 +1,19 @@
+"""Match-pair generation: the over-approximate and precise analyses."""
+
+from repro.matching.matchpairs import MatchPairs
+from repro.matching.overapprox import endpoint_match_pairs
+from repro.matching.precise import (
+    count_feasible_matchings,
+    enumerate_matchings,
+    matching_is_feasible,
+    precise_match_pairs,
+)
+
+__all__ = [
+    "MatchPairs",
+    "endpoint_match_pairs",
+    "count_feasible_matchings",
+    "enumerate_matchings",
+    "matching_is_feasible",
+    "precise_match_pairs",
+]

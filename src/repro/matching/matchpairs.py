@@ -1,0 +1,117 @@
+"""The match-pair set: which sends each receive could pair with.
+
+The paper's trace analysis produces a set ``MatchPairs`` containing every
+receive operation of the trace, together with a function ``getSends`` mapping
+each receive to all the send operations it could match with (§2).  This
+module provides that data structure; the two generation strategies live in
+:mod:`repro.matching.overapprox` (endpoint-based, cheap) and
+:mod:`repro.matching.precise` (depth-first abstract execution, exact but
+potentially exponential — the paper's §3 notes exactly this trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.trace.trace import ExecutionTrace, ReceiveOperation
+from repro.trace.events import SendEvent
+from repro.utils.errors import MatchPairError
+
+__all__ = ["MatchPairs"]
+
+
+@dataclass
+class MatchPairs:
+    """Maps every receive operation of a trace to its candidate sends.
+
+    Attributes
+    ----------
+    candidates:
+        ``recv_id -> ordered list of send_ids`` the receive may match.
+    receives:
+        The receive operations, indexed by ``recv_id``.
+    sends:
+        The send events, indexed by ``send_id``.
+    """
+
+    candidates: Dict[int, List[int]] = field(default_factory=dict)
+    receives: Dict[int, ReceiveOperation] = field(default_factory=dict)
+    sends: Dict[int, SendEvent] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ access
+
+    def get_sends(self, recv_id: int) -> List[int]:
+        """The paper's ``getSends``: candidate send ids for one receive."""
+        if recv_id not in self.candidates:
+            raise MatchPairError(f"unknown receive id {recv_id}")
+        return list(self.candidates[recv_id])
+
+    def receive_ids(self) -> List[int]:
+        return sorted(self.candidates)
+
+    def receive(self, recv_id: int) -> ReceiveOperation:
+        return self.receives[recv_id]
+
+    def send(self, send_id: int) -> SendEvent:
+        return self.sends[send_id]
+
+    def pair_count(self) -> int:
+        """Total number of (receive, send) candidate pairs."""
+        return sum(len(sends) for sends in self.candidates.values())
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    # ------------------------------------------------------------------ queries
+
+    def is_subset_of(self, other: "MatchPairs") -> bool:
+        """True if every candidate pair of ``self`` also appears in ``other``."""
+        for recv_id, sends in self.candidates.items():
+            if recv_id not in other.candidates:
+                return False
+            if not set(sends) <= set(other.candidates[recv_id]):
+                return False
+        return True
+
+    def summary(self) -> Dict[str, int]:
+        sizes = [len(s) for s in self.candidates.values()]
+        return {
+            "receives": len(self.candidates),
+            "pairs": self.pair_count(),
+            "max_candidates": max(sizes) if sizes else 0,
+            "min_candidates": min(sizes) if sizes else 0,
+        }
+
+    def validate(self, trace: ExecutionTrace) -> None:
+        """Check the match pairs are consistent with the trace."""
+        recv_ops = {op.recv_id: op for op in trace.receive_operations()}
+        send_events = {event.send_id: event for event in trace.sends()}
+        for recv_id, send_ids in self.candidates.items():
+            if recv_id not in recv_ops:
+                raise MatchPairError(f"receive {recv_id} is not in the trace")
+            for send_id in send_ids:
+                if send_id not in send_events:
+                    raise MatchPairError(f"send {send_id} is not in the trace")
+                if send_events[send_id].destination != recv_ops[recv_id].endpoint:
+                    raise MatchPairError(
+                        f"send {send_id} targets {send_events[send_id].destination} "
+                        f"but receive {recv_id} listens on {recv_ops[recv_id].endpoint}"
+                    )
+
+    # ------------------------------------------------------------------ construction
+
+    @staticmethod
+    def from_mapping(
+        trace: ExecutionTrace, mapping: Mapping[int, Iterable[int]]
+    ) -> "MatchPairs":
+        """Build a MatchPairs object from an explicit recv->sends mapping."""
+        receives = {op.recv_id: op for op in trace.receive_operations()}
+        sends = {event.send_id: event for event in trace.sends()}
+        pairs = MatchPairs(
+            candidates={recv: sorted(set(send_ids)) for recv, send_ids in mapping.items()},
+            receives=receives,
+            sends=sends,
+        )
+        pairs.validate(trace)
+        return pairs

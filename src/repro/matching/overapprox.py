@@ -1,0 +1,33 @@
+"""Endpoint-based (over-approximate) match-pair generation.
+
+A receive on endpoint ``e`` can only ever obtain a message that was sent to
+``e``; this generator therefore pairs every receive with *all* sends in the
+trace that target its endpoint.  The set is an over-approximation of the
+precise (reachability-aware) set — exactly the "reasonable over-approximation
+of the match-pair set" the paper's future-work section proposes — but it is
+*safe* for the encoding: infeasible pairs are ruled out by the ``POrder`` /
+``match`` / ``PUnique`` constraints of the SMT problem itself, so the verifier
+remains sound and complete while the generation cost drops from exponential
+to linear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.matching.matchpairs import MatchPairs
+from repro.trace.trace import ExecutionTrace
+
+__all__ = ["endpoint_match_pairs"]
+
+
+def endpoint_match_pairs(trace: ExecutionTrace) -> MatchPairs:
+    """Pair each receive with every send targeting the same endpoint."""
+    sends_by_endpoint: Dict[object, List[int]] = {}
+    for event in trace.sends():
+        sends_by_endpoint.setdefault(event.destination, []).append(event.send_id)
+
+    mapping: Dict[int, List[int]] = {}
+    for op in trace.receive_operations():
+        mapping[op.recv_id] = sorted(sends_by_endpoint.get(op.endpoint, []))
+    return MatchPairs.from_mapping(trace, mapping)

@@ -1,0 +1,179 @@
+"""Precise match-pair generation by depth-first abstract execution.
+
+The paper (§3) obtains a *precise* set of match pairs "through a depth-first
+abstract execution of the trace", and notes that while exact, the method can
+be prohibitively expensive.  This module implements that analysis:
+
+* the abstract state of an execution is captured entirely by which send each
+  receive is matched to (the concrete data values are irrelevant because the
+  branch outcomes are fixed by the trace);
+* a complete matching is *feasible* iff the precedence relation it induces —
+  program order plus one ``send -> receive-completion`` edge per matched pair
+  — is acyclic, i.e. some interleaving realises it;
+* the precise match-pair set maps every receive to the sends that appear in
+  at least one feasible complete matching.
+
+The exhaustive enumeration underlying this is also exposed
+(:func:`enumerate_matchings`) because the coverage benchmarks and the
+explicit-state baseline use it as ground truth for "how many behaviours does
+the program have".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.matching.matchpairs import MatchPairs
+from repro.matching.overapprox import endpoint_match_pairs
+from repro.trace.trace import ExecutionTrace, ReceiveOperation
+from repro.utils.errors import MatchPairError
+
+__all__ = [
+    "precise_match_pairs",
+    "enumerate_matchings",
+    "count_feasible_matchings",
+    "matching_is_feasible",
+]
+
+
+# ---------------------------------------------------------------------------
+# Precedence graph utilities
+# ---------------------------------------------------------------------------
+
+
+def _program_order_edges(trace: ExecutionTrace) -> List[Tuple[int, int]]:
+    return trace.program_order_pairs()
+
+
+def _has_cycle(num_events: int, edges: Sequence[Tuple[int, int]]) -> bool:
+    """Detect a cycle in the event precedence graph (iterative colouring DFS)."""
+    adjacency: Dict[int, List[int]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * num_events
+    for root in range(num_events):
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, child_index = stack[-1]
+            children = adjacency.get(node, [])
+            if child_index < len(children):
+                stack[-1] = (node, child_index + 1)
+                child = children[child_index]
+                if colour[child] == GREY:
+                    return True
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
+def matching_is_feasible(
+    trace: ExecutionTrace, matching: Dict[int, int]
+) -> bool:
+    """Check whether a (possibly partial) matching admits an interleaving.
+
+    ``matching`` maps ``recv_id`` to ``send_id``.  Feasibility only requires
+    the precedence relation (program order plus matched-pair happens-before)
+    to be acyclic; injectivity and endpoint agreement are the caller's
+    responsibility (the enumerators below enforce them).
+    """
+    receives = {op.recv_id: op for op in trace.receive_operations()}
+    sends = {event.send_id: event for event in trace.sends()}
+    edges = list(_program_order_edges(trace))
+    for recv_id, send_id in matching.items():
+        if recv_id not in receives:
+            raise MatchPairError(f"unknown receive {recv_id}")
+        if send_id not in sends:
+            raise MatchPairError(f"unknown send {send_id}")
+        edges.append((sends[send_id].event_id, receives[recv_id].completion_event_id))
+    return not _has_cycle(len(trace), edges)
+
+
+# ---------------------------------------------------------------------------
+# Depth-first enumeration of complete matchings
+# ---------------------------------------------------------------------------
+
+
+def enumerate_matchings(
+    trace: ExecutionTrace,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[int, int]]:
+    """Yield every feasible complete matching of the trace.
+
+    A complete matching assigns every receive a distinct send targeting its
+    endpoint such that the induced precedence relation is acyclic.  The
+    enumeration is a depth-first search over receives (in ``recv_id`` order)
+    with incremental feasibility pruning — the "depth-first abstract
+    execution" of the paper.
+
+    ``limit`` bounds the number of matchings yielded (None = all).
+    """
+    receives: List[ReceiveOperation] = sorted(
+        trace.receive_operations(), key=lambda op: op.recv_id
+    )
+    sends = {event.send_id: event for event in trace.sends()}
+    candidates = endpoint_match_pairs(trace)
+    base_edges = list(_program_order_edges(trace))
+    num_events = len(trace)
+
+    yielded = 0
+    assignment: Dict[int, int] = {}
+    used_sends: set = set()
+    edge_stack: List[Tuple[int, int]] = list(base_edges)
+
+    def dfs(index: int) -> Iterator[Dict[int, int]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if index == len(receives):
+            yielded += 1
+            yield dict(assignment)
+            return
+        op = receives[index]
+        for send_id in candidates.get_sends(op.recv_id):
+            if send_id in used_sends:
+                continue
+            edge = (sends[send_id].event_id, op.completion_event_id)
+            edge_stack.append(edge)
+            if not _has_cycle(num_events, edge_stack):
+                assignment[op.recv_id] = send_id
+                used_sends.add(send_id)
+                yield from dfs(index + 1)
+                used_sends.discard(send_id)
+                assignment.pop(op.recv_id, None)
+            edge_stack.pop()
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from dfs(0)
+
+
+def count_feasible_matchings(trace: ExecutionTrace, limit: Optional[int] = None) -> int:
+    """Number of feasible complete matchings (optionally capped at ``limit``)."""
+    return sum(1 for _ in enumerate_matchings(trace, limit=limit))
+
+
+def precise_match_pairs(trace: ExecutionTrace, limit: Optional[int] = None) -> MatchPairs:
+    """The precise match-pair set (union over all feasible complete matchings).
+
+    ``limit`` caps the number of matchings explored; when hit, the result may
+    be a subset of the true precise set (the benchmarks use the cap to show
+    the cost curve without unbounded runtimes).
+    """
+    mapping: Dict[int, List[int]] = {
+        op.recv_id: [] for op in trace.receive_operations()
+    }
+    for matching in enumerate_matchings(trace, limit=limit):
+        for recv_id, send_id in matching.items():
+            if send_id not in mapping[recv_id]:
+                mapping[recv_id].append(send_id)
+    return MatchPairs.from_mapping(trace, mapping)

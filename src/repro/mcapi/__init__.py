@@ -1,0 +1,73 @@
+"""A simulator for the MCAPI connectionless-message API.
+
+The paper analyses applications written against the Multicore Association's
+MCAPI message-passing API.  This package is the runtime those applications
+execute on inside the reproduction: endpoints, connectionless messages,
+blocking and non-blocking send/receive, request handles with ``test`` /
+``wait``, and — crucially — a network model in which transmission delays are
+a source of non-determinism controlled by the scheduler, which is exactly
+the behaviour the paper's symbolic encoding captures and prior tools missed.
+"""
+
+from repro.mcapi.status import (
+    MCAPI_MAX_MSG_SIZE,
+    MCAPI_MAX_PRIORITY,
+    MCAPI_PORT_ANY,
+    MCAPI_TIMEOUT_INFINITE,
+    McapiStatus,
+)
+from repro.mcapi.endpoint import Endpoint, EndpointId, Node
+from repro.mcapi.messages import InTransitMessage, Message
+from repro.mcapi.requests import Request, RequestKind, RequestState
+from repro.mcapi.network import (
+    DeliveryPolicy,
+    ImmediateDelivery,
+    Network,
+    RandomDelayDelivery,
+    UnorderedDelivery,
+)
+from repro.mcapi.runtime import McapiRuntime
+from repro.mcapi.scheduler import (
+    Action,
+    DeliveryEagerStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    RoundRobinStrategy,
+    RunResult,
+    Scheduler,
+    SchedulingStrategy,
+    Task,
+    TaskStatus,
+)
+
+__all__ = [
+    "MCAPI_MAX_MSG_SIZE",
+    "MCAPI_MAX_PRIORITY",
+    "MCAPI_PORT_ANY",
+    "MCAPI_TIMEOUT_INFINITE",
+    "McapiStatus",
+    "Endpoint",
+    "EndpointId",
+    "Node",
+    "InTransitMessage",
+    "Message",
+    "Request",
+    "RequestKind",
+    "RequestState",
+    "DeliveryPolicy",
+    "ImmediateDelivery",
+    "Network",
+    "RandomDelayDelivery",
+    "UnorderedDelivery",
+    "McapiRuntime",
+    "Action",
+    "DeliveryEagerStrategy",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "RoundRobinStrategy",
+    "RunResult",
+    "Scheduler",
+    "SchedulingStrategy",
+    "Task",
+    "TaskStatus",
+]

@@ -1,0 +1,108 @@
+"""Nodes, ports and endpoints.
+
+MCAPI addresses are triples ``(domain, node, port)``; this simulator models a
+single domain, so an :class:`EndpointId` is the pair ``(node, port)``.  An
+:class:`Endpoint` owns a receive queue of delivered messages plus the queue
+of outstanding non-blocking receive requests posted against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, TYPE_CHECKING
+from collections import deque
+
+from repro.utils.errors import McapiError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.mcapi.messages import Message
+    from repro.mcapi.requests import Request
+
+
+@dataclass(frozen=True, order=True)
+class EndpointId:
+    """A fully qualified endpoint address ``(node, port)``."""
+
+    node: int
+    port: int
+
+    def __str__(self) -> str:
+        return f"ep({self.node}:{self.port})"
+
+
+@dataclass
+class Endpoint:
+    """Runtime state of one endpoint.
+
+    Attributes
+    ----------
+    endpoint_id:
+        The endpoint's address.
+    queue:
+        Messages that have been *delivered* by the network and are ready to
+        be returned by a receive call, in delivery order.
+    pending_receives:
+        Non-blocking receive requests posted with ``msg_recv_i`` that have
+        not yet been bound to a message, in posting order.
+    max_queue_length:
+        Capacity of the delivered-message queue; delivery is deferred while
+        the queue is full (the reference implementation returns
+        ``MCAPI_ERR_QUEUE_FULL`` / retries).
+    """
+
+    endpoint_id: EndpointId
+    queue: Deque["Message"] = field(default_factory=deque)
+    pending_receives: Deque["Request"] = field(default_factory=deque)
+    max_queue_length: int = 64
+    open: bool = True
+
+    @property
+    def node(self) -> int:
+        return self.endpoint_id.node
+
+    @property
+    def port(self) -> int:
+        return self.endpoint_id.port
+
+    @property
+    def queue_full(self) -> bool:
+        return len(self.queue) >= self.max_queue_length
+
+    def deliver(self, message: "Message") -> None:
+        """Place a message at the tail of the delivered queue."""
+        if not self.open:
+            raise McapiError(f"delivery to deleted endpoint {self.endpoint_id}")
+        if self.queue_full:
+            raise McapiError(f"receive queue overflow at {self.endpoint_id}")
+        self.queue.append(message)
+
+    def pop_message(self) -> Optional["Message"]:
+        """Remove and return the oldest delivered message, if any."""
+        if self.queue:
+            return self.queue.popleft()
+        return None
+
+    def available(self) -> int:
+        """Number of delivered messages waiting to be received."""
+        return len(self.queue)
+
+    def __str__(self) -> str:
+        return str(self.endpoint_id)
+
+
+@dataclass
+class Node:
+    """A node (processing element) that owns endpoints and runs threads."""
+
+    node_id: int
+    endpoints: List[Endpoint] = field(default_factory=list)
+    initialized: bool = True
+
+    def find_endpoint(self, port: int) -> Optional[Endpoint]:
+        for endpoint in self.endpoints:
+            if endpoint.port == port and endpoint.open:
+                return endpoint
+        return None
+
+    def used_ports(self) -> List[int]:
+        return [e.port for e in self.endpoints if e.open]

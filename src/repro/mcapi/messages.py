@@ -1,0 +1,78 @@
+"""Message representation and the in-transit network record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mcapi.endpoint import EndpointId
+
+
+@dataclass(frozen=True)
+class Message:
+    """A connectionless MCAPI message.
+
+    Payloads are arbitrary Python values; the trace encoder only requires
+    them to be comparable (the paper's examples use integers / opaque tags).
+
+    Attributes
+    ----------
+    message_id:
+        A globally unique identifier assigned at send time.  The paper's
+        trace analysis gives "each send operation a unique identifier for use
+        in the SMT problem" — this is that identifier's runtime counterpart.
+    source / destination:
+        Endpoint addresses.
+    payload:
+        The value carried by the message.
+    priority:
+        MCAPI priority, 0 (highest) .. 7 (lowest).
+    send_index:
+        Per-(source, destination) sequence number, used to enforce the MCAPI
+        guarantee that messages between the *same* pair of endpoints are
+        delivered in send order.
+    """
+
+    message_id: int
+    source: EndpointId
+    destination: EndpointId
+    payload: object
+    priority: int = 0
+    send_index: int = 0
+    sender_thread: Optional[str] = None
+
+    def __str__(self) -> str:
+        return (
+            f"msg#{self.message_id} {self.source}->{self.destination} "
+            f"payload={self.payload!r}"
+        )
+
+
+@dataclass
+class InTransitMessage:
+    """A sent-but-not-yet-delivered message inside the simulated network.
+
+    The delivery of these records is a *scheduler action*: by choosing when
+    to perform it relative to other events, the simulator exhibits exactly
+    the non-deterministic transmission delays whose omission the paper
+    criticises in MCC and the Elwakil/Yang encoding.
+    """
+
+    message: Message
+    #: Simulation step at which the message entered the network.
+    sent_at_step: int
+    #: Minimum number of scheduler steps the message must stay in transit
+    #: (produced by the delay model; 0 means deliverable immediately).
+    min_delay: int = 0
+    #: Set once the message has been handed to the destination endpoint.
+    delivered: bool = False
+    #: Step at which delivery happened (for reporting).
+    delivered_at_step: Optional[int] = None
+
+    @property
+    def message_id(self) -> int:
+        return self.message.message_id
+
+    def ready(self, current_step: int) -> bool:
+        """True when the delay model allows this message to be delivered."""
+        return not self.delivered and current_step - self.sent_at_step >= self.min_delay

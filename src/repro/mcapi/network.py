@@ -1,0 +1,217 @@
+"""The simulated MCAPI interconnect with non-deterministic delivery delays.
+
+Messages sent with ``msg_send`` / ``msg_send_i`` are first placed *in
+transit*.  Moving a message from the network into the destination endpoint's
+receive queue ("delivery") is a separate step chosen by the scheduler.  The
+policy objects in this module control which in-transit messages are
+*eligible* for delivery at a given moment, which is how the three network
+models discussed in the paper are realised:
+
+* :class:`ImmediateDelivery` — a message becomes deliverable as soon as it is
+  sent, and the network keeps messages to a common destination in global
+  send order.  This mirrors the behaviour MCC assumes (no transmission
+  delays) and is used by the MCC baseline.
+* :class:`UnorderedDelivery` — messages from *different* senders to a common
+  endpoint may be delivered in either order (MCAPI only guarantees ordering
+  between a fixed source/destination endpoint pair).  This is the model the
+  paper argues a sound analysis must consider.
+* :class:`RandomDelayDelivery` — like :class:`UnorderedDelivery` but each
+  message additionally draws a random minimum in-transit time, which is how
+  the simulator produces concrete traces that exhibit reorderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.mcapi.endpoint import EndpointId
+from repro.mcapi.messages import InTransitMessage, Message
+from repro.utils.errors import McapiError
+from repro.utils.rng import DeterministicRNG
+
+__all__ = [
+    "DeliveryPolicy",
+    "ImmediateDelivery",
+    "UnorderedDelivery",
+    "RandomDelayDelivery",
+    "Network",
+]
+
+
+class DeliveryPolicy:
+    """Strategy deciding which in-transit messages may be delivered."""
+
+    #: Whether the policy preserves global send order per destination
+    #: endpoint (True only for the MCC-style immediate model).
+    globally_ordered: bool = False
+
+    def min_delay(self, message: Message) -> int:
+        """Minimum number of steps the message must remain in transit."""
+        return 0
+
+    def eligible(
+        self, in_transit: List[InTransitMessage], current_step: int
+    ) -> List[InTransitMessage]:
+        """The subset of in-transit messages that may be delivered now.
+
+        Regardless of policy, MCAPI's per-pair FIFO guarantee is enforced:
+        a message is only eligible if no *earlier* undelivered message exists
+        for the same (source, destination) endpoint pair.
+        """
+        eligible: List[InTransitMessage] = []
+        for candidate in in_transit:
+            if candidate.delivered:
+                continue
+            if not candidate.ready(current_step):
+                continue
+            if self._blocked_by_pair_order(candidate, in_transit):
+                continue
+            eligible.append(candidate)
+        if self.globally_ordered:
+            eligible = self._restrict_to_global_order(eligible, in_transit)
+        return eligible
+
+    @staticmethod
+    def _blocked_by_pair_order(
+        candidate: InTransitMessage, in_transit: List[InTransitMessage]
+    ) -> bool:
+        for other in in_transit:
+            if other.delivered or other is candidate:
+                continue
+            same_pair = (
+                other.message.source == candidate.message.source
+                and other.message.destination == candidate.message.destination
+            )
+            if same_pair and other.message.send_index < candidate.message.send_index:
+                return True
+        return False
+
+    @staticmethod
+    def _restrict_to_global_order(
+        eligible: List[InTransitMessage], in_transit: List[InTransitMessage]
+    ) -> List[InTransitMessage]:
+        """Keep only the globally-oldest undelivered message per destination."""
+        restricted: List[InTransitMessage] = []
+        for candidate in eligible:
+            blocked = False
+            for other in in_transit:
+                if other.delivered or other is candidate:
+                    continue
+                if (
+                    other.message.destination == candidate.message.destination
+                    and other.message.message_id < candidate.message.message_id
+                ):
+                    blocked = True
+                    break
+            if not blocked:
+                restricted.append(candidate)
+        return restricted
+
+
+class ImmediateDelivery(DeliveryPolicy):
+    """No transmission delays; per-destination global FIFO (MCC's model)."""
+
+    globally_ordered = True
+
+
+class UnorderedDelivery(DeliveryPolicy):
+    """Arbitrary cross-sender reordering, per-pair FIFO (the paper's model)."""
+
+    globally_ordered = False
+
+
+class RandomDelayDelivery(DeliveryPolicy):
+    """Cross-sender reordering plus random minimum in-transit delays."""
+
+    def __init__(self, rng: DeterministicRNG, mean_delay: float = 0.5, cap: int = 8):
+        self._rng = rng
+        self._cap = cap
+        # Convert a mean delay into the geometric success probability.
+        self._p = 1.0 / (1.0 + max(mean_delay, 0.0))
+
+    def min_delay(self, message: Message) -> int:
+        return self._rng.geometric(self._p, cap=self._cap)
+
+
+@dataclass
+class Network:
+    """The in-transit message store.
+
+    The network assigns message identifiers, tracks per-pair sequence
+    numbers, and answers the scheduler's two questions: *which messages can
+    be delivered right now?* and *deliver this one*.
+    """
+
+    policy: DeliveryPolicy = field(default_factory=UnorderedDelivery)
+    in_transit: List[InTransitMessage] = field(default_factory=list)
+    delivered_log: List[InTransitMessage] = field(default_factory=list)
+    _next_message_id: int = 0
+    _pair_counters: Dict[Tuple[EndpointId, EndpointId], int] = field(
+        default_factory=dict
+    )
+
+    # -- sending -----------------------------------------------------------------
+
+    def submit(
+        self,
+        source: EndpointId,
+        destination: EndpointId,
+        payload: object,
+        priority: int = 0,
+        sender_thread: Optional[str] = None,
+        current_step: int = 0,
+    ) -> Message:
+        """Accept a message for transmission; returns the Message record."""
+        pair = (source, destination)
+        send_index = self._pair_counters.get(pair, 0)
+        self._pair_counters[pair] = send_index + 1
+        message = Message(
+            message_id=self._next_message_id,
+            source=source,
+            destination=destination,
+            payload=payload,
+            priority=priority,
+            send_index=send_index,
+            sender_thread=sender_thread,
+        )
+        self._next_message_id += 1
+        record = InTransitMessage(
+            message=message,
+            sent_at_step=current_step,
+            min_delay=self.policy.min_delay(message),
+        )
+        self.in_transit.append(record)
+        return message
+
+    # -- delivery ----------------------------------------------------------------
+
+    def deliverable(self, current_step: int) -> List[InTransitMessage]:
+        """Messages that the policy allows to be delivered at this step."""
+        return self.policy.eligible(self.in_transit, current_step)
+
+    def mark_delivered(self, record: InTransitMessage, current_step: int) -> None:
+        if record.delivered:
+            raise McapiError(f"message {record.message_id} delivered twice")
+        record.delivered = True
+        record.delivered_at_step = current_step
+        self.delivered_log.append(record)
+
+    def find(self, message_id: int) -> InTransitMessage:
+        for record in self.in_transit:
+            if record.message_id == message_id:
+                return record
+        raise McapiError(f"unknown message id {message_id}")
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def undelivered_count(self) -> int:
+        return sum(1 for r in self.in_transit if not r.delivered)
+
+    def all_messages(self) -> List[Message]:
+        return [r.message for r in self.in_transit]
+
+    def is_quiescent(self) -> bool:
+        """True when nothing remains in flight."""
+        return self.undelivered_count == 0

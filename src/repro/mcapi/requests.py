@@ -1,0 +1,98 @@
+"""Request handles for non-blocking MCAPI operations.
+
+``mcapi_msg_send_i`` and ``mcapi_msg_recv_i`` return a request handle whose
+completion is observed with ``mcapi_test`` (poll) or ``mcapi_wait`` (block).
+In this simulator send requests complete as soon as the message is buffered
+into the network (the reference implementation behaves the same way for
+messages that fit in its buffers), while receive requests complete when a
+delivered message is *bound* to them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+from repro.mcapi.endpoint import EndpointId
+from repro.mcapi.messages import Message
+from repro.utils.errors import McapiError
+
+
+class RequestKind(Enum):
+    SEND = auto()
+    RECEIVE = auto()
+
+
+class RequestState(Enum):
+    PENDING = auto()
+    COMPLETED = auto()
+    CANCELLED = auto()
+
+
+_request_counter = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """A non-blocking operation handle.
+
+    Attributes
+    ----------
+    request_id:
+        Unique handle value.
+    kind:
+        Whether this is a send or receive request.
+    endpoint:
+        The local endpoint the operation was issued on (the receiving
+        endpoint for ``recv_i``, the sending endpoint for ``send_i``).
+    issuing_thread:
+        Name of the thread that issued the operation (used by the trace).
+    """
+
+    kind: RequestKind
+    endpoint: EndpointId
+    issuing_thread: Optional[str] = None
+    request_id: int = field(default_factory=lambda: next(_request_counter))
+    state: RequestState = RequestState.PENDING
+    message: Optional[Message] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.state is RequestState.COMPLETED
+
+    @property
+    def pending(self) -> bool:
+        return self.state is RequestState.PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state is RequestState.CANCELLED
+
+    def complete_with(self, message: Optional[Message]) -> None:
+        """Mark the request complete (binding ``message`` for receives)."""
+        if self.state is RequestState.CANCELLED:
+            raise McapiError(f"request {self.request_id} was already cancelled")
+        if self.state is RequestState.COMPLETED:
+            raise McapiError(f"request {self.request_id} completed twice")
+        if self.kind is RequestKind.RECEIVE and message is None:
+            raise McapiError("receive requests must complete with a message")
+        self.state = RequestState.COMPLETED
+        self.message = message
+
+    def cancel(self) -> None:
+        if self.state is RequestState.COMPLETED:
+            raise McapiError(f"cannot cancel completed request {self.request_id}")
+        self.state = RequestState.CANCELLED
+
+    def take_message(self) -> Message:
+        """Return the bound message (receive requests only)."""
+        if self.kind is not RequestKind.RECEIVE:
+            raise McapiError("take_message on a send request")
+        if not self.completed or self.message is None:
+            raise McapiError(f"request {self.request_id} has no message bound yet")
+        return self.message
+
+    def __str__(self) -> str:
+        return f"req#{self.request_id}({self.kind.name.lower()}@{self.endpoint})"

@@ -1,0 +1,314 @@
+"""The MCAPI runtime simulator (connectionless-message subset).
+
+This class provides the API surface the paper's subject programs use:
+
+==============================  =============================================
+MCAPI C call                    Simulator method
+==============================  =============================================
+``mcapi_initialize``            :meth:`McapiRuntime.initialize`
+``mcapi_finalize``              :meth:`McapiRuntime.finalize`
+``mcapi_endpoint_create``       :meth:`McapiRuntime.endpoint_create`
+``mcapi_endpoint_get``          :meth:`McapiRuntime.endpoint_get`
+``mcapi_endpoint_delete``       :meth:`McapiRuntime.endpoint_delete`
+``mcapi_msg_send``              :meth:`McapiRuntime.msg_send`
+``mcapi_msg_send_i``            :meth:`McapiRuntime.msg_send_i`
+``mcapi_msg_recv``              :meth:`McapiRuntime.msg_recv_try` (the
+                                blocking behaviour is provided by the
+                                scheduler, which re-tries until a message is
+                                available)
+``mcapi_msg_recv_i``            :meth:`McapiRuntime.msg_recv_i`
+``mcapi_msg_available``         :meth:`McapiRuntime.msg_available`
+``mcapi_test``                  :meth:`McapiRuntime.test`
+``mcapi_wait``                  :meth:`McapiRuntime.wait_ready` (again, the
+                                scheduler blocks the thread until ready)
+``mcapi_cancel``                :meth:`McapiRuntime.cancel`
+==============================  =============================================
+
+The runtime itself is *passive*: it never blocks and never chooses an
+interleaving.  All non-determinism (which thread runs, which in-flight
+message is delivered) is decided by :class:`repro.mcapi.scheduler.Scheduler`,
+which is what makes schedules reproducible and traceable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mcapi.endpoint import Endpoint, EndpointId, Node
+from repro.mcapi.messages import InTransitMessage, Message
+from repro.mcapi.network import DeliveryPolicy, Network, UnorderedDelivery
+from repro.mcapi.requests import Request, RequestKind, RequestState
+from repro.mcapi.status import (
+    MCAPI_MAX_MSG_SIZE,
+    MCAPI_MAX_PRIORITY,
+    MCAPI_PORT_ANY,
+    McapiStatus,
+)
+from repro.utils.errors import McapiError
+
+__all__ = ["McapiRuntime"]
+
+
+class McapiRuntime:
+    """State of one simulated MCAPI domain."""
+
+    def __init__(self, policy: Optional[DeliveryPolicy] = None) -> None:
+        self.network = Network(policy=policy or UnorderedDelivery())
+        self.nodes: Dict[int, Node] = {}
+        self.endpoints: Dict[EndpointId, Endpoint] = {}
+        self.requests: Dict[int, Request] = {}
+        self.current_step = 0
+        self._next_any_port: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def initialize(self, node_id: int) -> Node:
+        """Create (initialise) a node; mirrors ``mcapi_initialize``."""
+        if node_id in self.nodes and self.nodes[node_id].initialized:
+            raise McapiError(f"node {node_id} initialised twice")
+        node = Node(node_id=node_id)
+        self.nodes[node_id] = node
+        return node
+
+    def finalize(self, node_id: int) -> McapiStatus:
+        """Tear down a node; mirrors ``mcapi_finalize``."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.initialized:
+            return McapiStatus.ERR_NODE_NOTINIT
+        node.initialized = False
+        for endpoint in node.endpoints:
+            endpoint.open = False
+        return McapiStatus.SUCCESS
+
+    def is_initialized(self, node_id: int) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.initialized
+
+    # ------------------------------------------------------------------ endpoints
+
+    def endpoint_create(
+        self, node_id: int, port: int = MCAPI_PORT_ANY, max_queue_length: int = 64
+    ) -> EndpointId:
+        """Create an endpoint owned by ``node_id``; mirrors ``mcapi_endpoint_create``."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.initialized:
+            raise McapiError(f"node {node_id} is not initialised")
+        if port == MCAPI_PORT_ANY:
+            port = self._next_any_port.get(node_id, 0)
+            while node.find_endpoint(port) is not None:
+                port += 1
+            self._next_any_port[node_id] = port + 1
+        if node.find_endpoint(port) is not None:
+            raise McapiError(f"endpoint ({node_id}, {port}) already exists")
+        endpoint_id = EndpointId(node_id, port)
+        endpoint = Endpoint(endpoint_id=endpoint_id, max_queue_length=max_queue_length)
+        node.endpoints.append(endpoint)
+        self.endpoints[endpoint_id] = endpoint
+        return endpoint_id
+
+    def endpoint_get(self, node_id: int, port: int) -> EndpointId:
+        """Look up a remote endpoint; mirrors ``mcapi_endpoint_get``.
+
+        The C call blocks until the endpoint exists; in the simulator the
+        subject programs create all endpoints during setup, so a missing
+        endpoint is an error.
+        """
+        endpoint_id = EndpointId(node_id, port)
+        if endpoint_id not in self.endpoints or not self.endpoints[endpoint_id].open:
+            raise McapiError(f"endpoint ({node_id}, {port}) does not exist")
+        return endpoint_id
+
+    def endpoint_delete(self, endpoint_id: EndpointId) -> McapiStatus:
+        endpoint = self.endpoints.get(endpoint_id)
+        if endpoint is None or not endpoint.open:
+            return McapiStatus.ERR_ENDP_INVALID
+        endpoint.open = False
+        return McapiStatus.SUCCESS
+
+    def _endpoint(self, endpoint_id: EndpointId) -> Endpoint:
+        endpoint = self.endpoints.get(endpoint_id)
+        if endpoint is None or not endpoint.open:
+            raise McapiError(f"invalid endpoint {endpoint_id}")
+        return endpoint
+
+    # ------------------------------------------------------------------ sending
+
+    def msg_send(
+        self,
+        source: EndpointId,
+        destination: EndpointId,
+        payload: object,
+        priority: int = 0,
+        sender_thread: Optional[str] = None,
+    ) -> Message:
+        """Buffered blocking send; mirrors ``mcapi_msg_send``.
+
+        The reference implementation's blocking send returns once the message
+        is accepted by the transport, which in this simulator is immediate;
+        the actual *delivery* is a later scheduler action.
+        """
+        self._validate_send(source, destination, payload, priority)
+        return self.network.submit(
+            source=source,
+            destination=destination,
+            payload=payload,
+            priority=priority,
+            sender_thread=sender_thread,
+            current_step=self.current_step,
+        )
+
+    def msg_send_i(
+        self,
+        source: EndpointId,
+        destination: EndpointId,
+        payload: object,
+        priority: int = 0,
+        sender_thread: Optional[str] = None,
+    ) -> Tuple[Request, Message]:
+        """Non-blocking send; mirrors ``mcapi_msg_send_i``.
+
+        The returned request completes immediately (the message fits in the
+        simulated buffers), matching the semantics the paper assumes for
+        sends — only *receives* have interesting completion behaviour.
+        """
+        message = self.msg_send(source, destination, payload, priority, sender_thread)
+        request = Request(kind=RequestKind.SEND, endpoint=source, issuing_thread=sender_thread)
+        request.complete_with(message)
+        self.requests[request.request_id] = request
+        return request, message
+
+    def _validate_send(
+        self,
+        source: EndpointId,
+        destination: EndpointId,
+        payload: object,
+        priority: int,
+    ) -> None:
+        self._endpoint(source)
+        self._endpoint(destination)
+        if not (0 <= priority <= MCAPI_MAX_PRIORITY):
+            raise McapiError(f"priority {priority} out of range 0..{MCAPI_MAX_PRIORITY}")
+        if isinstance(payload, (bytes, bytearray, str)) and len(payload) > MCAPI_MAX_MSG_SIZE:
+            raise McapiError("message payload exceeds MCAPI_MAX_MSG_SIZE")
+
+    # ------------------------------------------------------------------ receiving
+
+    def msg_available(self, endpoint_id: EndpointId) -> int:
+        """Number of delivered messages waiting; mirrors ``mcapi_msg_available``."""
+        return self._endpoint(endpoint_id).available()
+
+    def msg_recv_try(
+        self, endpoint_id: EndpointId, receiver_thread: Optional[str] = None
+    ) -> Optional[Message]:
+        """One attempt of a blocking receive.
+
+        Returns the oldest delivered message or ``None`` when the queue is
+        empty (in which case the calling thread should be treated as blocked
+        by the scheduler and retried later).
+        """
+        endpoint = self._endpoint(endpoint_id)
+        return endpoint.pop_message()
+
+    def msg_recv_i(
+        self, endpoint_id: EndpointId, receiver_thread: Optional[str] = None
+    ) -> Request:
+        """Post a non-blocking receive; mirrors ``mcapi_msg_recv_i``.
+
+        The request is bound to the next message delivered to the endpoint
+        that is not claimed by an earlier outstanding request.  If a message
+        is already waiting it is bound immediately.
+        """
+        endpoint = self._endpoint(endpoint_id)
+        request = Request(
+            kind=RequestKind.RECEIVE, endpoint=endpoint_id, issuing_thread=receiver_thread
+        )
+        self.requests[request.request_id] = request
+        message = endpoint.pop_message()
+        if message is not None:
+            request.complete_with(message)
+        else:
+            endpoint.pending_receives.append(request)
+        return request
+
+    # ------------------------------------------------------------------ request queries
+
+    def test(self, request: Request) -> bool:
+        """Poll a request for completion; mirrors ``mcapi_test``."""
+        self._validate_request(request)
+        return request.completed
+
+    def wait_ready(self, request: Request) -> bool:
+        """One attempt of ``mcapi_wait``.
+
+        Returns True when the request has completed.  A False return means
+        the calling thread must stay blocked; the scheduler re-polls after
+        it performs other actions (e.g. network deliveries).
+        """
+        self._validate_request(request)
+        if request.cancelled:
+            raise McapiError(f"wait on cancelled request {request.request_id}")
+        return request.completed
+
+    def cancel(self, request: Request) -> McapiStatus:
+        """Cancel an outstanding request; mirrors ``mcapi_cancel``."""
+        self._validate_request(request)
+        if request.completed:
+            return McapiStatus.ERR_REQUEST_INVALID
+        request.cancel()
+        endpoint = self.endpoints.get(request.endpoint)
+        if endpoint and request in endpoint.pending_receives:
+            endpoint.pending_receives.remove(request)
+        return McapiStatus.SUCCESS
+
+    def _validate_request(self, request: Request) -> None:
+        if request.request_id not in self.requests:
+            raise McapiError(f"unknown request handle {request.request_id}")
+
+    # ------------------------------------------------------------------ network actions
+
+    def deliverable_messages(self) -> List[InTransitMessage]:
+        """In-flight messages the delivery policy allows to arrive now."""
+        return self.network.deliverable(self.current_step)
+
+    def deliver(self, record: InTransitMessage) -> Optional[Request]:
+        """Deliver one in-flight message to its destination endpoint.
+
+        If the endpoint has outstanding non-blocking receive requests the
+        message is bound to the oldest one (and the bound request is
+        returned); otherwise the message joins the endpoint's queue.
+        """
+        endpoint = self._endpoint(record.message.destination)
+        if endpoint.queue_full:
+            raise McapiError(f"receive queue full at {endpoint.endpoint_id}")
+        self.network.mark_delivered(record, self.current_step)
+        if endpoint.pending_receives:
+            request = endpoint.pending_receives.popleft()
+            request.complete_with(record.message)
+            return request
+        endpoint.deliver(record.message)
+        return None
+
+    def advance_step(self) -> None:
+        """Advance the simulation clock by one scheduler step."""
+        self.current_step += 1
+
+    # ------------------------------------------------------------------ introspection
+
+    def quiescent(self) -> bool:
+        """True when no messages are in flight."""
+        return self.network.is_quiescent()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A compact, hashable-ish description of runtime state (for DPOR/
+        explicit-state baselines and debugging)."""
+        return {
+            "step": self.current_step,
+            "queues": {
+                str(eid): [m.message_id for m in ep.queue]
+                for eid, ep in self.endpoints.items()
+            },
+            "in_flight": [
+                r.message_id for r in self.network.in_transit if not r.delivered
+            ],
+        }

@@ -1,0 +1,275 @@
+"""Cooperative scheduling of simulated threads and network deliveries.
+
+The scheduler owns all non-determinism of a simulated MCAPI run.  At every
+step it gathers the set of *enabled actions*:
+
+* ``run <task>``      — a thread that is neither finished nor blocked takes
+  one atomic step (one MCAPI call or one local statement), and
+* ``deliver <msg>``   — an in-flight message the delivery policy allows to
+  arrive is moved into its destination endpoint (possibly completing an
+  outstanding non-blocking receive).
+
+A :class:`SchedulingStrategy` picks one enabled action; different strategies
+reproduce different system behaviours (random OS scheduling and transmission
+delays, round-robin, or the exact replay of a previously recorded schedule —
+used to replay SMT counterexample witnesses).  If no action is enabled while
+some task is still unfinished, the run ends in a deadlock, which the caller
+receives as part of the :class:`RunResult` rather than as an exception so
+that verification workloads can treat deadlocks as first-class outcomes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mcapi.messages import InTransitMessage
+from repro.mcapi.runtime import McapiRuntime
+from repro.utils.errors import McapiError
+from repro.utils.rng import DeterministicRNG
+
+__all__ = [
+    "TaskStatus",
+    "Task",
+    "Action",
+    "RunResult",
+    "SchedulingStrategy",
+    "RandomStrategy",
+    "RoundRobinStrategy",
+    "ReplayStrategy",
+    "DeliveryEagerStrategy",
+    "Scheduler",
+]
+
+
+class TaskStatus(Enum):
+    """Observable state of a simulated thread."""
+
+    READY = auto()     #: can take a step right now
+    BLOCKED = auto()   #: waiting for a message / request completion
+    DONE = auto()      #: finished executing
+
+
+class Task(ABC):
+    """A simulated thread.
+
+    Concrete tasks are provided by the program interpreter
+    (:class:`repro.program.interpreter.ThreadTask`) and, in tests, by small
+    hand-written tasks.  A task must be *passive*: ``step`` performs exactly
+    one atomic action against the runtime and returns.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abstractmethod
+    def status(self, runtime: McapiRuntime) -> TaskStatus:
+        """Report whether the task can currently take a step."""
+
+    @abstractmethod
+    def step(self, runtime: McapiRuntime) -> None:
+        """Perform one atomic step (only called when status() is READY)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name}>"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One scheduler choice: either run a task or deliver a message."""
+
+    kind: str                      # "run" | "deliver"
+    task_name: Optional[str] = None
+    message_id: Optional[int] = None
+
+    @staticmethod
+    def run(task: Task) -> "Action":
+        return Action(kind="run", task_name=task.name)
+
+    @staticmethod
+    def deliver(record: InTransitMessage) -> "Action":
+        return Action(kind="deliver", message_id=record.message_id)
+
+    def key(self) -> Tuple[str, object]:
+        return (self.kind, self.task_name if self.kind == "run" else self.message_id)
+
+    def __str__(self) -> str:
+        if self.kind == "run":
+            return f"run({self.task_name})"
+        return f"deliver(msg#{self.message_id})"
+
+
+@dataclass
+class RunResult:
+    """Outcome of driving a set of tasks to completion (or deadlock)."""
+
+    schedule: List[Action] = field(default_factory=list)
+    steps: int = 0
+    deadlocked: bool = False
+    blocked_tasks: List[str] = field(default_factory=list)
+    completed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and not self.deadlocked
+
+
+class SchedulingStrategy(ABC):
+    """Picks one of the currently enabled actions."""
+
+    @abstractmethod
+    def choose(self, actions: Sequence[Action], step: int) -> Action:
+        """Return one element of ``actions`` (which is never empty)."""
+
+
+class RandomStrategy(SchedulingStrategy):
+    """Uniformly random choice — models arbitrary OS scheduling and delays."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = DeterministicRNG(seed)
+
+    def choose(self, actions: Sequence[Action], step: int) -> Action:
+        return self._rng.choice(list(actions))
+
+
+class RoundRobinStrategy(SchedulingStrategy):
+    """Cycle through tasks; deliver messages when no task can run."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, actions: Sequence[Action], step: int) -> Action:
+        runs = [a for a in actions if a.kind == "run"]
+        if runs:
+            names = sorted({a.task_name for a in runs})
+            chosen_name = names[self._cursor % len(names)]
+            self._cursor += 1
+            for action in runs:
+                if action.task_name == chosen_name:
+                    return action
+            return runs[0]
+        return actions[0]
+
+
+class DeliveryEagerStrategy(SchedulingStrategy):
+    """Always deliver in-flight messages before running any thread.
+
+    Under the :class:`repro.mcapi.network.ImmediateDelivery` policy this
+    reproduces the delay-free behaviour assumed by MCC.
+    """
+
+    def __init__(self, inner: Optional[SchedulingStrategy] = None) -> None:
+        self._inner = inner or RoundRobinStrategy()
+
+    def choose(self, actions: Sequence[Action], step: int) -> Action:
+        deliveries = [a for a in actions if a.kind == "deliver"]
+        if deliveries:
+            return min(deliveries, key=lambda a: a.message_id)
+        return self._inner.choose(actions, step)
+
+
+class ReplayStrategy(SchedulingStrategy):
+    """Replay a fixed schedule (used to replay SMT witnesses and DPOR paths).
+
+    Actions are matched by their :meth:`Action.key`.  If the recorded action
+    is not currently enabled a :class:`repro.utils.errors.McapiError` is
+    raised — the schedule being replayed is not feasible.
+    """
+
+    def __init__(self, schedule: Sequence[Action]) -> None:
+        self._schedule = list(schedule)
+        self._cursor = 0
+
+    def choose(self, actions: Sequence[Action], step: int) -> Action:
+        if self._cursor >= len(self._schedule):
+            raise McapiError("replay schedule exhausted but actions remain")
+        wanted = self._schedule[self._cursor]
+        self._cursor += 1
+        for action in actions:
+            if action.key() == wanted.key():
+                return action
+        raise McapiError(f"replayed action {wanted} is not enabled at step {step}")
+
+
+class Scheduler:
+    """Drives tasks and network deliveries to completion."""
+
+    def __init__(
+        self,
+        runtime: McapiRuntime,
+        tasks: Sequence[Task],
+        strategy: Optional[SchedulingStrategy] = None,
+        max_steps: int = 100_000,
+        observer: Optional[Callable[[Action], None]] = None,
+    ) -> None:
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise McapiError(f"duplicate task names: {names}")
+        self.runtime = runtime
+        self.tasks: Dict[str, Task] = {t.name: t for t in tasks}
+        self.strategy = strategy or RandomStrategy()
+        self.max_steps = max_steps
+        self.observer = observer
+
+    # ------------------------------------------------------------------ main loop
+
+    def enabled_actions(self) -> List[Action]:
+        """All actions that could be performed right now."""
+        actions: List[Action] = []
+        for task in self.tasks.values():
+            if task.status(self.runtime) is TaskStatus.READY:
+                actions.append(Action.run(task))
+        for record in self.runtime.deliverable_messages():
+            actions.append(Action.deliver(record))
+        return actions
+
+    def perform(self, action: Action) -> None:
+        """Execute one action against the runtime."""
+        if action.kind == "run":
+            task = self.tasks[action.task_name]
+            task.step(self.runtime)
+        elif action.kind == "deliver":
+            record = self.runtime.network.find(action.message_id)
+            self.runtime.deliver(record)
+        else:  # pragma: no cover - defensive
+            raise McapiError(f"unknown action kind {action.kind}")
+        self.runtime.advance_step()
+        if self.observer is not None:
+            self.observer(action)
+
+    def run(self) -> RunResult:
+        """Run until every task is done, a deadlock occurs, or steps run out."""
+        result = RunResult()
+        while result.steps < self.max_steps:
+            statuses = {
+                name: task.status(self.runtime) for name, task in self.tasks.items()
+            }
+            if all(status is TaskStatus.DONE for status in statuses.values()):
+                result.completed = True
+                return result
+            actions = self.enabled_actions()
+            if not actions and not self.runtime.quiescent():
+                # Messages are in flight but still held back by the delay
+                # model: let simulated time pass (an "idle tick") so they
+                # become deliverable, rather than declaring a deadlock.
+                self.runtime.advance_step()
+                result.steps += 1
+                continue
+            if not actions:
+                result.deadlocked = True
+                result.blocked_tasks = sorted(
+                    name
+                    for name, status in statuses.items()
+                    if status is TaskStatus.BLOCKED
+                )
+                return result
+            action = self.strategy.choose(actions, result.steps)
+            self.perform(action)
+            result.schedule.append(action)
+            result.steps += 1
+        raise McapiError(
+            f"scheduler exceeded max_steps={self.max_steps}; "
+            "the program may contain an unbounded loop"
+        )

@@ -1,0 +1,59 @@
+"""MCAPI status codes and API constants.
+
+The Multicore Association's MCAPI specification reports the outcome of every
+call through a status code.  The simulator mirrors the subset of codes that
+the connectionless-message API can produce; library code raises
+:class:`repro.utils.errors.McapiError` for outright API misuse (which in the
+C API would be undefined behaviour or an assertion).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class McapiStatus(Enum):
+    """Status codes returned by MCAPI calls (subset relevant to messages)."""
+
+    SUCCESS = auto()
+    PENDING = auto()
+    TIMEOUT = auto()
+    ERR_NODE_INITFAILED = auto()
+    ERR_NODE_INITIALIZED = auto()
+    ERR_NODE_NOTINIT = auto()
+    ERR_ENDP_INVALID = auto()
+    ERR_ENDP_EXISTS = auto()
+    ERR_ENDP_NOTOWNER = auto()
+    ERR_PORT_INVALID = auto()
+    ERR_MSG_TRUNCATED = auto()
+    ERR_MSG_LIMIT = auto()
+    ERR_TRANSMISSION = auto()
+    ERR_REQUEST_INVALID = auto()
+    ERR_REQUEST_CANCELLED = auto()
+    ERR_PARAMETER = auto()
+    ERR_QUEUE_EMPTY = auto()
+    ERR_QUEUE_FULL = auto()
+
+    @property
+    def is_success(self) -> bool:
+        return self is McapiStatus.SUCCESS
+
+    @property
+    def is_error(self) -> bool:
+        return self not in (McapiStatus.SUCCESS, McapiStatus.PENDING)
+
+
+#: Highest (most urgent) message priority.  MCAPI priorities run from 0
+#: (highest) to ``MCAPI_MAX_PRIORITY`` (lowest).
+MCAPI_MAX_PRIORITY = 7
+
+#: Maximum connectionless message size accepted by the simulator, in bytes.
+#: (The real implementation advertises this through mcapi_msg_available /
+#: attributes; we pick the reference implementation's default.)
+MCAPI_MAX_MSG_SIZE = 4096
+
+#: Value used for infinite timeouts in ``wait`` calls.
+MCAPI_TIMEOUT_INFINITE = 0xFFFFFFFF
+
+#: The "any port" wildcard used by ``endpoint_create``.
+MCAPI_PORT_ANY = 0xFFFFFFFF

@@ -1,0 +1,561 @@
+"""The MCAPI program modelling language.
+
+The paper's subject programs (Figure 1) are small multi-threaded programs
+whose threads exchange messages through MCAPI endpoints and branch on the
+values they receive.  This module defines the abstract syntax for such
+programs:
+
+* an **expression** language over integer locals, constants, arithmetic and
+  comparisons (rich enough for the branch conditions and assertions the
+  technique path-constrains), and
+* a **statement** language with assignment, blocking send/receive,
+  non-blocking receive plus wait, conditionals, bounded loops and
+  assertions.
+
+Every thread owns one MCAPI endpoint by default (named after the thread), so
+`"t0"` can be used directly as a send destination exactly like the
+``send(Y):t0`` notation in the paper's Figure 1; additional named endpoints
+can be declared explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.smt.terms import (
+    Add,
+    And as SmtAnd,
+    Eq as SmtEq,
+    Ge as SmtGe,
+    Gt as SmtGt,
+    IntVal,
+    IntVar,
+    Le as SmtLe,
+    Lt as SmtLt,
+    Mul as SmtMul,
+    Ne as SmtNe,
+    Neg as SmtNeg,
+    Not as SmtNot,
+    Or as SmtOr,
+    Sub as SmtSub,
+    Term,
+)
+from repro.utils.errors import ProgramError
+
+__all__ = [
+    "Expression",
+    "Const",
+    "VarRef",
+    "BinOp",
+    "UnaryOp",
+    "V",
+    "C",
+    "Statement",
+    "Assign",
+    "Send",
+    "Receive",
+    "ReceiveNonblocking",
+    "Wait",
+    "If",
+    "While",
+    "Assertion",
+    "Skip",
+    "ThreadDef",
+    "Program",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+_ARITH_OPS = {"+", "-", "*"}
+_COMPARE_OPS = {"==", "!=", "<", "<=", ">", ">="}
+_BOOL_OPS = {"and", "or"}
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for program expressions."""
+
+    def evaluate(self, env: Dict[str, int]) -> Union[int, bool]:
+        """Evaluate under a concrete environment of local variables."""
+        raise NotImplementedError
+
+    def to_smt(self, symbolic_env: Dict[str, Term]) -> Term:
+        """Translate to an SMT term, substituting locals from ``symbolic_env``."""
+        raise NotImplementedError
+
+    def variables(self) -> Tuple[str, ...]:
+        """Names of the locals read by this expression."""
+        raise NotImplementedError
+
+    # Operator sugar so workloads read naturally: V("x") + 1 < V("y").
+    def _wrap(self, other: Union["Expression", int]) -> "Expression":
+        if isinstance(other, Expression):
+            return other
+        if isinstance(other, bool) or not isinstance(other, int):
+            raise ProgramError(f"cannot use {other!r} in a program expression")
+        return Const(other)
+
+    def __add__(self, other):
+        return BinOp("+", self, self._wrap(other))
+
+    def __radd__(self, other):
+        return BinOp("+", self._wrap(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, self._wrap(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", self._wrap(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, self._wrap(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", self._wrap(other), self)
+
+    def __neg__(self):
+        return UnaryOp("-", self)
+
+    def eq(self, other):
+        return BinOp("==", self, self._wrap(other))
+
+    def ne(self, other):
+        return BinOp("!=", self, self._wrap(other))
+
+    def __lt__(self, other):
+        return BinOp("<", self, self._wrap(other))
+
+    def __le__(self, other):
+        return BinOp("<=", self, self._wrap(other))
+
+    def __gt__(self, other):
+        return BinOp(">", self, self._wrap(other))
+
+    def __ge__(self, other):
+        return BinOp(">=", self, self._wrap(other))
+
+    def and_(self, other):
+        return BinOp("and", self, self._wrap(other))
+
+    def or_(self, other):
+        return BinOp("or", self, self._wrap(other))
+
+    def not_(self):
+        return UnaryOp("not", self)
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """An integer constant."""
+
+    value: int
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        return self.value
+
+    def to_smt(self, symbolic_env: Dict[str, Term]) -> Term:
+        return IntVal(self.value)
+
+    def variables(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expression):
+    """A reference to a thread-local variable."""
+
+    name: str
+
+    def evaluate(self, env: Dict[str, int]) -> Union[int, bool]:
+        if self.name not in env:
+            raise ProgramError(f"variable {self.name!r} read before assignment")
+        return env[self.name]
+
+    def to_smt(self, symbolic_env: Dict[str, Term]) -> Term:
+        if self.name not in symbolic_env:
+            raise ProgramError(f"variable {self.name!r} has no symbolic value")
+        return symbolic_env[self.name]
+
+    def variables(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expression):
+    """A binary operation (arithmetic, comparison or Boolean connective)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS | _COMPARE_OPS | _BOOL_OPS:
+            raise ProgramError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, env: Dict[str, int]) -> Union[int, bool]:
+        lhs = self.left.evaluate(env)
+        rhs = self.right.evaluate(env)
+        op = self.op
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        if op == "and":
+            return bool(lhs) and bool(rhs)
+        if op == "or":
+            return bool(lhs) or bool(rhs)
+        raise ProgramError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def to_smt(self, symbolic_env: Dict[str, Term]) -> Term:
+        lhs = self.left.to_smt(symbolic_env)
+        rhs = self.right.to_smt(symbolic_env)
+        op = self.op
+        if op == "+":
+            return Add(lhs, rhs)
+        if op == "-":
+            return SmtSub(lhs, rhs)
+        if op == "*":
+            # Linear multiplication only: one side must be a constant.
+            return SmtMul(lhs, rhs)
+        if op == "==":
+            return SmtEq(lhs, rhs)
+        if op == "!=":
+            return SmtNe(lhs, rhs)
+        if op == "<":
+            return SmtLt(lhs, rhs)
+        if op == "<=":
+            return SmtLe(lhs, rhs)
+        if op == ">":
+            return SmtGt(lhs, rhs)
+        if op == ">=":
+            return SmtGe(lhs, rhs)
+        if op == "and":
+            return SmtAnd(lhs, rhs)
+        if op == "or":
+            return SmtOr(lhs, rhs)
+        raise ProgramError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self.left.variables() + self.right.variables()))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary negation (arithmetic ``-`` or Boolean ``not``)."""
+
+    op: str
+    operand: Expression
+
+    def __post_init__(self):
+        if self.op not in ("-", "not"):
+            raise ProgramError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, env: Dict[str, int]) -> Union[int, bool]:
+        value = self.operand.evaluate(env)
+        if self.op == "-":
+            return -value
+        return not bool(value)
+
+    def to_smt(self, symbolic_env: Dict[str, Term]) -> Term:
+        term = self.operand.to_smt(symbolic_env)
+        if self.op == "-":
+            return SmtNeg(term)
+        return SmtNot(term)
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+def V(name: str) -> VarRef:
+    """Shorthand for a variable reference."""
+    return VarRef(name)
+
+
+def C(value: int) -> Const:
+    """Shorthand for an integer constant."""
+    return Const(value)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for program statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``variable := expression``."""
+
+    variable: str
+    expression: Expression
+
+    def __str__(self) -> str:
+        return f"{self.variable} := {self.expression}"
+
+
+@dataclass(frozen=True)
+class Send(Statement):
+    """Send ``expression`` to ``destination`` (a thread or endpoint name)."""
+
+    destination: str
+    expression: Expression
+    blocking: bool = True
+    priority: int = 0
+
+    def __str__(self) -> str:
+        suffix = "" if self.blocking else "_i"
+        return f"send{suffix}({self.expression}) -> {self.destination}"
+
+
+@dataclass(frozen=True)
+class Receive(Statement):
+    """Blocking receive into ``variable`` (on the thread's own endpoint by
+    default, or a named endpoint)."""
+
+    variable: str
+    endpoint: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" on {self.endpoint}" if self.endpoint else ""
+        return f"{self.variable} := recv(){where}"
+
+
+@dataclass(frozen=True)
+class ReceiveNonblocking(Statement):
+    """Issue a non-blocking receive; the value becomes available at the
+    corresponding :class:`Wait` on the same ``handle``."""
+
+    variable: str
+    handle: str
+    endpoint: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" on {self.endpoint}" if self.endpoint else ""
+        return f"{self.handle} := recv_i({self.variable}){where}"
+
+
+@dataclass(frozen=True)
+class Wait(Statement):
+    """Block until the non-blocking receive identified by ``handle`` completes."""
+
+    handle: str
+
+    def __str__(self) -> str:
+        return f"wait({self.handle})"
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """Conditional; both branches are sequences of statements."""
+
+    condition: Expression
+    then_body: Tuple[Statement, ...] = ()
+    else_body: Tuple[Statement, ...] = ()
+
+    def __init__(self, condition, then_body=(), else_body=()):
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "then_body", tuple(then_body))
+        object.__setattr__(self, "else_body", tuple(else_body))
+
+    def __str__(self) -> str:
+        return f"if {self.condition} then [{len(self.then_body)}] else [{len(self.else_body)}]"
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    """A loop; iterations are bounded by the scheduler's step budget."""
+
+    condition: Expression
+    body: Tuple[Statement, ...] = ()
+
+    def __init__(self, condition, body=()):
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "body", tuple(body))
+
+    def __str__(self) -> str:
+        return f"while {self.condition} do [{len(self.body)}]"
+
+
+@dataclass(frozen=True)
+class Assertion(Statement):
+    """A safety assertion; violated assertions are the bugs the verifier hunts."""
+
+    condition: Expression
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        name = f" {self.label!r}" if self.label else ""
+        return f"assert{name} {self.condition}"
+
+
+@dataclass(frozen=True)
+class Skip(Statement):
+    """A no-op (useful as a placeholder in generated workloads)."""
+
+    note: str = ""
+
+    def __str__(self) -> str:
+        return f"skip({self.note})" if self.note else "skip"
+
+
+# ---------------------------------------------------------------------------
+# Threads and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ThreadDef:
+    """A thread: a name and a sequence of statements."""
+
+    name: str
+    body: Tuple[Statement, ...] = ()
+
+    def __init__(self, name: str, body: Sequence[Statement] = ()):
+        self.name = name
+        self.body = tuple(body)
+
+    def statements(self) -> Tuple[Statement, ...]:
+        return self.body
+
+
+@dataclass
+class Program:
+    """A closed MCAPI program: a set of threads plus endpoint declarations.
+
+    ``extra_endpoints`` maps endpoint names to the thread that owns them (a
+    thread may own several endpoints; each becomes a distinct MCAPI port on
+    that thread's node).
+    """
+
+    name: str
+    threads: List[ThreadDef] = field(default_factory=list)
+    extra_endpoints: Dict[str, str] = field(default_factory=dict)
+
+    def thread_names(self) -> List[str]:
+        return [t.name for t in self.threads]
+
+    def get_thread(self, name: str) -> ThreadDef:
+        for thread in self.threads:
+            if thread.name == name:
+                return thread
+        raise ProgramError(f"no thread named {name!r} in program {self.name!r}")
+
+    def endpoint_names(self) -> List[str]:
+        """All endpoint names: one per thread plus the extra ones."""
+        return self.thread_names() + list(self.extra_endpoints)
+
+    def owner_of_endpoint(self, endpoint_name: str) -> str:
+        if endpoint_name in self.thread_names():
+            return endpoint_name
+        if endpoint_name in self.extra_endpoints:
+            return self.extra_endpoints[endpoint_name]
+        raise ProgramError(f"unknown endpoint {endpoint_name!r}")
+
+    def validate(self) -> None:
+        """Static well-formedness checks; raises :class:`ProgramError`."""
+        names = self.thread_names()
+        if len(names) != len(set(names)):
+            raise ProgramError(f"duplicate thread names in {self.name!r}")
+        if not self.threads:
+            raise ProgramError("a program needs at least one thread")
+        for endpoint, owner in self.extra_endpoints.items():
+            if owner not in names:
+                raise ProgramError(
+                    f"endpoint {endpoint!r} is owned by unknown thread {owner!r}"
+                )
+            if endpoint in names:
+                raise ProgramError(
+                    f"endpoint name {endpoint!r} clashes with a thread name"
+                )
+        valid_destinations = set(self.endpoint_names())
+        for thread in self.threads:
+            self._validate_body(thread, thread.body, valid_destinations)
+
+    def _validate_body(
+        self, thread: ThreadDef, body: Sequence[Statement], destinations: set
+    ) -> None:
+        handles: set = set()
+        self._collect_handles(body, handles)
+        for statement in body:
+            if isinstance(statement, Send):
+                if statement.destination not in destinations:
+                    raise ProgramError(
+                        f"thread {thread.name!r} sends to unknown endpoint "
+                        f"{statement.destination!r}"
+                    )
+            elif isinstance(statement, (Receive, ReceiveNonblocking)):
+                if statement.endpoint is not None and statement.endpoint not in destinations:
+                    raise ProgramError(
+                        f"thread {thread.name!r} receives on unknown endpoint "
+                        f"{statement.endpoint!r}"
+                    )
+            elif isinstance(statement, Wait):
+                if statement.handle not in handles:
+                    raise ProgramError(
+                        f"thread {thread.name!r} waits on unknown handle "
+                        f"{statement.handle!r}"
+                    )
+            elif isinstance(statement, If):
+                self._validate_body(thread, statement.then_body, destinations)
+                self._validate_body(thread, statement.else_body, destinations)
+            elif isinstance(statement, While):
+                self._validate_body(thread, statement.body, destinations)
+
+    def _collect_handles(self, body: Sequence[Statement], handles: set) -> None:
+        for statement in body:
+            if isinstance(statement, ReceiveNonblocking):
+                handles.add(statement.handle)
+            elif isinstance(statement, If):
+                self._collect_handles(statement.then_body, handles)
+                self._collect_handles(statement.else_body, handles)
+            elif isinstance(statement, While):
+                self._collect_handles(statement.body, handles)
+
+    def statement_count(self) -> int:
+        """Total number of statements (for reporting)."""
+
+        def count(body: Sequence[Statement]) -> int:
+            total = 0
+            for statement in body:
+                total += 1
+                if isinstance(statement, If):
+                    total += count(statement.then_body) + count(statement.else_body)
+                elif isinstance(statement, While):
+                    total += count(statement.body)
+            return total
+
+        return sum(count(t.body) for t in self.threads)

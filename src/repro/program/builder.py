@@ -1,0 +1,154 @@
+"""A fluent builder for MCAPI programs.
+
+The AST in :mod:`repro.program.ast` is convenient for tools; this builder is
+convenient for humans.  The paper's Figure 1 program reads almost verbatim::
+
+    builder = ProgramBuilder("figure1")
+    t0 = builder.thread("t0")
+    t0.recv("A")
+    t0.recv("B")
+    t1 = builder.thread("t1")
+    t1.recv("C")
+    t1.send("t0", X)
+    t2 = builder.thread("t2")
+    t2.send("t0", Y)
+    t2.send("t1", Z)
+    program = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.program.ast import (
+    Assertion,
+    Assign,
+    C,
+    Const,
+    Expression,
+    If,
+    Program,
+    Receive,
+    ReceiveNonblocking,
+    Send,
+    Skip,
+    Statement,
+    ThreadDef,
+    V,
+    Wait,
+    While,
+)
+from repro.utils.errors import ProgramError
+
+__all__ = ["ProgramBuilder", "ThreadBuilder"]
+
+
+ExprLike = Union[Expression, int]
+
+
+def _expr(value: ExprLike) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProgramError(f"expected an expression or int, got {value!r}")
+    return Const(value)
+
+
+class ThreadBuilder:
+    """Accumulates the statements of one thread."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._body: List[Statement] = []
+
+    # -- plain statements --------------------------------------------------------
+
+    def assign(self, variable: str, expression: ExprLike) -> "ThreadBuilder":
+        self._body.append(Assign(variable, _expr(expression)))
+        return self
+
+    def send(
+        self, destination: str, payload: ExprLike, blocking: bool = True, priority: int = 0
+    ) -> "ThreadBuilder":
+        self._body.append(Send(destination, _expr(payload), blocking=blocking, priority=priority))
+        return self
+
+    def recv(self, variable: str, endpoint: Optional[str] = None) -> "ThreadBuilder":
+        self._body.append(Receive(variable, endpoint=endpoint))
+        return self
+
+    def recv_i(
+        self, variable: str, handle: Optional[str] = None, endpoint: Optional[str] = None
+    ) -> "ThreadBuilder":
+        handle = handle or f"req_{variable}"
+        self._body.append(ReceiveNonblocking(variable, handle, endpoint=endpoint))
+        return self
+
+    def wait(self, handle: str) -> "ThreadBuilder":
+        self._body.append(Wait(handle))
+        return self
+
+    def assertion(self, condition: Expression, label: Optional[str] = None) -> "ThreadBuilder":
+        self._body.append(Assertion(condition, label=label))
+        return self
+
+    def skip(self, note: str = "") -> "ThreadBuilder":
+        self._body.append(Skip(note))
+        return self
+
+    # -- control flow ------------------------------------------------------------
+
+    def if_(
+        self,
+        condition: Expression,
+        then: Sequence[Statement] = (),
+        orelse: Sequence[Statement] = (),
+    ) -> "ThreadBuilder":
+        self._body.append(If(condition, tuple(then), tuple(orelse)))
+        return self
+
+    def while_(self, condition: Expression, body: Sequence[Statement] = ()) -> "ThreadBuilder":
+        self._body.append(While(condition, tuple(body)))
+        return self
+
+    def raw(self, statement: Statement) -> "ThreadBuilder":
+        """Append an already-constructed statement."""
+        self._body.append(statement)
+        return self
+
+    def build(self) -> ThreadDef:
+        return ThreadDef(self.name, tuple(self._body))
+
+
+class ProgramBuilder:
+    """Accumulates threads and endpoints into a :class:`Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._threads: List[ThreadBuilder] = []
+        self._extra_endpoints: Dict[str, str] = {}
+
+    def thread(self, name: str) -> ThreadBuilder:
+        """Declare a new thread (and its implicit endpoint of the same name)."""
+        if any(t.name == name for t in self._threads):
+            raise ProgramError(f"thread {name!r} declared twice")
+        builder = ThreadBuilder(name)
+        self._threads.append(builder)
+        return builder
+
+    def endpoint(self, name: str, owner: str) -> "ProgramBuilder":
+        """Declare an extra named endpoint owned by thread ``owner``."""
+        if name in self._extra_endpoints:
+            raise ProgramError(f"endpoint {name!r} declared twice")
+        self._extra_endpoints[name] = owner
+        return self
+
+    def build(self, validate: bool = True) -> Program:
+        program = Program(
+            name=self.name,
+            threads=[t.build() for t in self._threads],
+            extra_endpoints=dict(self._extra_endpoints),
+        )
+        if validate:
+            program.validate()
+        return program

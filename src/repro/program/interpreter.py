@@ -1,0 +1,388 @@
+"""Concrete (concolic) interpretation of MCAPI programs.
+
+The interpreter runs a :class:`repro.program.ast.Program` on the MCAPI
+runtime simulator under a scheduling strategy and records an execution trace.
+Execution is *concolic*: every thread keeps
+
+* a **concrete** environment (variable -> int) used to decide branches and
+  to drive the actual run, and
+* a **symbolic** environment (variable -> SMT term over the per-receive
+  value symbols) used to label trace events.
+
+Because the symbolic environment substitutes eagerly, the expressions stored
+in the trace (send payloads, branch conditions, assertion conditions) are
+already closed over the receive symbols — exactly the form the encoder's
+``PEvents`` / ``PProp`` / ``match`` constraints need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mcapi.endpoint import EndpointId
+from repro.mcapi.network import DeliveryPolicy, UnorderedDelivery
+from repro.mcapi.requests import Request
+from repro.mcapi.runtime import McapiRuntime
+from repro.mcapi.scheduler import (
+    RandomStrategy,
+    RunResult,
+    Scheduler,
+    SchedulingStrategy,
+    Task,
+    TaskStatus,
+)
+from repro.program.ast import (
+    Assertion,
+    Assign,
+    Expression,
+    If,
+    Program,
+    Receive,
+    ReceiveNonblocking,
+    Send,
+    Skip,
+    Statement,
+    ThreadDef,
+    Wait,
+    While,
+)
+from repro.smt.terms import IntVal, IntVar, Term
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import ProgramError
+
+__all__ = ["AssertionFailure", "ProgramRun", "ProgramRunner", "ThreadTask"]
+
+
+@dataclass(frozen=True)
+class AssertionFailure:
+    """A program assertion that evaluated to False during the concrete run."""
+
+    thread: str
+    label: Optional[str]
+    event_id: int
+    condition: str
+
+
+@dataclass
+class ProgramRun:
+    """Everything produced by one concrete execution of a program."""
+
+    program: Program
+    trace: ExecutionTrace
+    result: RunResult
+    assertion_failures: List[AssertionFailure] = field(default_factory=list)
+    final_environments: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.result.deadlocked
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok and not self.assertion_failures
+
+
+@dataclass
+class _PendingReceive:
+    request: Request
+    recv_id: int
+    variable: str
+
+
+class ThreadTask(Task):
+    """One program thread driven by the scheduler, one statement per step."""
+
+    def __init__(
+        self,
+        thread: ThreadDef,
+        endpoints: Dict[str, EndpointId],
+        own_endpoint: EndpointId,
+        trace_builder: TraceBuilder,
+        message_to_send_id: Dict[int, int],
+    ) -> None:
+        super().__init__(thread.name)
+        self._endpoints = endpoints
+        self._own_endpoint = own_endpoint
+        self._builder = trace_builder
+        self._message_to_send_id = message_to_send_id
+        # The continuation stack holds statements still to execute; the next
+        # statement is the last element.
+        self._stack: List[Statement] = list(reversed(thread.body))
+        self.env: Dict[str, int] = {}
+        self.symbolic_env: Dict[str, Term] = {}
+        self._handles: Dict[str, _PendingReceive] = {}
+        self.assertion_failures: List[AssertionFailure] = []
+
+    # ------------------------------------------------------------------ helpers
+
+    def _endpoint_for(self, name: Optional[str]) -> EndpointId:
+        if name is None:
+            return self._own_endpoint
+        if name not in self._endpoints:
+            raise ProgramError(f"unknown endpoint {name!r}")
+        return self._endpoints[name]
+
+    def _peek(self) -> Optional[Statement]:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------ Task API
+
+    def status(self, runtime: McapiRuntime) -> TaskStatus:
+        statement = self._peek()
+        if statement is None:
+            return TaskStatus.DONE
+        if isinstance(statement, Receive):
+            endpoint = self._endpoint_for(statement.endpoint)
+            if runtime.msg_available(endpoint) == 0:
+                return TaskStatus.BLOCKED
+        elif isinstance(statement, Wait):
+            pending = self._handles.get(statement.handle)
+            if pending is None:
+                raise ProgramError(
+                    f"thread {self.name!r} waits on unknown handle {statement.handle!r}"
+                )
+            if not pending.request.completed:
+                return TaskStatus.BLOCKED
+        return TaskStatus.READY
+
+    def step(self, runtime: McapiRuntime) -> None:
+        statement = self._stack.pop() if self._stack else None
+        if statement is None:
+            raise ProgramError(f"thread {self.name!r} stepped after completion")
+        self._execute(statement, runtime)
+
+    # ------------------------------------------------------------------ execution
+
+    def _execute(self, statement: Statement, runtime: McapiRuntime) -> None:
+        if isinstance(statement, Assign):
+            self._exec_assign(statement)
+        elif isinstance(statement, Send):
+            self._exec_send(statement, runtime)
+        elif isinstance(statement, Receive):
+            self._exec_receive(statement, runtime)
+        elif isinstance(statement, ReceiveNonblocking):
+            self._exec_receive_nonblocking(statement, runtime)
+        elif isinstance(statement, Wait):
+            self._exec_wait(statement)
+        elif isinstance(statement, If):
+            self._exec_if(statement)
+        elif isinstance(statement, While):
+            self._exec_while(statement)
+        elif isinstance(statement, Assertion):
+            self._exec_assert(statement)
+        elif isinstance(statement, Skip):
+            self._builder.local(self.name, statement.note or "skip")
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unknown statement {statement!r}")
+
+    def _exec_assign(self, statement: Assign) -> None:
+        value = statement.expression.evaluate(self.env)
+        symbolic = statement.expression.to_smt(self.symbolic_env)
+        self.env[statement.variable] = int(value)
+        self.symbolic_env[statement.variable] = symbolic
+        self._builder.assign(
+            self.name, statement.variable, symbolic, observed_value=int(value)
+        )
+
+    def _exec_send(self, statement: Send, runtime: McapiRuntime) -> None:
+        value = int(statement.expression.evaluate(self.env))
+        symbolic = statement.expression.to_smt(self.symbolic_env)
+        destination = self._endpoint_for(statement.destination)
+        message = runtime.msg_send(
+            source=self._own_endpoint,
+            destination=destination,
+            payload=value,
+            priority=statement.priority,
+            sender_thread=self.name,
+        )
+        event = self._builder.send(
+            thread=self.name,
+            source=self._own_endpoint,
+            destination=destination,
+            payload_value=value,
+            payload_expr=symbolic,
+            blocking=statement.blocking,
+            message_id=message.message_id,
+        )
+        self._message_to_send_id[message.message_id] = event.send_id
+
+    def _exec_receive(self, statement: Receive, runtime: McapiRuntime) -> None:
+        endpoint = self._endpoint_for(statement.endpoint)
+        message = runtime.msg_recv_try(endpoint, receiver_thread=self.name)
+        if message is None:
+            # The scheduler only steps READY tasks, so this cannot happen in a
+            # scheduled run; guard anyway for direct use in tests.
+            raise ProgramError(
+                f"blocking receive in {self.name!r} stepped with an empty queue"
+            )
+        observed_send = self._message_to_send_id.get(message.message_id)
+        event = self._builder.receive(
+            thread=self.name,
+            endpoint=endpoint,
+            target_variable=statement.variable,
+            observed_value=message.payload,
+            observed_send_id=observed_send,
+        )
+        self.env[statement.variable] = int(message.payload)
+        self.symbolic_env[statement.variable] = IntVar(event.value_symbol)
+
+    def _exec_receive_nonblocking(
+        self, statement: ReceiveNonblocking, runtime: McapiRuntime
+    ) -> None:
+        endpoint = self._endpoint_for(statement.endpoint)
+        request = runtime.msg_recv_i(endpoint, receiver_thread=self.name)
+        event = self._builder.receive_init(
+            thread=self.name,
+            endpoint=endpoint,
+            target_variable=statement.variable,
+            request_id=request.request_id,
+        )
+        if statement.handle in self._handles:
+            raise ProgramError(
+                f"handle {statement.handle!r} reused before wait in {self.name!r}"
+            )
+        self._handles[statement.handle] = _PendingReceive(
+            request=request, recv_id=event.recv_id, variable=statement.variable
+        )
+
+    def _exec_wait(self, statement: Wait) -> None:
+        pending = self._handles.pop(statement.handle, None)
+        if pending is None:
+            raise ProgramError(
+                f"thread {self.name!r} waits on unknown handle {statement.handle!r}"
+            )
+        message = pending.request.take_message()
+        observed_send = self._message_to_send_id.get(message.message_id)
+        self._builder.wait(
+            thread=self.name,
+            recv_id=pending.recv_id,
+            request_id=pending.request.request_id,
+            observed_value=message.payload,
+            observed_send_id=observed_send,
+        )
+        symbol = self._builder.fresh_recv_symbol(pending.recv_id)
+        self.env[pending.variable] = int(message.payload)
+        self.symbolic_env[pending.variable] = IntVar(symbol)
+
+    def _exec_if(self, statement: If) -> None:
+        outcome = bool(statement.condition.evaluate(self.env))
+        symbolic = statement.condition.to_smt(self.symbolic_env)
+        self._builder.branch(self.name, symbolic, outcome)
+        body = statement.then_body if outcome else statement.else_body
+        for nested in reversed(body):
+            self._stack.append(nested)
+
+    def _exec_while(self, statement: While) -> None:
+        outcome = bool(statement.condition.evaluate(self.env))
+        symbolic = statement.condition.to_smt(self.symbolic_env)
+        self._builder.branch(self.name, symbolic, outcome)
+        if outcome:
+            self._stack.append(statement)
+            for nested in reversed(statement.body):
+                self._stack.append(nested)
+
+    def _exec_assert(self, statement: Assertion) -> None:
+        outcome = bool(statement.condition.evaluate(self.env))
+        symbolic = statement.condition.to_smt(self.symbolic_env)
+        event = self._builder.assertion(
+            self.name, symbolic, observed_outcome=outcome, label=statement.label
+        )
+        if not outcome:
+            self.assertion_failures.append(
+                AssertionFailure(
+                    thread=self.name,
+                    label=statement.label,
+                    event_id=event.event_id,
+                    condition=str(statement.condition),
+                )
+            )
+
+
+class ProgramRunner:
+    """Sets up the runtime, runs a program once, and returns its trace."""
+
+    def __init__(
+        self,
+        program: Program,
+        policy: Optional[DeliveryPolicy] = None,
+        strategy: Optional[SchedulingStrategy] = None,
+        seed: int = 0,
+        max_steps: int = 100_000,
+        trace_name: Optional[str] = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.policy = policy or UnorderedDelivery()
+        self.strategy = strategy or RandomStrategy(seed)
+        self.max_steps = max_steps
+        self.trace_name = trace_name or program.name
+
+    # ------------------------------------------------------------------ setup
+
+    def _setup(self) -> Tuple[McapiRuntime, Dict[str, EndpointId], List[ThreadTask], TraceBuilder]:
+        runtime = McapiRuntime(policy=self.policy)
+        endpoints: Dict[str, EndpointId] = {}
+        # One node and one default endpoint (port 0) per thread.
+        for index, thread in enumerate(self.program.threads):
+            runtime.initialize(index)
+            endpoints[thread.name] = runtime.endpoint_create(index, 0)
+        # Extra named endpoints become further ports on the owner's node.
+        next_port: Dict[str, int] = {t.name: 1 for t in self.program.threads}
+        thread_index = {t.name: i for i, t in enumerate(self.program.threads)}
+        for endpoint_name, owner in self.program.extra_endpoints.items():
+            port = next_port[owner]
+            next_port[owner] += 1
+            endpoints[endpoint_name] = runtime.endpoint_create(thread_index[owner], port)
+
+        builder = TraceBuilder(name=self.trace_name)
+        message_to_send_id: Dict[int, int] = {}
+        tasks = [
+            ThreadTask(
+                thread=thread,
+                endpoints=endpoints,
+                own_endpoint=endpoints[thread.name],
+                trace_builder=builder,
+                message_to_send_id=message_to_send_id,
+            )
+            for thread in self.program.threads
+        ]
+        return runtime, endpoints, tasks, builder
+
+    # ------------------------------------------------------------------ running
+
+    def run(self) -> ProgramRun:
+        """Execute the program once and return the recorded trace."""
+        runtime, _, tasks, builder = self._setup()
+        scheduler = Scheduler(
+            runtime=runtime,
+            tasks=tasks,
+            strategy=self.strategy,
+            max_steps=self.max_steps,
+        )
+        result = scheduler.run()
+        failures: List[AssertionFailure] = []
+        for task in tasks:
+            failures.extend(task.assertion_failures)
+        return ProgramRun(
+            program=self.program,
+            trace=builder.build(validate=not result.deadlocked),
+            result=result,
+            assertion_failures=failures,
+            final_environments={task.name: dict(task.env) for task in tasks},
+        )
+
+
+def run_program(
+    program: Program,
+    seed: int = 0,
+    policy: Optional[DeliveryPolicy] = None,
+    strategy: Optional[SchedulingStrategy] = None,
+    max_steps: int = 100_000,
+) -> ProgramRun:
+    """Convenience wrapper: run ``program`` once with the given seed/policy."""
+    runner = ProgramRunner(
+        program, policy=policy, strategy=strategy, seed=seed, max_steps=max_steps
+    )
+    return runner.run()

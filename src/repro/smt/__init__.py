@@ -1,0 +1,89 @@
+"""A self-contained SMT solving layer (QF_LIA / QF_IDL / QF_UF).
+
+The paper solves its generated problems with Yices; since this reproduction
+must be dependency-free, the package provides the full stack from scratch:
+
+* :mod:`repro.smt.terms` — the term language and smart constructors,
+* :mod:`repro.smt.simplify` — preprocessing rewrites,
+* :mod:`repro.smt.cnf` — Tseitin conversion to CNF,
+* :mod:`repro.smt.sat` — a CDCL SAT solver,
+* :mod:`repro.smt.theory` — difference logic, linear integer arithmetic and
+  congruence closure theory solvers,
+* :mod:`repro.smt.dpllt` — the lazy DPLL(T) loop,
+* :mod:`repro.smt.solver` — the public :class:`Solver` facade,
+* :mod:`repro.smt.smtlib` — SMT-LIB v2 export for cross-checking.
+"""
+
+from repro.smt.sorts import BOOL, INT, Sort, uninterpreted_sort
+from repro.smt.terms import (
+    Add,
+    And,
+    App,
+    BoolVal,
+    BoolVar,
+    Distinct,
+    Eq,
+    FALSE,
+    Function,
+    Ge,
+    Gt,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Ne,
+    Neg,
+    Not,
+    Or,
+    Sub,
+    Term,
+    TRUE,
+    Var,
+    Xor,
+)
+from repro.smt.models import Model
+from repro.smt.solver import CheckResult, Solver
+from repro.smt.smtlib import to_smtlib
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "Sort",
+    "uninterpreted_sort",
+    "Add",
+    "And",
+    "App",
+    "BoolVal",
+    "BoolVar",
+    "Distinct",
+    "Eq",
+    "FALSE",
+    "Function",
+    "Ge",
+    "Gt",
+    "Iff",
+    "Implies",
+    "IntVal",
+    "IntVar",
+    "Ite",
+    "Le",
+    "Lt",
+    "Mul",
+    "Ne",
+    "Neg",
+    "Not",
+    "Or",
+    "Sub",
+    "Term",
+    "TRUE",
+    "Var",
+    "Xor",
+    "Model",
+    "CheckResult",
+    "Solver",
+    "to_smtlib",
+]

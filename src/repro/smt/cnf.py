@@ -1,0 +1,185 @@
+"""Tseitin conversion of a Boolean formula to CNF over a SAT variable space.
+
+The converter builds the *Boolean abstraction* of an SMT formula: every atom
+(arithmetic comparison, Boolean variable, Boolean-valued uninterpreted
+application) is mapped to a propositional variable, and each compound
+connective gets a fresh definition variable together with its defining
+clauses.  The result is equisatisfiable with the input and only linearly
+larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.smt.terms import Term
+from repro.utils.errors import SolverError
+
+__all__ = ["CnfResult", "tseitin"]
+
+
+@dataclass
+class CnfResult:
+    """The output of a Tseitin conversion.
+
+    Attributes
+    ----------
+    clauses:
+        CNF clauses; literals are non-zero ints, variable indices start at 1.
+    num_vars:
+        Highest variable index allocated.
+    atom_to_var:
+        Maps each *atom* term to its propositional variable.  Definition
+        variables for internal connective nodes are not included.
+    var_to_atom:
+        Inverse of ``atom_to_var``.
+    """
+
+    clauses: List[List[int]] = field(default_factory=list)
+    num_vars: int = 0
+    atom_to_var: Dict[Term, int] = field(default_factory=dict)
+    var_to_atom: Dict[int, Term] = field(default_factory=dict)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "clauses": len(self.clauses),
+            "variables": self.num_vars,
+            "atoms": len(self.atom_to_var),
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+
+class _TseitinConverter:
+    def __init__(self) -> None:
+        self.result = CnfResult()
+        self._cache: Dict[Term, int] = {}
+
+    # -- variable allocation -------------------------------------------------
+
+    def _fresh_var(self) -> int:
+        self.result.num_vars += 1
+        return self.result.num_vars
+
+    def _atom_var(self, atom: Term) -> int:
+        existing = self.result.atom_to_var.get(atom)
+        if existing is not None:
+            return existing
+        var = self._fresh_var()
+        self.result.atom_to_var[atom] = var
+        self.result.var_to_atom[var] = atom
+        return var
+
+    def _clause(self, *lits: int) -> None:
+        self.result.clauses.append(list(lits))
+
+    # -- encoding --------------------------------------------------------------
+
+    def encode_assertion(self, term: Term) -> None:
+        """Assert ``term`` (add clauses forcing it to hold)."""
+        if term.is_true:
+            return
+        if term.is_false:
+            # An unsatisfiable assertion: encode as the empty-clause marker
+            # by forcing a fresh variable both ways.
+            var = self._fresh_var()
+            self._clause(var)
+            self._clause(-var)
+            return
+        # Top-level conjunctions are split, which avoids a definition
+        # variable per conjunct and keeps the CNF small for the (heavily
+        # conjunctive) trace encodings.
+        if term.kind == "and":
+            for child in term.args:
+                self.encode_assertion(child)
+            return
+        lit = self.literal(term)
+        self._clause(lit)
+
+    def literal(self, term: Term) -> int:
+        """Return a literal equivalent to ``term`` (defining it if needed)."""
+        if not term.sort.is_bool:
+            raise SolverError(f"expected Boolean term in CNF conversion: {term}")
+        if term in self._cache:
+            return self._cache[term]
+
+        kind = term.kind
+        if term.is_true or term.is_false:
+            var = self._fresh_var()
+            if term.is_true:
+                self._clause(var)
+            else:
+                self._clause(-var)
+            lit = var
+        elif term.is_atom:
+            lit = self._atom_var(term)
+        elif kind == "not":
+            lit = -self.literal(term.args[0])
+        elif kind == "and":
+            lit = self._define_and([self.literal(a) for a in term.args])
+        elif kind == "or":
+            lit = self._define_or([self.literal(a) for a in term.args])
+        elif kind == "implies":
+            a, b = term.args
+            lit = self._define_or([-self.literal(a), self.literal(b)])
+        elif kind == "iff":
+            lit = self._define_iff(self.literal(term.args[0]), self.literal(term.args[1]))
+        elif kind == "ite":
+            cond, then, other = term.args
+            lit = self._define_ite(
+                self.literal(cond), self.literal(then), self.literal(other)
+            )
+        else:
+            raise SolverError(f"unsupported Boolean connective {kind!r} in CNF conversion")
+
+        self._cache[term] = lit
+        return lit
+
+    # -- gate definitions --------------------------------------------------------
+
+    def _define_and(self, lits: List[int]) -> int:
+        out = self._fresh_var()
+        # out -> each lit
+        for lit in lits:
+            self._clause(-out, lit)
+        # all lits -> out
+        self._clause(out, *[-lit for lit in lits])
+        return out
+
+    def _define_or(self, lits: List[int]) -> int:
+        out = self._fresh_var()
+        # out -> some lit
+        self._clause(-out, *lits)
+        # each lit -> out
+        for lit in lits:
+            self._clause(-lit, out)
+        return out
+
+    def _define_iff(self, a: int, b: int) -> int:
+        out = self._fresh_var()
+        self._clause(-out, -a, b)
+        self._clause(-out, a, -b)
+        self._clause(out, a, b)
+        self._clause(out, -a, -b)
+        return out
+
+    def _define_ite(self, cond: int, then: int, other: int) -> int:
+        out = self._fresh_var()
+        self._clause(-out, -cond, then)
+        self._clause(-out, cond, other)
+        self._clause(out, -cond, -then)
+        self._clause(out, cond, -other)
+        return out
+
+
+def tseitin(assertions: List[Term]) -> CnfResult:
+    """Convert a list of asserted Boolean terms into CNF.
+
+    The returned clause set is satisfiable iff the conjunction of the
+    assertions is satisfiable *as a propositional formula over its atoms*
+    (the theory meaning of the atoms is handled by DPLL(T)).
+    """
+    converter = _TseitinConverter()
+    for term in assertions:
+        converter.encode_assertion(term)
+    return converter.result

@@ -1,0 +1,271 @@
+"""The lazy DPLL(T) engine combining the CDCL SAT core with theory solvers.
+
+The engine follows the classic *lemmas-on-demand* loop:
+
+1. build the Boolean abstraction of the (preprocessed) assertions,
+2. ask the SAT core for a propositional model,
+3. translate the model's asserted atoms into theory constraints and check
+   them with the appropriate theory solver (integer difference logic when
+   possible, otherwise general LIA; EUF for uninterpreted equalities),
+4. if the theory agrees, a full model has been found; otherwise the theory's
+   explanation is negated into a *blocking clause* and the loop repeats.
+
+The loop terminates because each blocking clause removes at least one
+propositional model and the abstraction has finitely many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt.cnf import CnfResult, tseitin
+from repro.smt.linear import LinearLe, atom_to_constraints
+from repro.smt.models import Model
+from repro.smt.sat import SatResult, SatSolver
+from repro.smt.simplify import preprocess
+from repro.smt.terms import Term, free_variables
+from repro.smt.theory.euf import CongruenceClosure
+from repro.smt.theory.idl import DifferenceLogicSolver
+from repro.smt.theory.lia import LinearIntSolver
+from repro.utils.errors import SolverError
+
+__all__ = ["CheckResult", "DpllTEngine", "SmtStats"]
+
+
+class CheckResult(Enum):
+    """Outcome of an SMT ``check``."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SmtStats:
+    """Statistics of one DPLL(T) run."""
+
+    iterations: int = 0
+    theory_conflicts: int = 0
+    sat_clauses: int = 0
+    sat_variables: int = 0
+    atoms: int = 0
+    arith_atoms: int = 0
+    euf_atoms: int = 0
+    sat_decisions: int = 0
+    sat_conflicts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "iterations": self.iterations,
+            "theory_conflicts": self.theory_conflicts,
+            "sat_clauses": self.sat_clauses,
+            "sat_variables": self.sat_variables,
+            "atoms": self.atoms,
+            "arith_atoms": self.arith_atoms,
+            "euf_atoms": self.euf_atoms,
+            "sat_decisions": self.sat_decisions,
+            "sat_conflicts": self.sat_conflicts,
+        }
+
+
+_ARITH_KINDS = ("le", "lt")
+
+
+def _classify_atom(atom: Term) -> str:
+    """Classify an atom as ``bool``, ``arith`` or ``euf``."""
+    if atom.kind == "var":
+        return "bool"
+    if atom.kind in _ARITH_KINDS:
+        return "arith"
+    if atom.kind == "eq":
+        lhs = atom.args[0]
+        if lhs.sort.is_int:
+            return "arith"
+        if lhs.sort.is_bool:
+            return "bool_eq"
+        return "euf"
+    if atom.kind == "app":
+        if not atom.args:
+            return "bool"
+        return "euf_pred"
+    raise SolverError(f"unclassifiable atom: {atom}")
+
+
+class DpllTEngine:
+    """One-shot DPLL(T) check over a list of assertions.
+
+    The engine is cheap to construct; :class:`repro.smt.solver.Solver`
+    creates a fresh engine per ``check`` call, which keeps the public API
+    simple (push/pop is handled at the assertion-stack level).
+    """
+
+    def __init__(
+        self,
+        assertions: Sequence[Term],
+        max_iterations: int = 200_000,
+    ) -> None:
+        self._raw_assertions = list(assertions)
+        self._max_iterations = max_iterations
+        self.stats = SmtStats()
+        self._model: Optional[Model] = None
+
+    # ------------------------------------------------------------------ public
+
+    def check(self) -> CheckResult:
+        """Run the DPLL(T) loop to completion."""
+        assertions = [preprocess(a) for a in self._raw_assertions]
+        cnf = tseitin(assertions)
+        self.stats.sat_clauses = len(cnf.clauses)
+        self.stats.sat_variables = cnf.num_vars
+        self.stats.atoms = len(cnf.atom_to_var)
+
+        sat = SatSolver()
+        sat.ensure_vars(cnf.num_vars)
+        if not sat.add_clauses(cnf.clauses):
+            return CheckResult.UNSAT
+
+        arith_atoms: Dict[Term, int] = {}
+        euf_atoms: Dict[Term, int] = {}
+        for atom, var in cnf.atom_to_var.items():
+            kind = _classify_atom(atom)
+            if kind == "arith":
+                arith_atoms[atom] = var
+            elif kind in ("euf", "euf_pred"):
+                if kind == "euf_pred":
+                    raise SolverError(
+                        "Boolean-valued uninterpreted predicates are not supported; "
+                        "model them as equalities with a distinguished constant"
+                    )
+                euf_atoms[atom] = var
+            elif kind == "bool_eq":
+                raise SolverError(
+                    "Boolean equality atoms should have been rewritten to iff "
+                    "by preprocessing"
+                )
+        self.stats.arith_atoms = len(arith_atoms)
+        self.stats.euf_atoms = len(euf_atoms)
+
+        variables: Dict[str, object] = {}
+        for assertion in assertions:
+            variables.update(free_variables(assertion))
+
+        while True:
+            self.stats.iterations += 1
+            if self.stats.iterations > self._max_iterations:
+                return CheckResult.UNKNOWN
+            result = sat.solve()
+            self.stats.sat_decisions = sat.stats.decisions
+            self.stats.sat_conflicts = sat.stats.conflicts
+            if result is SatResult.UNSAT:
+                return CheckResult.UNSAT
+            if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
+                return CheckResult.UNKNOWN
+
+            bool_model = sat.model()
+            conflict_lits = self._theory_check(
+                arith_atoms, euf_atoms, bool_model, variables
+            )
+            if conflict_lits is None:
+                # Theories agree: assemble the model.
+                self._model = self._build_model(
+                    cnf, bool_model, arith_atoms, euf_atoms, variables
+                )
+                return CheckResult.SAT
+
+            self.stats.theory_conflicts += 1
+            if not conflict_lits:
+                # Theory inconsistency independent of any decision.
+                return CheckResult.UNSAT
+            if not sat.add_clause([-lit for lit in conflict_lits]):
+                return CheckResult.UNSAT
+
+    def model(self) -> Model:
+        """The model found by the last successful :meth:`check`."""
+        if self._model is None:
+            raise SolverError("no model available (last check was not SAT)")
+        return self._model
+
+    # ------------------------------------------------------------------ theory glue
+
+    def _theory_check(
+        self,
+        arith_atoms: Dict[Term, int],
+        euf_atoms: Dict[Term, int],
+        bool_model: Dict[int, bool],
+        variables: Dict[str, object],
+    ) -> Optional[List[int]]:
+        """Check the candidate model against the theories.
+
+        Returns ``None`` when consistent, otherwise the list of SAT literals
+        (as asserted by the candidate model) whose conjunction is
+        theory-inconsistent.
+        """
+        self._last_arith_model: Dict[str, int] = {}
+        self._last_euf_model: Dict[str, int] = {}
+
+        # ---- arithmetic ----
+        constraints: List[LinearLe] = []
+        origin_lits: List[int] = []
+        for atom, var in arith_atoms.items():
+            value = bool_model.get(var)
+            if value is None:
+                continue
+            for constraint in atom_to_constraints(atom, value):
+                constraints.append(constraint)
+                origin_lits.append(var if value else -var)
+
+        if constraints:
+            if DifferenceLogicSolver.is_applicable(constraints):
+                arith: object = DifferenceLogicSolver()
+            else:
+                arith = LinearIntSolver()
+            arith.assert_all(constraints)  # type: ignore[attr-defined]
+            outcome = arith.check()  # type: ignore[attr-defined]
+            if not outcome.satisfiable:
+                return sorted({origin_lits[i] for i in outcome.conflict or []})
+            self._last_arith_model = outcome.model or {}
+
+        # ---- EUF ----
+        if euf_atoms:
+            euf = CongruenceClosure()
+            euf_origin: List[int] = []
+            for atom, var in euf_atoms.items():
+                value = bool_model.get(var)
+                if value is None:
+                    continue
+                lhs, rhs = atom.args
+                if value:
+                    euf.assert_equal(lhs, rhs)
+                else:
+                    euf.assert_distinct(lhs, rhs)
+                euf_origin.append(var if value else -var)
+            outcome = euf.check()
+            if not outcome.satisfiable:
+                return sorted({euf_origin[i] for i in outcome.conflict or []})
+            self._last_euf_model = outcome.model or {}
+
+        return None
+
+    def _build_model(
+        self,
+        cnf: CnfResult,
+        bool_model: Dict[int, bool],
+        arith_atoms: Dict[Term, int],
+        euf_atoms: Dict[Term, int],
+        variables: Dict[str, object],
+    ) -> Model:
+        values: Dict[str, object] = {}
+        # Theory values first.
+        values.update(self._last_arith_model)
+        values.update(self._last_euf_model)
+        # Boolean variables straight from the SAT model.
+        for atom, var in cnf.atom_to_var.items():
+            if atom.kind == "var" and atom.sort.is_bool:
+                values[atom.name] = bool_model.get(var, False)
+        # Defaults for anything the formula mentions but nothing constrained.
+        for name, sort in variables.items():
+            if name not in values:
+                values[name] = False if getattr(sort, "is_bool", False) else 0
+        return Model(values)  # type: ignore[arg-type]

@@ -1,0 +1,208 @@
+"""Normalisation of integer terms into linear forms.
+
+The theory solvers work over *normalised atoms* of the shape
+
+    sum_i  c_i * x_i   <=   k          (c_i, k integers)
+
+This module converts arbitrary ``Int``-sorted terms built from ``Add``,
+``Sub``, ``Neg``, ``Mul`` (by constants), variables and constants into a
+:class:`LinearExpr`, and arithmetic atoms (``le``, ``lt``, ``eq``) into one
+or two :class:`LinearLe` constraints.
+
+Strictness over the integers is eliminated up-front:  ``a < b`` is exactly
+``a <= b - 1``, and the negation of ``a <= b`` is ``b <= a - 1``.  This means
+both the positive and the negative phase of every arithmetic atom is again a
+single ``LinearLe`` — a property the lazy DPLL(T) loop relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.smt.terms import Term
+from repro.utils.errors import SolverError
+
+__all__ = ["LinearExpr", "LinearLe", "linearize", "atom_to_constraints"]
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """An integer-valued linear expression ``sum coeffs[x] * x + const``."""
+
+    coeffs: Tuple[Tuple[str, int], ...]
+    const: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "LinearExpr":
+        return LinearExpr((), value)
+
+    @staticmethod
+    def variable(name: str) -> "LinearExpr":
+        return LinearExpr(((name, 1),), 0)
+
+    @staticmethod
+    def from_dict(coeffs: Dict[str, int], const: int = 0) -> "LinearExpr":
+        items = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return LinearExpr(items, const)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    def add(self, other: "LinearExpr") -> "LinearExpr":
+        coeffs = self.as_dict()
+        for var, coeff in other.coeffs:
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return LinearExpr.from_dict(coeffs, self.const + other.const)
+
+    def scale(self, factor: int) -> "LinearExpr":
+        if factor == 0:
+            return LinearExpr.constant(0)
+        return LinearExpr.from_dict(
+            {v: c * factor for v, c in self.coeffs}, self.const * factor
+        )
+
+    def negate(self) -> "LinearExpr":
+        return self.scale(-1)
+
+    def sub(self, other: "LinearExpr") -> "LinearExpr":
+        return self.add(other.negate())
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(v for v, _ in self.coeffs)
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate under a (total, for the mentioned variables) assignment."""
+        total = self.const
+        for var, coeff in self.coeffs:
+            total += coeff * assignment[var]
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        for var, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(var)
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+@dataclass(frozen=True)
+class LinearLe:
+    """The normalised constraint ``expr <= bound``.
+
+    ``expr`` carries no constant part — it is folded into ``bound``.
+    """
+
+    expr: LinearExpr
+    bound: int
+
+    def negated(self) -> "LinearLe":
+        """The integer negation: ``not (e <= b)``  ==  ``-e <= -b - 1``."""
+        return LinearLe(self.expr.negate(), -self.bound - 1)
+
+    @property
+    def is_difference(self) -> bool:
+        """True for difference-logic constraints ``x - y <= k``, ``x <= k``,
+        ``-x <= k`` or constant constraints."""
+        coeffs = [c for _, c in self.expr.coeffs]
+        if len(coeffs) == 0:
+            return True
+        if len(coeffs) == 1:
+            return coeffs[0] in (1, -1)
+        if len(coeffs) == 2:
+            return sorted(coeffs) == [-1, 1]
+        return False
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return self.expr.is_constant and 0 <= self.bound
+
+    @property
+    def is_trivially_false(self) -> bool:
+        return self.expr.is_constant and 0 > self.bound
+
+    def holds(self, assignment: Dict[str, int]) -> bool:
+        return self.expr.evaluate(assignment) <= self.bound
+
+    def __str__(self) -> str:
+        return f"{self.expr} <= {self.bound}"
+
+
+def linearize(term: Term) -> LinearExpr:
+    """Convert an ``Int``-sorted term into a :class:`LinearExpr`.
+
+    Raises :class:`SolverError` for non-linear or non-arithmetic structure
+    (e.g. integer ``ite`` — eliminate those with
+    :func:`repro.smt.simplify.eliminate_ite` first).
+    """
+    if not term.sort.is_int:
+        raise SolverError(f"linearize expects an Int term, got {term.sort}")
+    kind = term.kind
+    if kind == "intconst":
+        return LinearExpr.constant(term.value)  # type: ignore[arg-type]
+    if kind == "var":
+        return LinearExpr.variable(term.name)  # type: ignore[arg-type]
+    if kind == "app" and not term.args:
+        # Nullary uninterpreted Int constant: treat as a variable named by
+        # its function symbol.
+        return LinearExpr.variable(term.name)  # type: ignore[arg-type]
+    if kind == "add":
+        acc = LinearExpr.constant(0)
+        for child in term.args:
+            acc = acc.add(linearize(child))
+        return acc
+    if kind == "neg":
+        return linearize(term.args[0]).negate()
+    if kind == "mul":
+        coeff_term, other = term.args
+        if coeff_term.kind != "intconst":
+            raise SolverError("non-linear multiplication is not supported")
+        return linearize(other).scale(coeff_term.value)  # type: ignore[arg-type]
+    raise SolverError(f"cannot linearize term of kind {kind!r}: {term}")
+
+
+def atom_to_constraints(atom: Term, positive: bool) -> Tuple[LinearLe, ...]:
+    """Translate an arithmetic atom (or its negation) into ``LinearLe``s.
+
+    * ``a <= b``  (positive)  ->  ``a - b <= 0``
+    * ``a <= b``  (negative)  ->  ``b - a <= -1``
+    * ``a < b``   (positive)  ->  ``a - b <= -1``
+    * ``a < b``   (negative)  ->  ``b - a <= 0``
+    * ``a = b``   (positive)  ->  ``a - b <= 0``  and  ``b - a <= 0``
+    * ``a = b``   (negative)  ->  *not representable as a conjunction*;
+      callers must eliminate negative integer equalities before reaching the
+      theory (see :func:`repro.smt.simplify.eliminate_int_equalities`).
+    """
+    kind = atom.kind
+    if kind not in ("le", "lt", "eq"):
+        raise SolverError(f"not an arithmetic atom: {atom}")
+    lhs, rhs = atom.args
+    diff = linearize(lhs).sub(linearize(rhs))
+    expr = LinearExpr(diff.coeffs, 0)
+    offset = -diff.const
+
+    if kind == "le":
+        if positive:
+            return (LinearLe(expr, offset),)
+        return (LinearLe(expr, offset).negated(),)
+    if kind == "lt":
+        if positive:
+            return (LinearLe(expr, offset - 1),)
+        return (LinearLe(expr, offset - 1).negated(),)
+    # Equality.
+    if positive:
+        return (LinearLe(expr, offset), LinearLe(expr.negate(), -offset))
+    raise SolverError(
+        "negated integer equality reached the theory layer; "
+        "run simplify.eliminate_int_equalities() on the formula first"
+    )

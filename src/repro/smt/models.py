@@ -1,0 +1,103 @@
+"""Models (satisfying assignments) returned by the SMT solver."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.smt.terms import Term
+from repro.utils.errors import SolverError
+
+__all__ = ["Model"]
+
+Value = Union[int, bool]
+
+
+class Model:
+    """A satisfying assignment mapping variable names to values.
+
+    Variables the solver never had to constrain are given default values
+    (``0`` for Int, ``False`` for Bool) so that :meth:`eval` is total over
+    the variables of the original formula.
+    """
+
+    def __init__(self, values: Optional[Dict[str, Value]] = None) -> None:
+        self._values: Dict[str, Value] = dict(values or {})
+
+    # -- raw access --------------------------------------------------------------
+
+    def value_of(self, name: str, default: Optional[Value] = None) -> Optional[Value]:
+        """The raw value bound to ``name`` (or ``default``)."""
+        return self._values.get(name, default)
+
+    def assign(self, name: str, value: Value) -> None:
+        """Extend / override the model (used when decoding witnesses)."""
+        self._values[name] = value
+
+    def as_dict(self) -> Dict[str, Value]:
+        return dict(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({items})"
+
+    # -- evaluation --------------------------------------------------------------
+
+    def eval(self, term: Term) -> Value:
+        """Evaluate ``term`` under this model.
+
+        Unbound variables default to ``0`` / ``False``; uninterpreted-sort
+        variables evaluate to the integer class identifier chosen by the EUF
+        solver (or 0).
+        """
+        kind = term.kind
+        if kind == "intconst":
+            return term.value  # type: ignore[return-value]
+        if kind == "boolconst":
+            return term.value  # type: ignore[return-value]
+        if kind == "var" or (kind == "app" and not term.args):
+            default: Value = False if term.sort.is_bool else 0
+            return self._values.get(term.name, default)  # type: ignore[arg-type]
+        if kind == "add":
+            return sum(self.eval(a) for a in term.args)
+        if kind == "neg":
+            return -self.eval(term.args[0])
+        if kind == "mul":
+            coeff, other = term.args
+            return self.eval(coeff) * self.eval(other)
+        if kind == "le":
+            return self.eval(term.args[0]) <= self.eval(term.args[1])
+        if kind == "lt":
+            return self.eval(term.args[0]) < self.eval(term.args[1])
+        if kind == "eq":
+            return self.eval(term.args[0]) == self.eval(term.args[1])
+        if kind == "not":
+            return not self.eval(term.args[0])
+        if kind == "and":
+            return all(self.eval(a) for a in term.args)
+        if kind == "or":
+            return any(self.eval(a) for a in term.args)
+        if kind == "implies":
+            return (not self.eval(term.args[0])) or self.eval(term.args[1])
+        if kind == "iff":
+            return self.eval(term.args[0]) == self.eval(term.args[1])
+        if kind == "ite":
+            cond, then, other = term.args
+            return self.eval(then) if self.eval(cond) else self.eval(other)
+        if kind == "app":
+            raise SolverError(
+                f"cannot evaluate application of non-nullary function {term.name!r}"
+            )
+        raise SolverError(f"cannot evaluate term of kind {kind!r}")
+
+    def satisfies(self, term: Term) -> bool:
+        """True if the Boolean ``term`` evaluates to true under this model."""
+        value = self.eval(term)
+        if not isinstance(value, bool):
+            raise SolverError("satisfies() expects a Boolean term")
+        return value

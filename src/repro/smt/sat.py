@@ -1,0 +1,489 @@
+"""A CDCL SAT solver.
+
+This is a conflict-driven clause-learning solver in the MiniSat lineage:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity decision heuristic with phase saving,
+* Luby-sequence restarts,
+* incremental solving under assumptions (used by DPLL(T) and by the
+  verification layer to enumerate multiple witnesses).
+
+Literals are non-zero Python ints: variable ``v`` is the positive literal
+``v`` and its negation is ``-v``.  Variables are 1-based.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import SolverError
+
+__all__ = ["SatResult", "SatSolver", "SatStats"]
+
+
+class SatResult(Enum):
+    """Outcome of a SAT query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatStats:
+    """Counters describing the work a :class:`SatSolver` performed."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "learned_clauses": self.learned_clauses,
+            "restarts": self.restarts,
+            "max_decision_level": self.max_decision_level,
+        }
+
+
+class _Clause:
+    """A clause with its first two literal slots acting as watches."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clause({self.lits})"
+
+
+def luby(i: int) -> int:
+    """The ``i``-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    if i < 1:
+        raise SolverError("luby is defined for i >= 1")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL SAT solver with assumptions.
+
+    Typical use::
+
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(b) is True
+    """
+
+    _UNASSIGNED = 0
+
+    def __init__(self, restart_base: int = 100, decay: float = 0.95) -> None:
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._watches: Dict[int, List[_Clause]] = {}
+        # Assignment state; index 0 unused.
+        self._assign: List[int] = [0]          # 0 unassigned, 1 true, -1 false
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._queue_head = 0
+        # Decision heuristic.
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._var_inc = 1.0
+        self._decay = decay
+        self._heap: List[Tuple[float, int]] = []
+        # Restarts.
+        self._restart_base = restart_base
+        # Bookkeeping.
+        self._ok = True
+        self.stats = SatStats()
+        self._conflict_limit: Optional[int] = None
+
+    # ------------------------------------------------------------------ setup
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        self._assign.append(self._UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        var = self._num_vars
+        self._watches.setdefault(var, [])
+        self._watches.setdefault(-var, [])
+        heapq.heappush(self._heap, (0.0, var))
+        return var
+
+    def ensure_vars(self, count: int) -> None:
+        """Make sure variables ``1..count`` exist."""
+        while self._num_vars < count:
+            self.new_var()
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` if the formula became trivially unsat.
+
+        Clauses may be added at any time; clauses added between ``solve``
+        calls are handled incrementally (the solver backtracks to level 0).
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        unique: List[int] = []
+        seen = set()
+        for lit in lits:
+            if lit == 0:
+                raise SolverError("literal 0 is not allowed")
+            var = abs(lit)
+            self.ensure_vars(var)
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return True  # tautology
+            seen.add(lit)
+            unique.append(lit)
+
+        # Remove literals already false at level 0; detect satisfied clauses.
+        filtered: List[int] = []
+        for lit in unique:
+            val = self._lit_value(lit)
+            if val is True and self._level[abs(lit)] == 0:
+                return True
+            if val is False and self._level[abs(lit)] == 0:
+                continue
+            filtered.append(lit)
+
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+
+        clause = _Clause(filtered)
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    # ------------------------------------------------------------------ values
+
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        val = self._assign[abs(lit)]
+        if val == self._UNASSIGNED:
+            return None
+        return (val > 0) == (lit > 0)
+
+    def value(self, var: int) -> Optional[bool]:
+        """The value of a variable in the last model (None if unassigned)."""
+        if var <= 0 or var > self._num_vars:
+            raise SolverError(f"unknown variable {var}")
+        val = self._assign[var]
+        return None if val == self._UNASSIGNED else val > 0
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment found by the last successful ``solve``."""
+        return {v: self._assign[v] > 0 for v in range(1, self._num_vars + 1)
+                if self._assign[v] != self._UNASSIGNED}
+
+    # ------------------------------------------------------------------ solving
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+    ) -> SatResult:
+        """Determine satisfiability under the given assumption literals.
+
+        Returns :data:`SatResult.UNKNOWN` only when ``conflict_limit`` is hit.
+        """
+        if not self._ok:
+            return SatResult.UNSAT
+        self._conflict_limit = conflict_limit
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SatResult.UNSAT
+
+        conflicts_total = 0
+        restart_count = 0
+        restart_budget = self._restart_base * luby(1)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_total += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return SatResult.UNSAT
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(backtrack_level)
+                self._learn(learned)
+                self._decay_activities()
+                if (
+                    self._conflict_limit is not None
+                    and conflicts_total >= self._conflict_limit
+                ):
+                    self._backtrack(0)
+                    return SatResult.UNKNOWN
+                if conflicts_total >= restart_budget:
+                    restart_count += 1
+                    self.stats.restarts += 1
+                    restart_budget = conflicts_total + self._restart_base * luby(
+                        restart_count + 1
+                    )
+                    self._backtrack(0)
+                continue
+
+            # No conflict: apply assumptions first, then decide.
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                val = self._lit_value(lit)
+                if val is True:
+                    # Already satisfied: open an empty decision level so the
+                    # assumption indexing stays aligned.
+                    self._new_decision_level()
+                    continue
+                if val is False:
+                    return SatResult.UNSAT
+                self._new_decision_level()
+                self._enqueue(lit, None)
+                continue
+
+            lit = self._pick_branch_literal()
+            if lit is None:
+                return SatResult.SAT
+            self.stats.decisions += 1
+            self._new_decision_level()
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------ internals
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+        self.stats.max_decision_level = max(
+            self.stats.max_decision_level, self._decision_level()
+        )
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._lit_value(lit)
+        if val is not None:
+            return val
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            watch_list = self._watches[false_lit]
+            new_watch_list: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            i = 0
+            while i < len(watch_list):
+                clause = watch_list[i]
+                i += 1
+                lits = clause.lits
+                # Normalise so that the false literal is in slot 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) is True:
+                    new_watch_list.append(clause)
+                    continue
+                # Look for a replacement watch.
+                replacement = None
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) is not False:
+                        replacement = k
+                        break
+                if replacement is not None:
+                    lits[1], lits[replacement] = lits[replacement], lits[1]
+                    self._watches[lits[1]].append(clause)
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause)
+                if self._lit_value(first) is False:
+                    # Conflict: keep the remaining clauses watched and stop.
+                    while i < len(watch_list):
+                        new_watch_list.append(watch_list[i])
+                        i += 1
+                    conflict = clause
+                else:
+                    self._enqueue(first, clause)
+            self._watches[false_lit] = new_watch_list
+            if conflict is not None:
+                self._queue_head = len(self._trail)
+                return conflict
+        return None
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the level to
+        backtrack to.
+        """
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = None
+        reason: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if lit is None else 1
+            for p in reason.lits[start:] if lit is not None and reason.lits[0] == lit else reason.lits:
+                var = abs(p)
+                if p == lit:
+                    continue
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._level[var] >= current_level:
+                    counter += 1
+                else:
+                    learned.append(p)
+            # Find the next literal on the trail to resolve on.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learned[0] = -lit
+
+        # Compute the backtrack level (second highest level in the clause).
+        if len(learned) == 1:
+            backtrack_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learned)):
+                if self._level[abs(learned[i])] > self._level[abs(learned[max_i])]:
+                    max_i = i
+            learned[1], learned[max_i] = learned[max_i], learned[1]
+            backtrack_level = self._level[abs(learned[1])]
+        return learned, backtrack_level
+
+    def _learn(self, learned: List[int]) -> None:
+        self.stats.learned_clauses += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        clause = _Clause(list(learned), learned=True)
+        self._attach(clause)
+        self._clauses.append(clause)
+        self._enqueue(learned[0], clause)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = self._UNASSIGNED
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        while self._heap:
+            _, var = heapq.heappop(self._heap)
+            if self._assign[var] == self._UNASSIGNED:
+                return var if self._phase[var] else -var
+        # Fall back to a linear scan (heap entries may be stale).
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == self._UNASSIGNED:
+                return var if self._phase[var] else -var
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if clause.learned:
+            clause.activity += 1.0
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._decay

@@ -1,0 +1,98 @@
+"""SMT-LIB v2 export.
+
+The paper feeds its generated problems to Yices; this module provides the
+equivalent interoperability: any assertion set built with
+:mod:`repro.smt.terms` can be printed as a standard SMT-LIB v2 script so it
+can be cross-checked with an external solver (z3, Yices, cvc5) when one is
+available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.smt.sorts import Sort
+from repro.smt.terms import Term, free_variables
+
+__all__ = ["to_smtlib", "guess_logic"]
+
+
+def guess_logic(assertions: Sequence[Term]) -> str:
+    """Pick the weakest standard logic covering the assertions."""
+    has_arith = False
+    has_uf = False
+    only_difference = True
+    for assertion in assertions:
+        for node in assertion.walk():
+            if node.kind in ("le", "lt", "add", "mul", "neg", "intconst"):
+                has_arith = True
+            if node.kind == "mul":
+                only_difference = False
+            if node.kind == "add" and len(node.args) > 2:
+                only_difference = False
+            if node.kind == "app" and node.args:
+                has_uf = True
+            if node.kind == "var" and node.sort.is_int:
+                has_arith = True
+            if node.kind == "eq" and node.args[0].sort.is_uninterpreted:
+                has_uf = True
+    if has_uf and has_arith:
+        return "QF_UFLIA"
+    if has_uf:
+        return "QF_UF"
+    if has_arith:
+        return "QF_IDL" if only_difference else "QF_LIA"
+    return "QF_UF"
+
+
+def _collect_declarations(
+    assertions: Sequence[Term],
+) -> Tuple[List[Tuple[str, Sort]], List[Sort], List[Tuple[str, Tuple[Sort, ...], Sort]]]:
+    """Collect variables, uninterpreted sorts and function symbols."""
+    variables: Dict[str, Sort] = {}
+    sorts: Dict[str, Sort] = {}
+    functions: Dict[str, Tuple[Tuple[Sort, ...], Sort]] = {}
+    for assertion in assertions:
+        variables.update(free_variables(assertion))
+        for node in assertion.walk():
+            if node.sort.is_uninterpreted:
+                sorts[node.sort.name] = node.sort
+            if node.kind == "app":
+                functions[node.name] = (
+                    tuple(a.sort for a in node.args),
+                    node.sort,
+                )
+    var_list = sorted(variables.items())
+    sort_list = [sorts[name] for name in sorted(sorts)]
+    func_list = [(name, dom, cod) for name, (dom, cod) in sorted(functions.items())]
+    return var_list, sort_list, func_list
+
+
+def to_smtlib(
+    assertions: Sequence[Term],
+    logic: str | None = None,
+    get_model: bool = True,
+    comments: Iterable[str] = (),
+) -> str:
+    """Render assertions as a complete SMT-LIB v2 script."""
+    assertions = list(assertions)
+    lines: List[str] = []
+    for comment in comments:
+        lines.append(f"; {comment}")
+    lines.append(f"(set-logic {logic or guess_logic(assertions)})")
+
+    variables, sorts, functions = _collect_declarations(assertions)
+    for sort in sorts:
+        lines.append(f"(declare-sort {sort.name} 0)")
+    for name, sort in variables:
+        lines.append(f"(declare-fun {name} () {sort.name})")
+    for name, domain, codomain in functions:
+        domain_str = " ".join(s.name for s in domain)
+        lines.append(f"(declare-fun {name} ({domain_str}) {codomain.name})")
+
+    for assertion in assertions:
+        lines.append(f"(assert {assertion})")
+    lines.append("(check-sat)")
+    if get_model:
+        lines.append("(get-model)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,120 @@
+"""The public SMT solver facade.
+
+:class:`Solver` exposes a small, z3-like API (``add`` / ``push`` / ``pop`` /
+``check`` / ``model``) on top of the DPLL(T) engine.  The rest of the library
+— the trace encoder, the verifier, the baselines — talks to the SMT layer
+exclusively through this class, so swapping in an external solver (the paper
+used Yices) would only require re-implementing this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.smt.dpllt import CheckResult, DpllTEngine, SmtStats
+from repro.smt.models import Model
+from repro.smt.smtlib import to_smtlib
+from repro.smt.terms import And, Not, Term
+from repro.utils.errors import SolverError
+
+__all__ = ["Solver", "CheckResult"]
+
+
+class Solver:
+    """An incremental-by-assertion-stack SMT solver for QF_LIA + QF_UF.
+
+    Example
+    -------
+    >>> from repro.smt.terms import IntVar, IntVal, Lt
+    >>> s = Solver()
+    >>> x, y = IntVar("x"), IntVar("y")
+    >>> s.add(Lt(x, y), Lt(y, IntVal(3)), Lt(IntVal(0), x))
+    >>> s.check() is CheckResult.SAT
+    True
+    >>> m = s.model()
+    >>> 0 < m.value_of("x") < m.value_of("y") < 3
+    True
+    """
+
+    def __init__(self, max_iterations: int = 200_000) -> None:
+        self._assertions: List[Term] = []
+        self._scopes: List[int] = []
+        self._max_iterations = max_iterations
+        self._last_result: Optional[CheckResult] = None
+        self._last_engine: Optional[DpllTEngine] = None
+
+    # -- assertion management ----------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        """Assert one or more Boolean terms."""
+        for term in terms:
+            if not isinstance(term, Term):
+                raise SolverError(f"Solver.add expects Terms, got {term!r}")
+            if not term.sort.is_bool:
+                raise SolverError(f"assertions must be Boolean, got sort {term.sort}")
+            self._assertions.append(term)
+        self._last_result = None
+
+    def add_all(self, terms: Iterable[Term]) -> None:
+        self.add(*terms)
+
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Discard all assertions added since the matching :meth:`push`."""
+        if not self._scopes:
+            raise SolverError("pop without matching push")
+        size = self._scopes.pop()
+        del self._assertions[size:]
+        self._last_result = None
+
+    @property
+    def assertions(self) -> List[Term]:
+        """The currently asserted formulas (a copy)."""
+        return list(self._assertions)
+
+    # -- solving -------------------------------------------------------------------
+
+    def check(self, *assumptions: Term) -> CheckResult:
+        """Decide satisfiability of the asserted formulas (plus assumptions).
+
+        Assumptions are temporary assertions scoped to this single call.
+        """
+        terms = self._assertions + list(assumptions)
+        engine = DpllTEngine(terms, max_iterations=self._max_iterations)
+        result = engine.check()
+        self._last_engine = engine
+        self._last_result = result
+        return result
+
+    def model(self) -> Model:
+        """The model of the last :meth:`check`, which must have returned SAT."""
+        if self._last_result is not CheckResult.SAT or self._last_engine is None:
+            raise SolverError("model() requires the previous check() to be SAT")
+        return self._last_engine.model()
+
+    def statistics(self) -> Dict[str, int]:
+        """Statistics of the most recent check (empty dict if none)."""
+        if self._last_engine is None:
+            return {}
+        return self._last_engine.stats.as_dict()
+
+    # -- interop ---------------------------------------------------------------------
+
+    def to_smtlib(self, comments: Sequence[str] = ()) -> str:
+        """Render the current assertion set as an SMT-LIB v2 script."""
+        return to_smtlib(self._assertions, comments=comments)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def is_valid(self, term: Term) -> bool:
+        """True if ``term`` holds in every model of the current assertions."""
+        result = self.check(Not(term))
+        if result is CheckResult.UNKNOWN:
+            raise SolverError("validity check was inconclusive")
+        return result is CheckResult.UNSAT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Solver({len(self._assertions)} assertions)"

@@ -1,0 +1,55 @@
+"""Sorts (types) for the SMT term language.
+
+The encoding of MCAPI traces needs only two interpreted sorts — ``Bool`` and
+``Int`` — plus uninterpreted sorts for the EUF theory used in tests and by
+library users who want to model opaque message identities symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A sort (type) in the SMT language.
+
+    Two sorts are equal iff their names are equal; the two interpreted sorts
+    are exposed as the module-level singletons :data:`BOOL` and :data:`INT`.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_bool(self) -> bool:
+        return self.name == "Bool"
+
+    @property
+    def is_int(self) -> bool:
+        return self.name == "Int"
+
+    @property
+    def is_uninterpreted(self) -> bool:
+        return not (self.is_bool or self.is_int)
+
+
+#: The Boolean sort.
+BOOL = Sort("Bool")
+
+#: The integer sort (mathematical integers, as in SMT-LIB ``Int``).
+INT = Sort("Int")
+
+
+def uninterpreted_sort(name: str) -> Sort:
+    """Declare an uninterpreted sort.
+
+    >>> s = uninterpreted_sort("Msg")
+    >>> s.is_uninterpreted
+    True
+    """
+    if name in ("Bool", "Int"):
+        raise ValueError(f"{name!r} is a reserved interpreted sort name")
+    return Sort(name)

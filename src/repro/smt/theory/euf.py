@@ -1,0 +1,184 @@
+"""Equality with uninterpreted functions (EUF) via congruence closure.
+
+The solver receives asserted equalities and disequalities between terms
+built from variables and uninterpreted function applications, and decides
+whether the conjunction is satisfiable.  The algorithm is the classic
+congruence closure:
+
+1. collect every subterm as a node,
+2. merge the equivalence classes of each asserted equality (union-find),
+3. repeatedly merge classes of applications whose function symbols match and
+   whose arguments are pairwise congruent, until a fixpoint,
+4. the conjunction is unsatisfiable iff some asserted disequality relates two
+   terms that ended up in the same class.
+
+Explanations are *coarse*: the conflict returned is the set of all asserted
+equalities plus the violated disequality, optionally minimised by a greedy
+deletion loop (each equality is dropped and the closure re-run; if the
+conflict persists the equality was irrelevant).  This is more than adequate
+for the solver's role in this library — the MCAPI encoding itself is purely
+arithmetic and EUF is exposed for users modelling opaque values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt.terms import Term
+from repro.smt.theory.idl import TheoryResult
+from repro.utils.errors import SolverError
+from repro.utils.unionfind import UnionFind
+
+__all__ = ["CongruenceClosure"]
+
+
+@dataclass(frozen=True)
+class _Assertion:
+    lhs: Term
+    rhs: Term
+    equal: bool
+    tag: int
+
+
+class CongruenceClosure:
+    """Decides conjunctions of equalities/disequalities over uninterpreted terms."""
+
+    def __init__(self, minimize_conflicts: bool = True) -> None:
+        self._assertions: List[_Assertion] = []
+        self._minimize = minimize_conflicts
+
+    # -- assertion entry --------------------------------------------------------
+
+    def assert_equal(self, lhs: Term, rhs: Term) -> int:
+        """Assert ``lhs = rhs``; returns the assertion's index."""
+        return self._assert(lhs, rhs, True)
+
+    def assert_distinct(self, lhs: Term, rhs: Term) -> int:
+        """Assert ``lhs != rhs``; returns the assertion's index."""
+        return self._assert(lhs, rhs, False)
+
+    def _assert(self, lhs: Term, rhs: Term, equal: bool) -> int:
+        if lhs.sort != rhs.sort:
+            raise SolverError(
+                f"cannot relate terms of different sorts: {lhs.sort} vs {rhs.sort}"
+            )
+        tag = len(self._assertions)
+        self._assertions.append(_Assertion(lhs, rhs, equal, tag))
+        return tag
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    # -- closure ----------------------------------------------------------------
+
+    def check(self) -> TheoryResult:
+        """Check satisfiability of all assertions made so far."""
+        violated = self._violated_disequality(self._assertions)
+        if violated is None:
+            model = self._build_model(self._assertions)
+            return TheoryResult(satisfiable=True, model=model)
+
+        conflict_tags = [a.tag for a in self._assertions if a.equal]
+        conflict_tags.append(violated.tag)
+        if self._minimize:
+            conflict_tags = self._minimize_conflict(violated, conflict_tags)
+        return TheoryResult(satisfiable=False, conflict=sorted(set(conflict_tags)))
+
+    def _minimize_conflict(
+        self, violated: _Assertion, tags: List[int]
+    ) -> List[int]:
+        """Greedy deletion-based minimisation of the conflict set."""
+        kept = [t for t in tags if t != violated.tag]
+        changed = True
+        while changed:
+            changed = False
+            for tag in list(kept):
+                trial_tags = [t for t in kept if t != tag]
+                trial = [self._assertions[t] for t in trial_tags] + [violated]
+                if self._violated_disequality(trial) is not None:
+                    kept = trial_tags
+                    changed = True
+                    break
+        return kept + [violated.tag]
+
+    def _violated_disequality(
+        self, assertions: Sequence[_Assertion]
+    ) -> Optional[_Assertion]:
+        """Run congruence closure; return a violated disequality if any."""
+        uf = UnionFind()
+        subterms: List[Term] = []
+        seen = set()
+
+        def register(term: Term) -> None:
+            if term in seen:
+                return
+            seen.add(term)
+            subterms.append(term)
+            uf.add(term)
+            for child in term.args:
+                register(child)
+
+        for assertion in assertions:
+            register(assertion.lhs)
+            register(assertion.rhs)
+
+        for assertion in assertions:
+            if assertion.equal:
+                uf.union(assertion.lhs, assertion.rhs)
+
+        # Congruence propagation to fixpoint (naive quadratic loop; the term
+        # sets involved here are small).
+        apps = [t for t in subterms if t.kind == "app" and t.args]
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(apps)):
+                for j in range(i + 1, len(apps)):
+                    a, b = apps[i], apps[j]
+                    if a.name != b.name or len(a.args) != len(b.args):
+                        continue
+                    if uf.same(a, b):
+                        continue
+                    if all(uf.same(x, y) for x, y in zip(a.args, b.args)):
+                        uf.union(a, b)
+                        changed = True
+
+        for assertion in assertions:
+            if not assertion.equal and uf.same(assertion.lhs, assertion.rhs):
+                return assertion
+        return None
+
+    def _build_model(self, assertions: Sequence[_Assertion]) -> Dict[str, int]:
+        """Assign each equivalence class a distinct small integer."""
+        uf = UnionFind()
+        terms: List[Term] = []
+        seen = set()
+
+        def register(term: Term) -> None:
+            if term in seen:
+                return
+            seen.add(term)
+            terms.append(term)
+            uf.add(term)
+            for child in term.args:
+                register(child)
+
+        for assertion in assertions:
+            register(assertion.lhs)
+            register(assertion.rhs)
+        for assertion in assertions:
+            if assertion.equal:
+                uf.union(assertion.lhs, assertion.rhs)
+
+        class_ids: Dict[Term, int] = {}
+        model: Dict[str, int] = {}
+        next_id = 0
+        for term in terms:
+            rep = uf.find(term)
+            if rep not in class_ids:
+                class_ids[rep] = next_id
+                next_id += 1
+            if term.kind == "var" or (term.kind == "app" and not term.args):
+                model[term.name] = class_ids[rep]  # type: ignore[index]
+        return model

@@ -1,0 +1,183 @@
+"""Integer difference logic (IDL) theory solver.
+
+A conjunction of constraints of the form ``x - y <= c``, ``x <= c`` and
+``-x <= c`` is satisfiable over the integers iff the corresponding
+*constraint graph* has no negative-weight cycle.  The graph has one node per
+variable plus a distinguished ``ZERO`` node; the constraint ``x - y <= c``
+becomes an edge ``y -> x`` with weight ``c`` (reading "dist(x) may exceed
+dist(y) by at most c").
+
+Satisfiability is decided with a Bellman-Ford relaxation from a virtual
+source; when a relaxation still succeeds after ``|V|`` rounds, the
+predecessor chain contains a negative cycle, and the constraints labelling
+its edges form a minimal inconsistent subset — exactly the explanation the
+DPLL(T) loop wants.
+
+Because all constants are integers and coefficients are ±1, rational and
+integer satisfiability coincide, so the produced model is integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.smt.linear import LinearLe
+from repro.utils.errors import SolverError
+
+__all__ = ["DifferenceLogicSolver", "TheoryResult"]
+
+#: Name of the implicit zero node (also usable by callers as a variable that
+#: is pinned to 0 in every model).
+ZERO = "$zero"
+
+
+@dataclass
+class TheoryResult:
+    """Outcome of a theory consistency check."""
+
+    satisfiable: bool
+    #: Variable assignment when satisfiable.
+    model: Optional[Dict[str, int]] = None
+    #: Indices (into the asserted constraint list) of an inconsistent subset
+    #: when unsatisfiable.
+    conflict: Optional[List[int]] = None
+
+
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    weight: int
+    tag: int  # index of the originating constraint
+
+
+class DifferenceLogicSolver:
+    """Decides conjunctions of integer difference constraints.
+
+    The solver is used in "batch" mode by the DPLL(T) loop: all constraints
+    of a candidate assignment are asserted, :meth:`check` is called once, and
+    the solver is thrown away.  Asserting is O(1); checking is O(V·E).
+    """
+
+    def __init__(self) -> None:
+        self._edges: List[_Edge] = []
+        self._constraints: List[LinearLe] = []
+        self._vars: Dict[str, None] = {ZERO: None}
+
+    # -- constraint entry --------------------------------------------------------
+
+    def assert_constraint(self, constraint: LinearLe) -> int:
+        """Assert ``constraint``; returns its index (used in explanations)."""
+        index = len(self._constraints)
+        self._constraints.append(constraint)
+        for edge in self._constraint_edges(constraint, index):
+            self._edges.append(edge)
+            self._vars.setdefault(edge.src, None)
+            self._vars.setdefault(edge.dst, None)
+        return index
+
+    def assert_all(self, constraints: Sequence[LinearLe]) -> None:
+        for constraint in constraints:
+            self.assert_constraint(constraint)
+
+    def _constraint_edges(self, constraint: LinearLe, tag: int) -> List[_Edge]:
+        if not constraint.is_difference:
+            raise SolverError(
+                f"not a difference constraint: {constraint} "
+                "(use LinearIntSolver for general LIA)"
+            )
+        coeffs = dict(constraint.expr.coeffs)
+        bound = constraint.bound
+        if len(coeffs) == 0:
+            if bound >= 0:
+                return []
+            # 0 <= bound < 0: inconsistent by itself.  Encode as a tiny
+            # negative self-loop on ZERO so the cycle detector reports it.
+            return [_Edge(ZERO, ZERO, bound, tag)]
+        if len(coeffs) == 1:
+            ((var, coeff),) = coeffs.items()
+            if coeff == 1:  # x <= bound
+                return [_Edge(ZERO, var, bound, tag)]
+            return [_Edge(var, ZERO, bound, tag)]  # -x <= bound
+        (pos_var,) = [v for v, c in coeffs.items() if c == 1]
+        (neg_var,) = [v for v, c in coeffs.items() if c == -1]
+        # pos - neg <= bound   ==>   edge neg -> pos with weight bound.
+        return [_Edge(neg_var, pos_var, bound, tag)]
+
+    # -- checking ----------------------------------------------------------------
+
+    def check(self) -> TheoryResult:
+        """Check satisfiability of everything asserted so far."""
+        nodes = list(self._vars)
+        index_of = {name: i for i, name in enumerate(nodes)}
+        n = len(nodes)
+        # Virtual super-source: distance 0 to every node.  Implemented by
+        # initialising every distance to 0, which is equivalent to one
+        # relaxation round from the source.
+        dist = [0] * n
+        pred_edge: List[Optional[_Edge]] = [None] * n
+
+        edges = self._edges
+        updated_node: Optional[int] = None
+        # With every distance initialised to 0 (implicit super-source round),
+        # shortest simple paths need at most ``n`` further relaxation rounds;
+        # an update in round ``n + 1`` therefore witnesses a negative cycle.
+        for _ in range(n + 1):
+            updated_node = None
+            for edge in edges:
+                u = index_of[edge.src]
+                v = index_of[edge.dst]
+                if dist[u] + edge.weight < dist[v]:
+                    dist[v] = dist[u] + edge.weight
+                    pred_edge[v] = edge
+                    updated_node = v
+            if updated_node is None:
+                break
+
+        if updated_node is not None:
+            cycle = self._extract_cycle(updated_node, nodes, index_of, pred_edge)
+            return TheoryResult(satisfiable=False, conflict=sorted(set(cycle)))
+
+        # Satisfiable: shift so that ZERO maps to exactly 0.
+        shift = dist[index_of[ZERO]]
+        model = {
+            name: dist[i] - shift for i, name in enumerate(nodes) if name != ZERO
+        }
+        return TheoryResult(satisfiable=True, model=model)
+
+    def _extract_cycle(
+        self,
+        start: int,
+        nodes: List[str],
+        index_of: Dict[str, int],
+        pred_edge: List[Optional[_Edge]],
+    ) -> List[int]:
+        """Walk predecessor edges from a node relaxed in round |V| to find a cycle."""
+        # Move onto the cycle: after n steps we are guaranteed to be on it.
+        node = start
+        for _ in range(len(nodes)):
+            edge = pred_edge[node]
+            assert edge is not None
+            node = index_of[edge.src]
+        # Collect the cycle.
+        cycle_tags: List[int] = []
+        cursor = node
+        while True:
+            edge = pred_edge[cursor]
+            assert edge is not None
+            cycle_tags.append(edge.tag)
+            cursor = index_of[edge.src]
+            if cursor == node:
+                break
+        return cycle_tags
+
+    # -- convenience -------------------------------------------------------------
+
+    @staticmethod
+    def is_applicable(constraints: Sequence[LinearLe]) -> bool:
+        """True if every constraint is in the difference fragment."""
+        return all(c.is_difference for c in constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)

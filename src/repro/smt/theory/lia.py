@@ -1,0 +1,238 @@
+"""Linear integer arithmetic (QF_LIA) theory solver.
+
+The solver decides satisfiability of a conjunction of constraints
+
+    sum_i c_i * x_i  <=  k        (c_i, k integers, x_i integer variables)
+
+in two stages:
+
+1. **Rational feasibility** by Fourier–Motzkin elimination with exact
+   :class:`fractions.Fraction` arithmetic.  Every derived constraint carries
+   the set of original constraint indices it was combined from, so an
+   inconsistency (``0 <= negative``) immediately yields an explanation.
+2. **Integer feasibility** by branch-and-bound: a rational model is rounded
+   variable by variable; whenever a variable cannot take an integer value
+   within its implied bounds, the solver branches on ``x <= floor`` versus
+   ``x >= ceil`` and recurses.
+
+The MCAPI trace encoding only produces difference constraints (handled by the
+faster :class:`repro.smt.theory.idl.DifferenceLogicSolver`), but the general
+solver keeps the SMT layer complete for arbitrary QF_LIA inputs, e.g. user
+properties that sum message payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.smt.linear import LinearLe
+from repro.smt.theory.idl import TheoryResult
+from repro.utils.errors import SolverError
+
+__all__ = ["LinearIntSolver"]
+
+#: Safety cap on branch-and-bound nodes; beyond this the solver gives up
+#: (reported as a SolverError rather than a wrong answer).
+_MAX_BB_NODES = 20_000
+
+
+@dataclass(frozen=True)
+class _Row:
+    """A rational constraint ``sum coeffs[x] * x <= bound`` with provenance."""
+
+    coeffs: Tuple[Tuple[str, Fraction], ...]
+    bound: Fraction
+    tags: FrozenSet[int]
+
+    def coeff_of(self, var: str) -> Fraction:
+        for name, coeff in self.coeffs:
+            if name == var:
+                return coeff
+        return Fraction(0)
+
+    def drop(self, var: str) -> Tuple[Tuple[str, Fraction], ...]:
+        return tuple((n, c) for n, c in self.coeffs if n != var)
+
+
+def _make_row(constraint: LinearLe, tag: int) -> _Row:
+    coeffs = tuple(
+        (name, Fraction(coeff)) for name, coeff in constraint.expr.coeffs if coeff != 0
+    )
+    return _Row(coeffs, Fraction(constraint.bound), frozenset([tag]))
+
+
+class LinearIntSolver:
+    """Decides conjunctions of linear integer constraints."""
+
+    def __init__(self) -> None:
+        self._constraints: List[LinearLe] = []
+
+    def assert_constraint(self, constraint: LinearLe) -> int:
+        index = len(self._constraints)
+        self._constraints.append(constraint)
+        return index
+
+    def assert_all(self, constraints: Sequence[LinearLe]) -> None:
+        for constraint in constraints:
+            self.assert_constraint(constraint)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------ checking
+
+    def check(self) -> TheoryResult:
+        """Check integer satisfiability of everything asserted so far."""
+        rows = [_make_row(c, i) for i, c in enumerate(self._constraints)]
+        self._bb_nodes = 0
+        return self._check_rows(rows)
+
+    def _check_rows(self, rows: List[_Row]) -> TheoryResult:
+        self._bb_nodes += 1
+        if self._bb_nodes > _MAX_BB_NODES:
+            raise SolverError("LIA branch-and-bound node limit exceeded")
+
+        feasible, model_or_conflict = self._rational_check(rows)
+        if not feasible:
+            return TheoryResult(satisfiable=False, conflict=sorted(model_or_conflict))
+
+        model: Dict[str, Fraction] = model_or_conflict
+        fractional = [v for v, value in model.items() if value.denominator != 1]
+        if not fractional:
+            return TheoryResult(
+                satisfiable=True, model={v: int(value) for v, value in model.items()}
+            )
+
+        # Branch on the first fractional variable.
+        var = sorted(fractional)[0]
+        value = model[var]
+        floor_value = math.floor(value)
+
+        low_branch = rows + [
+            _Row(((var, Fraction(1)),), Fraction(floor_value), frozenset())
+        ]
+        result = self._check_rows(low_branch)
+        if result.satisfiable:
+            return result
+
+        high_branch = rows + [
+            _Row(((var, Fraction(-1)),), Fraction(-(floor_value + 1)), frozenset())
+        ]
+        result = self._check_rows(high_branch)
+        if result.satisfiable:
+            return result
+
+        # Neither branch is integer-feasible.  The union of both explanations,
+        # restricted to original constraint tags, is a valid explanation (the
+        # branching cuts themselves carry no tags).
+        return TheoryResult(
+            satisfiable=False,
+            conflict=sorted({t for t in range(len(self._constraints))}),
+        )
+
+    # ------------------------------------------------------------------ rational LP
+
+    def _rational_check(self, rows: List[_Row]):
+        """Fourier–Motzkin feasibility over the rationals.
+
+        Returns ``(True, model)`` or ``(False, conflict_tags)``.
+        """
+        variables = sorted({name for row in rows for name, _ in row.coeffs})
+        # systems[k] is the constraint system *before* eliminating variables[k].
+        systems: List[List[_Row]] = []
+        current = list(rows)
+
+        for var in variables:
+            systems.append(current)
+            current = self._eliminate(current, var)
+            conflict = self._find_conflict(current)
+            if conflict is not None:
+                return False, conflict
+
+        conflict = self._find_conflict(current)
+        if conflict is not None:
+            return False, conflict
+
+        # Back-substitute to build a model.
+        model: Dict[str, Fraction] = {}
+        for var, system in zip(reversed(variables), reversed(systems)):
+            lower: Optional[Fraction] = None
+            upper: Optional[Fraction] = None
+            for row in system:
+                coeff = row.coeff_of(var)
+                if coeff == 0:
+                    continue
+                rest = row.bound
+                for name, c in row.coeffs:
+                    if name != var:
+                        rest -= c * model.get(name, Fraction(0))
+                limit = rest / coeff
+                if coeff > 0:
+                    upper = limit if upper is None else min(upper, limit)
+                else:
+                    lower = limit if lower is None else max(lower, limit)
+            model[var] = self._pick_value(lower, upper)
+        return True, model
+
+    @staticmethod
+    def _pick_value(lower: Optional[Fraction], upper: Optional[Fraction]) -> Fraction:
+        """Choose a value within [lower, upper], preferring integers."""
+        if lower is None and upper is None:
+            return Fraction(0)
+        if lower is None:
+            candidate = Fraction(math.floor(upper))
+            return candidate if candidate <= upper else upper
+        if upper is None:
+            candidate = Fraction(math.ceil(lower))
+            return candidate if candidate >= lower else lower
+        # Both bounds present (lower <= upper is guaranteed by FM feasibility).
+        candidate = Fraction(math.ceil(lower))
+        if lower <= candidate <= upper:
+            return candidate
+        return lower
+
+    @staticmethod
+    def _find_conflict(rows: List[_Row]) -> Optional[FrozenSet[int]]:
+        for row in rows:
+            if not row.coeffs and row.bound < 0:
+                return row.tags
+        return None
+
+    @staticmethod
+    def _eliminate(rows: List[_Row], var: str) -> List[_Row]:
+        """One Fourier–Motzkin elimination step for ``var``."""
+        uppers: List[_Row] = []   # coeff > 0  ->  var <= ...
+        lowers: List[_Row] = []   # coeff < 0  ->  var >= ...
+        others: List[_Row] = []
+        for row in rows:
+            coeff = row.coeff_of(var)
+            if coeff > 0:
+                uppers.append(row)
+            elif coeff < 0:
+                lowers.append(row)
+            else:
+                others.append(row)
+
+        new_rows = list(others)
+        for up in uppers:
+            cu = up.coeff_of(var)
+            for lo in lowers:
+                cl = -lo.coeff_of(var)
+                # Combine: cl * up + cu * lo eliminates var.
+                coeffs: Dict[str, Fraction] = {}
+                for name, c in up.drop(var):
+                    coeffs[name] = coeffs.get(name, Fraction(0)) + cl * c
+                for name, c in lo.drop(var):
+                    coeffs[name] = coeffs.get(name, Fraction(0)) + cu * c
+                bound = cl * up.bound + cu * lo.bound
+                new_rows.append(
+                    _Row(
+                        tuple(sorted((n, c) for n, c in coeffs.items() if c != 0)),
+                        bound,
+                        up.tags | lo.tags,
+                    )
+                )
+        return new_rows

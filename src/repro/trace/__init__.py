@@ -1,0 +1,30 @@
+"""Execution traces: events, the trace container and the trace builder."""
+
+from repro.trace.events import (
+    AssertEvent,
+    AssignEvent,
+    BranchEvent,
+    LocalEvent,
+    ReceiveEvent,
+    ReceiveInitEvent,
+    SendEvent,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.trace.trace import ExecutionTrace, ReceiveOperation
+from repro.trace.builder import TraceBuilder
+
+__all__ = [
+    "AssertEvent",
+    "AssignEvent",
+    "BranchEvent",
+    "LocalEvent",
+    "ReceiveEvent",
+    "ReceiveInitEvent",
+    "SendEvent",
+    "TraceEvent",
+    "WaitEvent",
+    "ExecutionTrace",
+    "ReceiveOperation",
+    "TraceBuilder",
+]

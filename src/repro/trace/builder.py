@@ -1,0 +1,210 @@
+"""Incremental construction of execution traces.
+
+The :class:`TraceBuilder` is the glue between the concrete interpreter (or
+any other producer of events) and :class:`repro.trace.trace.ExecutionTrace`:
+it numbers events globally and per thread, hands out the unique send / receive
+identifiers the paper's analysis relies on, and creates the fresh value
+symbols for receive operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mcapi.endpoint import EndpointId
+from repro.smt.terms import IntVar, Term
+from repro.trace.events import (
+    AssertEvent,
+    AssignEvent,
+    BranchEvent,
+    LocalEvent,
+    ReceiveEvent,
+    ReceiveInitEvent,
+    SendEvent,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import TraceError
+
+__all__ = ["TraceBuilder"]
+
+
+class TraceBuilder:
+    """Accumulates trace events with consistent numbering."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self._trace = ExecutionTrace(name=name)
+        self._thread_indices: Dict[str, int] = {}
+        self._next_send_id = 0
+        self._next_recv_id = 0
+
+    # ------------------------------------------------------------------ helpers
+
+    def _next_ids(self, thread: str) -> Dict[str, int]:
+        event_id = len(self._trace)
+        thread_index = self._thread_indices.get(thread, 0)
+        self._thread_indices[thread] = thread_index + 1
+        return {"event_id": event_id, "thread": thread, "thread_index": thread_index}
+
+    def fresh_recv_symbol(self, recv_id: int) -> str:
+        """The canonical symbol name for receive ``recv_id``'s value."""
+        return f"recv_val_{recv_id}"
+
+    def recv_symbol_term(self, recv_id: int) -> Term:
+        return IntVar(self.fresh_recv_symbol(recv_id))
+
+    # ------------------------------------------------------------------ event factories
+
+    def send(
+        self,
+        thread: str,
+        source: EndpointId,
+        destination: EndpointId,
+        payload_value: object,
+        payload_expr: Optional[Term] = None,
+        blocking: bool = True,
+        message_id: Optional[int] = None,
+    ) -> SendEvent:
+        event = SendEvent(
+            **self._next_ids(thread),
+            send_id=self._next_send_id,
+            source=source,
+            destination=destination,
+            payload_value=payload_value,
+            payload_expr=payload_expr,
+            blocking=blocking,
+            message_id=message_id,
+        )
+        self._next_send_id += 1
+        self._trace.append(event)
+        return event
+
+    def receive(
+        self,
+        thread: str,
+        endpoint: EndpointId,
+        target_variable: Optional[str] = None,
+        observed_value: object = None,
+        observed_send_id: Optional[int] = None,
+    ) -> ReceiveEvent:
+        recv_id = self._next_recv_id
+        self._next_recv_id += 1
+        event = ReceiveEvent(
+            **self._next_ids(thread),
+            recv_id=recv_id,
+            endpoint=endpoint,
+            target_variable=target_variable,
+            value_symbol=self.fresh_recv_symbol(recv_id),
+            observed_value=observed_value,
+            observed_send_id=observed_send_id,
+            blocking=True,
+        )
+        self._trace.append(event)
+        return event
+
+    def receive_init(
+        self,
+        thread: str,
+        endpoint: EndpointId,
+        target_variable: Optional[str] = None,
+        request_id: Optional[int] = None,
+    ) -> ReceiveInitEvent:
+        recv_id = self._next_recv_id
+        self._next_recv_id += 1
+        event = ReceiveInitEvent(
+            **self._next_ids(thread),
+            recv_id=recv_id,
+            endpoint=endpoint,
+            target_variable=target_variable,
+            value_symbol=self.fresh_recv_symbol(recv_id),
+            request_id=request_id,
+        )
+        self._trace.append(event)
+        return event
+
+    def wait(
+        self,
+        thread: str,
+        recv_id: int,
+        request_id: Optional[int] = None,
+        observed_value: object = None,
+        observed_send_id: Optional[int] = None,
+    ) -> WaitEvent:
+        event = WaitEvent(
+            **self._next_ids(thread),
+            recv_id=recv_id,
+            request_id=request_id,
+            observed_value=observed_value,
+            observed_send_id=observed_send_id,
+        )
+        self._trace.append(event)
+        return event
+
+    def assign(
+        self,
+        thread: str,
+        variable: str,
+        expression: Optional[Term],
+        observed_value: object = None,
+        value_symbol: Optional[str] = None,
+    ) -> AssignEvent:
+        event = AssignEvent(
+            **self._next_ids(thread),
+            variable=variable,
+            expression=expression,
+            observed_value=observed_value,
+            value_symbol=value_symbol,
+        )
+        self._trace.append(event)
+        return event
+
+    def branch(
+        self,
+        thread: str,
+        condition: Optional[Term],
+        outcome: bool,
+        source_location: Optional[str] = None,
+    ) -> BranchEvent:
+        event = BranchEvent(
+            **self._next_ids(thread),
+            condition=condition,
+            outcome=outcome,
+            source_location=source_location,
+        )
+        self._trace.append(event)
+        return event
+
+    def assertion(
+        self,
+        thread: str,
+        condition: Optional[Term],
+        observed_outcome: bool,
+        label: Optional[str] = None,
+    ) -> AssertEvent:
+        event = AssertEvent(
+            **self._next_ids(thread),
+            condition=condition,
+            observed_outcome=observed_outcome,
+            label=label,
+        )
+        self._trace.append(event)
+        return event
+
+    def local(self, thread: str, description: str) -> LocalEvent:
+        event = LocalEvent(**self._next_ids(thread), description=description)
+        self._trace.append(event)
+        return event
+
+    # ------------------------------------------------------------------ output
+
+    def build(self, validate: bool = True) -> ExecutionTrace:
+        """Return the accumulated trace (optionally validating it first)."""
+        if validate:
+            self._trace.validate()
+        return self._trace
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        """The trace being built (not validated)."""
+        return self._trace

@@ -1,0 +1,308 @@
+"""Execution-trace events.
+
+A trace is the sequence of *operations* one concrete run of an MCAPI program
+performed.  Each event records both the **concrete** outcome observed in the
+run (payload values, branch outcomes, which send a receive happened to match)
+and the **symbolic** data the encoder needs (expressions over the symbols
+introduced for received values).
+
+Symbolic expressions are represented directly as SMT terms
+(:class:`repro.smt.terms.Term`) over:
+
+* one integer symbol per receive operation (``recv_val_<k>``) — the value the
+  receive *will* obtain in whatever execution the SMT solver considers, and
+* the integer constants the program manipulates.
+
+This is what lets the single recorded trace stand for *every* execution that
+follows the same sequence of branch outcomes (paper §1): the concrete values
+are only used for reporting, while the constraints are built from the
+symbolic expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mcapi.endpoint import EndpointId
+from repro.smt.terms import Term
+
+__all__ = [
+    "TraceEvent",
+    "SendEvent",
+    "ReceiveEvent",
+    "ReceiveInitEvent",
+    "WaitEvent",
+    "AssignEvent",
+    "BranchEvent",
+    "AssertEvent",
+    "LocalEvent",
+]
+
+
+@dataclass
+class TraceEvent:
+    """Base class for all trace events.
+
+    Attributes
+    ----------
+    event_id:
+        Position of the event in the global trace (0-based).
+    thread:
+        Name of the thread that performed the operation.
+    thread_index:
+        Position of the event within its thread (0-based); consecutive
+        ``thread_index`` values define the program order the encoder asserts.
+    """
+
+    event_id: int
+    thread: str
+    thread_index: int
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return f"[{self.event_id}] {self.thread}#{self.thread_index} {self.kind}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "event_id": self.event_id,
+            "thread": self.thread,
+            "thread_index": self.thread_index,
+        }
+
+
+@dataclass
+class SendEvent(TraceEvent):
+    """A (blocking or non-blocking) message send.
+
+    ``send_id`` is the unique identifier the trace analysis assigns to every
+    send operation for use in the SMT problem (paper §2).
+    """
+
+    send_id: int = 0
+    source: EndpointId = EndpointId(0, 0)
+    destination: EndpointId = EndpointId(0, 0)
+    payload_value: object = None
+    payload_expr: Optional[Term] = None
+    blocking: bool = True
+    message_id: Optional[int] = None
+
+    def describe(self) -> str:
+        return (
+            f"{super().describe()} send#{self.send_id} "
+            f"{self.source}->{self.destination} value={self.payload_value!r}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "send_id": self.send_id,
+                "source": [self.source.node, self.source.port],
+                "destination": [self.destination.node, self.destination.port],
+                "payload_value": self.payload_value,
+                "payload_expr": str(self.payload_expr) if self.payload_expr is not None else None,
+                "blocking": self.blocking,
+                "message_id": self.message_id,
+            }
+        )
+        return data
+
+
+@dataclass
+class ReceiveEvent(TraceEvent):
+    """A blocking receive that obtained a message in the recorded run."""
+
+    recv_id: int = 0
+    endpoint: EndpointId = EndpointId(0, 0)
+    #: Name of the local variable the received value was stored into.
+    target_variable: Optional[str] = None
+    #: Fresh symbol standing for the received value in the SMT problem.
+    value_symbol: Optional[str] = None
+    #: Concrete value obtained in the recorded run (reporting only).
+    observed_value: object = None
+    #: ``send_id`` of the send this receive matched in the recorded run
+    #: (reporting only; the SMT problem re-decides the matching).
+    observed_send_id: Optional[int] = None
+    blocking: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"{super().describe()} recv#{self.recv_id} at {self.endpoint} "
+            f"-> {self.target_variable} (observed {self.observed_value!r})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "recv_id": self.recv_id,
+                "endpoint": [self.endpoint.node, self.endpoint.port],
+                "target_variable": self.target_variable,
+                "value_symbol": self.value_symbol,
+                "observed_value": self.observed_value,
+                "observed_send_id": self.observed_send_id,
+                "blocking": self.blocking,
+            }
+        )
+        return data
+
+
+@dataclass
+class ReceiveInitEvent(TraceEvent):
+    """Issue of a non-blocking receive (``mcapi_msg_recv_i``).
+
+    The receive's *completion* is the matching :class:`WaitEvent`; the paper's
+    ``match`` predicate uses the wait's position for the happens-before
+    constraint, exactly as §2 describes.
+    """
+
+    recv_id: int = 0
+    endpoint: EndpointId = EndpointId(0, 0)
+    target_variable: Optional[str] = None
+    value_symbol: Optional[str] = None
+    request_id: Optional[int] = None
+
+    def describe(self) -> str:
+        return (
+            f"{super().describe()} recv_i#{self.recv_id} at {self.endpoint} "
+            f"-> {self.target_variable}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "recv_id": self.recv_id,
+                "endpoint": [self.endpoint.node, self.endpoint.port],
+                "target_variable": self.target_variable,
+                "value_symbol": self.value_symbol,
+                "request_id": self.request_id,
+            }
+        )
+        return data
+
+
+@dataclass
+class WaitEvent(TraceEvent):
+    """A ``mcapi_wait`` on a previously issued non-blocking receive."""
+
+    recv_id: int = 0
+    request_id: Optional[int] = None
+    observed_value: object = None
+    observed_send_id: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"{super().describe()} wait(recv#{self.recv_id})"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "recv_id": self.recv_id,
+                "request_id": self.request_id,
+                "observed_value": self.observed_value,
+                "observed_send_id": self.observed_send_id,
+            }
+        )
+        return data
+
+
+@dataclass
+class AssignEvent(TraceEvent):
+    """A local assignment ``variable := expression``."""
+
+    variable: str = ""
+    expression: Optional[Term] = None
+    observed_value: object = None
+    #: Fresh symbol naming this assignment's value in the SMT problem (SSA).
+    value_symbol: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{super().describe()} {self.variable} := {self.expression}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "variable": self.variable,
+                "expression": str(self.expression) if self.expression is not None else None,
+                "observed_value": self.observed_value,
+                "value_symbol": self.value_symbol,
+            }
+        )
+        return data
+
+
+@dataclass
+class BranchEvent(TraceEvent):
+    """A conditional branch together with the outcome taken in the run.
+
+    The encoder asserts the condition (or its negation) so that the symbolic
+    executions follow *the same sequence of conditional branch outcomes* as
+    the recorded trace — the path-constrained semantics of the paper.
+    """
+
+    condition: Optional[Term] = None
+    outcome: bool = True
+    source_location: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{super().describe()} branch({self.condition}) -> {self.outcome}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "condition": str(self.condition) if self.condition is not None else None,
+                "outcome": self.outcome,
+                "source_location": self.source_location,
+            }
+        )
+        return data
+
+
+@dataclass
+class AssertEvent(TraceEvent):
+    """A safety assertion evaluated by the program.
+
+    The negation of the conjunction of all assertion conditions forms
+    ``PProp`` in the paper's formula.
+    """
+
+    condition: Optional[Term] = None
+    observed_outcome: bool = True
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"{super().describe()} assert({self.condition}) [{self.label}]"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data.update(
+            {
+                "condition": str(self.condition) if self.condition is not None else None,
+                "observed_outcome": self.observed_outcome,
+                "label": self.label,
+            }
+        )
+        return data
+
+
+@dataclass
+class LocalEvent(TraceEvent):
+    """Any other thread-local effect (print, no-op, barrier annotation)."""
+
+    description: str = ""
+
+    def describe(self) -> str:
+        return f"{super().describe()} {self.description}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data["description"] = self.description
+        return data

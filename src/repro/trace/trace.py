@@ -1,0 +1,263 @@
+"""The execution trace container and its queries.
+
+An :class:`ExecutionTrace` is the single input of the paper's technique: one
+concrete interleaved run of an MCAPI program, recorded as a sequence of
+:mod:`repro.trace.events`.  The trace offers the projections the rest of the
+pipeline needs:
+
+* per-thread program order (for ``POrder``),
+* the send and receive operations with their endpoints (for match-pair
+  generation and ``PMatchPairs`` / ``PUnique``),
+* assignments and branch outcomes (for ``PEvents``),
+* assertions (for ``PProp``),
+* JSON export for storing traces alongside benchmark results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mcapi.endpoint import EndpointId
+from repro.trace.events import (
+    AssertEvent,
+    AssignEvent,
+    BranchEvent,
+    ReceiveEvent,
+    ReceiveInitEvent,
+    SendEvent,
+    TraceEvent,
+    WaitEvent,
+)
+from repro.utils.errors import TraceError
+
+__all__ = ["ExecutionTrace", "ReceiveOperation"]
+
+
+@dataclass(frozen=True)
+class ReceiveOperation:
+    """A logical receive operation in the trace.
+
+    Blocking receives consist of a single :class:`ReceiveEvent`; non-blocking
+    receives consist of a :class:`ReceiveInitEvent` plus the
+    :class:`WaitEvent` that waits for its completion.  The paper's ``match``
+    predicate needs exactly this pairing: for non-blocking receives the
+    happens-before constraint refers to the *wait*, not the issue.
+    """
+
+    recv_id: int
+    thread: str
+    endpoint: EndpointId
+    value_symbol: str
+    issue_event_id: int
+    completion_event_id: int
+    blocking: bool
+    observed_value: object = None
+    observed_send_id: Optional[int] = None
+
+    @property
+    def is_nonblocking(self) -> bool:
+        return not self.blocking
+
+
+class ExecutionTrace:
+    """An ordered list of trace events with convenience queries."""
+
+    def __init__(self, events: Optional[Sequence[TraceEvent]] = None, name: str = "trace") -> None:
+        self.name = name
+        self._events: List[TraceEvent] = []
+        if events:
+            for event in events:
+                self.append(event)
+
+    # ------------------------------------------------------------------ building
+
+    def append(self, event: TraceEvent) -> None:
+        if event.event_id != len(self._events):
+            raise TraceError(
+                f"event_id {event.event_id} does not match position {len(self._events)}"
+            )
+        self._events.append(event)
+
+    # ------------------------------------------------------------------ basic access
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    def threads(self) -> List[str]:
+        """Thread names in order of first appearance."""
+        seen: List[str] = []
+        for event in self._events:
+            if event.thread not in seen:
+                seen.append(event.thread)
+        return seen
+
+    def events_of_thread(self, thread: str) -> List[TraceEvent]:
+        """Events of one thread, in program order."""
+        events = [e for e in self._events if e.thread == thread]
+        return sorted(events, key=lambda e: e.thread_index)
+
+    # ------------------------------------------------------------------ typed views
+
+    def sends(self) -> List[SendEvent]:
+        return [e for e in self._events if isinstance(e, SendEvent)]
+
+    def receive_events(self) -> List[ReceiveEvent]:
+        return [e for e in self._events if isinstance(e, ReceiveEvent)]
+
+    def receive_init_events(self) -> List[ReceiveInitEvent]:
+        return [e for e in self._events if isinstance(e, ReceiveInitEvent)]
+
+    def wait_events(self) -> List[WaitEvent]:
+        return [e for e in self._events if isinstance(e, WaitEvent)]
+
+    def assignments(self) -> List[AssignEvent]:
+        return [e for e in self._events if isinstance(e, AssignEvent)]
+
+    def branches(self) -> List[BranchEvent]:
+        return [e for e in self._events if isinstance(e, BranchEvent)]
+
+    def assertions(self) -> List[AssertEvent]:
+        return [e for e in self._events if isinstance(e, AssertEvent)]
+
+    def send_by_id(self, send_id: int) -> SendEvent:
+        for event in self.sends():
+            if event.send_id == send_id:
+                return event
+        raise TraceError(f"no send with id {send_id}")
+
+    # ------------------------------------------------------------------ receives
+
+    def receive_operations(self) -> List[ReceiveOperation]:
+        """All logical receive operations (blocking and non-blocking)."""
+        operations: List[ReceiveOperation] = []
+        for event in self._events:
+            if isinstance(event, ReceiveEvent):
+                if event.value_symbol is None:
+                    raise TraceError(f"receive event {event.event_id} has no value symbol")
+                operations.append(
+                    ReceiveOperation(
+                        recv_id=event.recv_id,
+                        thread=event.thread,
+                        endpoint=event.endpoint,
+                        value_symbol=event.value_symbol,
+                        issue_event_id=event.event_id,
+                        completion_event_id=event.event_id,
+                        blocking=True,
+                        observed_value=event.observed_value,
+                        observed_send_id=event.observed_send_id,
+                    )
+                )
+            elif isinstance(event, ReceiveInitEvent):
+                wait = self._find_wait_for(event)
+                if event.value_symbol is None:
+                    raise TraceError(f"receive event {event.event_id} has no value symbol")
+                operations.append(
+                    ReceiveOperation(
+                        recv_id=event.recv_id,
+                        thread=event.thread,
+                        endpoint=event.endpoint,
+                        value_symbol=event.value_symbol,
+                        issue_event_id=event.event_id,
+                        completion_event_id=wait.event_id if wait else event.event_id,
+                        blocking=False,
+                        observed_value=wait.observed_value if wait else None,
+                        observed_send_id=wait.observed_send_id if wait else None,
+                    )
+                )
+        return sorted(operations, key=lambda op: op.recv_id)
+
+    def _find_wait_for(self, init: ReceiveInitEvent) -> Optional[WaitEvent]:
+        for event in self._events:
+            if isinstance(event, WaitEvent) and event.recv_id == init.recv_id:
+                return event
+        return None
+
+    # ------------------------------------------------------------------ structure
+
+    def program_order_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs of event ids ``(a, b)`` with ``a`` immediately before ``b``
+        in some thread's program order."""
+        pairs: List[Tuple[int, int]] = []
+        for thread in self.threads():
+            events = self.events_of_thread(thread)
+            for before, after in zip(events, events[1:]):
+                pairs.append((before.event_id, after.event_id))
+        return pairs
+
+    def endpoints(self) -> List[EndpointId]:
+        """All endpoints mentioned by sends and receives."""
+        seen: Dict[EndpointId, None] = {}
+        for event in self._events:
+            if isinstance(event, SendEvent):
+                seen.setdefault(event.source)
+                seen.setdefault(event.destination)
+            elif isinstance(event, (ReceiveEvent, ReceiveInitEvent)):
+                seen.setdefault(event.endpoint)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`TraceError` on problems."""
+        send_ids = [s.send_id for s in self.sends()]
+        if len(send_ids) != len(set(send_ids)):
+            raise TraceError("duplicate send identifiers in trace")
+        recv_ops = self.receive_operations()
+        recv_ids = [r.recv_id for r in recv_ops]
+        if len(recv_ids) != len(set(recv_ids)):
+            raise TraceError("duplicate receive identifiers in trace")
+        symbols = [r.value_symbol for r in recv_ops]
+        if len(symbols) != len(set(symbols)):
+            raise TraceError("duplicate receive value symbols in trace")
+        for init in self.receive_init_events():
+            if self._find_wait_for(init) is None:
+                raise TraceError(
+                    f"non-blocking receive {init.recv_id} has no matching wait"
+                )
+        # Per-thread indices must be dense and ordered.
+        for thread in self.threads():
+            indices = [e.thread_index for e in self.events_of_thread(thread)]
+            if indices != list(range(len(indices))):
+                raise TraceError(f"thread {thread} has non-contiguous program order")
+
+    # ------------------------------------------------------------------ reporting
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "events": len(self._events),
+            "threads": len(self.threads()),
+            "sends": len(self.sends()),
+            "receives": len(self.receive_operations()),
+            "branches": len(self.branches()),
+            "assertions": len(self.assertions()),
+        }
+
+    def pretty(self) -> str:
+        """A human-readable dump of the trace."""
+        lines = [f"Trace {self.name!r} ({len(self)} events)"]
+        lines.extend("  " + event.describe() for event in self._events)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "events": [e.to_dict() for e in self._events]}
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to JSON.
+
+        Symbolic expressions are stored as their s-expression rendering; the
+        JSON form is intended for archiving and inspection (the encoder works
+        from live traces).
+        """
+        return json.dumps(self.to_dict(), indent=indent, default=str)

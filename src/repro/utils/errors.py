@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+A single root exception (:class:`ReproError`) makes it easy for callers to
+catch anything raised by the library without also swallowing unrelated
+programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class SolverError(ReproError):
+    """Raised for misuse of the SMT solver or internal solver failures."""
+
+
+class EncodingError(ReproError):
+    """Raised when a trace cannot be encoded into an SMT problem."""
+
+
+class McapiError(ReproError):
+    """Raised by the MCAPI runtime simulator for API misuse.
+
+    Mirrors the error statuses of the C API: most runtime routines also
+    report a status code, but programming errors (using an endpoint that
+    was never created, waiting on a foreign request handle, ...) raise.
+    """
+
+
+class ProgramError(ReproError):
+    """Raised for malformed programs in the modelling language."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed or inconsistent execution traces."""
+
+
+class PropertyError(ReproError):
+    """Raised for malformed correctness properties."""
+
+
+class MatchPairError(ReproError):
+    """Raised when match-pair generation fails or is given a bad trace."""

@@ -1,0 +1,41 @@
+"""Monotonic identifier generation.
+
+Identifiers are plain ``int``s; each :class:`IdGenerator` hands them out
+densely starting from a configurable base.  The trace analysis assigns every
+send operation a unique identifier this way (paper §2), and the same
+mechanism numbers events, endpoints and SMT variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable
+
+
+class IdGenerator:
+    """Hands out consecutive integers, optionally memoising by key."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._start = start
+        self._by_key: Dict[Hashable, int] = {}
+
+    def fresh(self) -> int:
+        """Return the next unused identifier."""
+        return next(self._counter)
+
+    def for_key(self, key: Hashable) -> int:
+        """Return a stable identifier for ``key`` (allocating on first use)."""
+        if key not in self._by_key:
+            self._by_key[key] = self.fresh()
+        return self._by_key[key]
+
+    def known(self, key: Hashable) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def reset(self) -> None:
+        self._counter = itertools.count(self._start)
+        self._by_key.clear()

@@ -1,0 +1,96 @@
+"""Lightweight wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.start(); _ = sum(range(1000)); sw.stop()
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (excluding a currently-running span)."""
+        total = self._elapsed
+        if self._start is not None:
+            total += time.perf_counter() - self._start
+        return total
+
+
+class Timer:
+    """Context manager measuring one span of wall-clock time.
+
+    >>> with Timer() as t:
+    ...     _ = [i * i for i in range(100)]
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class StatsCollector:
+    """Named counters and timing series, used for solver statistics."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record(self, name: str, value: float) -> None:
+        self.series.setdefault(name, []).append(value)
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def summary(self) -> Dict[str, float]:
+        """Flatten into a report-friendly dictionary."""
+        out: Dict[str, float] = dict(self.counters)
+        for name, values in self.series.items():
+            if values:
+                out[f"{name}_mean"] = sum(values) / len(values)
+                out[f"{name}_max"] = max(values)
+        return out

@@ -1,0 +1,69 @@
+"""Union-find (disjoint sets) with path compression and union by rank.
+
+Used by the EUF congruence-closure theory solver and by the DPOR baseline's
+independence analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are added lazily on first use, so callers never need to
+    pre-declare the universe.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, x: Hashable) -> None:
+        """Ensure ``x`` is present as (at least) a singleton class."""
+        if x not in self._parent:
+            self._parent[x] = x
+            self._rank[x] = 0
+
+    def find(self, x: Hashable) -> Hashable:
+        """Return the canonical representative of ``x``'s class."""
+        self.add(x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the classes of ``a`` and ``b``; return the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        """True if ``a`` and ``b`` are currently in the same class."""
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> List[Set[Hashable]]:
+        """Return the current partition as a list of sets."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return list(groups.values())
+
+    def __contains__(self, x: Hashable) -> bool:
+        return x in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)

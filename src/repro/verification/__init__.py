@@ -1,0 +1,13 @@
+"""Verification front-end: the symbolic verifier, witness replay and the CLI."""
+
+from repro.verification.verifier import SymbolicVerifier, Verdict, VerificationResult
+from repro.verification.replay import ReplayOutcome, replay_witness, witness_schedule
+
+__all__ = [
+    "SymbolicVerifier",
+    "Verdict",
+    "VerificationResult",
+    "ReplayOutcome",
+    "replay_witness",
+    "witness_schedule",
+]

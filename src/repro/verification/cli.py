@@ -1,0 +1,133 @@
+"""Command-line interface: ``mcapi-verify``.
+
+Runs one of the bundled workloads, records a trace, encodes it and reports
+the verdict together with a counterexample (when one exists)::
+
+    mcapi-verify --workload figure1 --property a-is-y
+    mcapi-verify --workload racy_fanin --senders 3 --seed 2 --show-smt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.encoding.encoder import EncoderOptions, MatchPairStrategy
+from repro.program.ast import Program
+from repro.verification.verifier import SymbolicVerifier, Verdict
+from repro.workloads import (
+    branching_consumer,
+    client_server,
+    figure1_program,
+    nonblocking_fanin,
+    pipeline,
+    racy_fanin,
+    scatter_gather,
+    token_ring,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_workload(args: argparse.Namespace) -> Program:
+    name = args.workload
+    if name == "figure1":
+        return figure1_program(
+            assert_a_is_y=(args.property in ("a-is-y", None)),
+            assert_a_is_x=(args.property == "a-is-x"),
+        )
+    if name == "racy_fanin":
+        return racy_fanin(args.senders, args.messages, assert_first_from_sender0=True)
+    if name == "nonblocking_fanin":
+        return nonblocking_fanin(args.senders)
+    if name == "pipeline":
+        return pipeline(max(args.senders, 2))
+    if name == "token_ring":
+        return token_ring(max(args.senders, 2))
+    if name == "scatter_gather":
+        return scatter_gather(args.senders, assert_order=True)
+    if name == "client_server":
+        return client_server(args.senders)
+    if name == "branching_consumer":
+        return branching_consumer()
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mcapi-verify",
+        description="Symbolically verify an MCAPI workload from a recorded trace.",
+    )
+    parser.add_argument(
+        "--workload",
+        default="figure1",
+        choices=[
+            "figure1",
+            "racy_fanin",
+            "nonblocking_fanin",
+            "pipeline",
+            "token_ring",
+            "scatter_gather",
+            "client_server",
+            "branching_consumer",
+        ],
+        help="which bundled workload to verify",
+    )
+    parser.add_argument(
+        "--property",
+        default=None,
+        choices=[None, "a-is-y", "a-is-x"],
+        help="figure1 only: which assertion to add to thread t0",
+    )
+    parser.add_argument("--senders", type=int, default=3, help="workload size parameter")
+    parser.add_argument("--messages", type=int, default=1, help="messages per sender")
+    parser.add_argument("--seed", type=int, default=0, help="seed of the recording run")
+    parser.add_argument(
+        "--match-pairs",
+        default="endpoint",
+        choices=["endpoint", "precise"],
+        help="match-pair generation strategy",
+    )
+    parser.add_argument(
+        "--pair-fifo",
+        action="store_true",
+        help="add the per-pair FIFO extension constraints",
+    )
+    parser.add_argument(
+        "--show-smt", action="store_true", help="print the generated SMT-LIB script"
+    )
+    parser.add_argument(
+        "--show-trace", action="store_true", help="print the recorded execution trace"
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    program = _make_workload(args)
+
+    options = EncoderOptions(
+        match_strategy=(
+            MatchPairStrategy.PRECISE
+            if args.match_pairs == "precise"
+            else MatchPairStrategy.ENDPOINT
+        ),
+        enforce_pair_fifo=args.pair_fifo,
+    )
+    verifier = SymbolicVerifier(options=options)
+    result = verifier.verify_program(program, seed=args.seed)
+
+    if args.show_trace and result.trace is not None:
+        print(result.trace.pretty())
+        print()
+    if args.show_smt:
+        print(result.problem.to_smtlib())
+        print()
+
+    print(result.describe())
+    return 1 if result.verdict is Verdict.VIOLATION else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

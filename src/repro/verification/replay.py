@@ -1,0 +1,134 @@
+"""Replaying SMT witnesses on the simulator.
+
+A decoded :class:`repro.encoding.witness.Witness` claims that a particular
+interleaving and send/receive matching leads to a property violation.  For
+traces whose receives are all *blocking*, the claim can be validated
+end-to-end: the witness is turned into a concrete scheduler script (run this
+thread / deliver that message) and the program is re-executed under a
+:class:`repro.mcapi.scheduler.ReplayStrategy`.  The replayed run must observe
+exactly the receive values the witness predicted — this is how the test
+suite demonstrates that satisfying assignments are real executions, not
+artefacts of the encoding.
+
+Traces containing non-blocking receives are rejected: the MCAPI runtime
+binds deliveries to outstanding ``recv_i`` requests in posting order, so not
+every matching the (paper-faithful) encoding admits can be steered by
+delivery order alone.  See DESIGN.md ("witness replay") for the discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.encoding.encoder import EncodedProblem
+from repro.encoding.witness import Witness
+from repro.mcapi.scheduler import Action, ReplayStrategy
+from repro.program.ast import Program
+from repro.program.interpreter import ProgramRun, ProgramRunner
+from repro.trace.events import (
+    AssertEvent,
+    AssignEvent,
+    BranchEvent,
+    LocalEvent,
+    ReceiveEvent,
+    ReceiveInitEvent,
+    SendEvent,
+    WaitEvent,
+)
+from repro.utils.errors import EncodingError
+
+__all__ = ["ReplayOutcome", "witness_schedule", "replay_witness"]
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a witness on the concrete simulator.
+
+    Receive operations are identified by ``(thread, thread_index)`` — their
+    position in the program — because trace-local receive ids are assigned in
+    execution order and therefore differ between the recording run and the
+    replayed interleaving.
+    """
+
+    run: ProgramRun
+    observed_values: Dict[Tuple[str, int], int]
+    expected_values: Dict[Tuple[str, int], int]
+
+    @property
+    def values_match(self) -> bool:
+        return all(
+            self.observed_values.get(key) == expected
+            for key, expected in self.expected_values.items()
+        )
+
+    @property
+    def reproduced_violation(self) -> bool:
+        """True if the replay run actually tripped a program assertion."""
+        return bool(self.run.assertion_failures)
+
+
+def witness_schedule(problem: EncodedProblem, witness: Witness) -> List[Action]:
+    """Convert a witness into a scheduler action script.
+
+    Thread events become ``run(thread)`` actions in witness-clock order; each
+    receive's matched message is delivered immediately before the receive
+    runs, so the receive pops exactly that message.
+    """
+    trace = problem.trace
+    if any(not op.blocking for op in trace.receive_operations()):
+        raise EncodingError(
+            "witness replay supports blocking receives only (see DESIGN.md)"
+        )
+
+    # The replay run assigns message ids in *its own* submission order, i.e.
+    # the order send events appear in the witness interleaving.  Build the
+    # witness-send-id -> replay-message-id mapping accordingly.
+    send_message_ids: Dict[int, int] = {}
+    next_message_id = 0
+    for event_id in witness.event_order:
+        event = trace[event_id]
+        if isinstance(event, SendEvent):
+            send_message_ids[event.send_id] = next_message_id
+            next_message_id += 1
+
+    actions: List[Action] = []
+    for event_id in witness.event_order:
+        event = trace[event_id]
+        if isinstance(event, ReceiveEvent):
+            matched_send = witness.matching.get(event.recv_id)
+            if matched_send is None:
+                raise EncodingError(f"witness has no match for receive {event.recv_id}")
+            if matched_send not in send_message_ids:
+                raise EncodingError(
+                    f"send {matched_send} does not appear in the witness order"
+                )
+            actions.append(
+                Action(kind="deliver", message_id=send_message_ids[matched_send])
+            )
+            actions.append(Action(kind="run", task_name=event.thread))
+        else:
+            actions.append(Action(kind="run", task_name=event.thread))
+    return actions
+
+
+def replay_witness(
+    program: Program, problem: EncodedProblem, witness: Witness
+) -> ReplayOutcome:
+    """Re-execute ``program`` following ``witness`` and compare observations."""
+    schedule = witness_schedule(problem, witness)
+    runner = ProgramRunner(
+        program,
+        strategy=ReplayStrategy(schedule),
+        trace_name=f"{problem.trace.name}-replay",
+    )
+    run = runner.run()
+
+    observed: Dict[Tuple[str, int], int] = {}
+    for event in run.trace.receive_events():
+        observed[(event.thread, event.thread_index)] = int(event.observed_value)
+    expected: Dict[Tuple[str, int], int] = {}
+    for op in problem.trace.receive_operations():
+        issue = problem.trace[op.issue_event_id]
+        expected[(issue.thread, issue.thread_index)] = witness.receive_values[op.recv_id]
+    return ReplayOutcome(run=run, observed_values=observed, expected_values=expected)

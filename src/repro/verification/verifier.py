@@ -1,0 +1,226 @@
+"""The symbolic verifier: the user-facing API of the reproduction.
+
+``SymbolicVerifier`` ties the pipeline together:
+
+1. run the program once (any scheduling) to obtain an execution trace,
+2. generate match pairs from the trace,
+3. encode ``P = POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧ PEvents``,
+4. hand the problem to the SMT solver,
+5. decode a counterexample witness if the problem is satisfiable.
+
+Beyond the paper's yes/no question the verifier can also *enumerate* every
+send/receive pairing the model admits (by iteratively blocking found
+matchings), which is what the coverage benchmarks use to compare against MCC
+and the Elwakil/Yang encoding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.encoding.encoder import EncodedProblem, EncoderOptions, TraceEncoder
+from repro.encoding.properties import Property
+from repro.encoding.variables import match_var
+from repro.encoding.witness import Witness, decode_witness
+from repro.program.ast import Program
+from repro.program.interpreter import ProgramRun, run_program
+from repro.mcapi.network import DeliveryPolicy
+from repro.mcapi.scheduler import SchedulingStrategy
+from repro.smt.solver import CheckResult, Solver
+from repro.smt.terms import And, Eq, IntVal, Not, Term
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import EncodingError
+
+__all__ = ["Verdict", "VerificationResult", "SymbolicVerifier"]
+
+
+class Verdict(Enum):
+    """Outcome of a verification query."""
+
+    #: No execution consistent with the trace's branch outcomes violates the
+    #: properties.
+    SAFE = "safe"
+    #: Some execution violates a property; a witness is attached.
+    VIOLATION = "violation"
+    #: The solver gave up (iteration limit); no conclusion.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    """The verdict plus everything needed to understand and reproduce it."""
+
+    verdict: Verdict
+    problem: EncodedProblem
+    witness: Optional[Witness] = None
+    solver_statistics: Dict[str, int] = field(default_factory=dict)
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    trace: Optional[ExecutionTrace] = None
+    program_run: Optional[ProgramRun] = None
+
+    @property
+    def is_violation(self) -> bool:
+        return self.verdict is Verdict.VIOLATION
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict is Verdict.SAFE
+
+    def describe(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        lines.append(f"problem size: {self.problem.size_summary()}")
+        lines.append(
+            f"encode time: {self.encode_seconds * 1000:.1f} ms, "
+            f"solve time: {self.solve_seconds * 1000:.1f} ms"
+        )
+        if self.witness is not None:
+            lines.append(self.witness.describe(self.problem))
+        return "\n".join(lines)
+
+
+class SymbolicVerifier:
+    """Trace- and program-level verification via the SMT encoding."""
+
+    def __init__(
+        self,
+        options: Optional[EncoderOptions] = None,
+        max_solver_iterations: int = 200_000,
+    ) -> None:
+        self.encoder = TraceEncoder(options)
+        self.max_solver_iterations = max_solver_iterations
+
+    # ------------------------------------------------------------------ traces
+
+    def verify_trace(
+        self,
+        trace: ExecutionTrace,
+        properties: Optional[Sequence[Property]] = None,
+        program_run: Optional[ProgramRun] = None,
+    ) -> VerificationResult:
+        """Check whether any modelled execution violates the properties."""
+        start = time.perf_counter()
+        problem = self.encoder.encode(trace, properties=properties)
+        encode_seconds = time.perf_counter() - start
+
+        if problem.negated_property is None:
+            # No properties with content: nothing can be violated.
+            return VerificationResult(
+                verdict=Verdict.SAFE,
+                problem=problem,
+                encode_seconds=encode_seconds,
+                trace=trace,
+                program_run=program_run,
+            )
+
+        solver = Solver(max_iterations=self.max_solver_iterations)
+        solver.add_all(problem.assertions(include_property=True))
+        start = time.perf_counter()
+        outcome = solver.check()
+        solve_seconds = time.perf_counter() - start
+
+        witness: Optional[Witness] = None
+        if outcome is CheckResult.SAT:
+            verdict = Verdict.VIOLATION
+            witness = decode_witness(problem, solver.model())
+        elif outcome is CheckResult.UNSAT:
+            verdict = Verdict.SAFE
+        else:
+            verdict = Verdict.UNKNOWN
+
+        return VerificationResult(
+            verdict=verdict,
+            problem=problem,
+            witness=witness,
+            solver_statistics=solver.statistics(),
+            encode_seconds=encode_seconds,
+            solve_seconds=solve_seconds,
+            trace=trace,
+            program_run=program_run,
+        )
+
+    # ------------------------------------------------------------------ programs
+
+    def verify_program(
+        self,
+        program: Program,
+        properties: Optional[Sequence[Property]] = None,
+        seed: int = 0,
+        policy: Optional[DeliveryPolicy] = None,
+        strategy: Optional[SchedulingStrategy] = None,
+    ) -> VerificationResult:
+        """Run ``program`` once to obtain a trace, then verify the trace.
+
+        Any scheduling works for the recording run — the encoding models the
+        other interleavings symbolically — so the default is a seeded random
+        schedule.
+        """
+        run = run_program(program, seed=seed, policy=policy, strategy=strategy)
+        if run.deadlocked:
+            raise EncodingError(
+                f"the recording run of {program.name!r} deadlocked; "
+                "pick a different seed/strategy to obtain a complete trace"
+            )
+        return self.verify_trace(run.trace, properties=properties, program_run=run)
+
+    # ------------------------------------------------------------------ reachability
+
+    def feasibility(self, trace: ExecutionTrace) -> bool:
+        """True if the encoding admits at least one execution (sanity check)."""
+        problem = self.encoder.encode(trace, properties=[])
+        solver = Solver(max_iterations=self.max_solver_iterations)
+        solver.add_all(problem.assertions(include_property=False))
+        return solver.check() is CheckResult.SAT
+
+    def is_pairing_reachable(
+        self, trace: ExecutionTrace, pairing: Dict[int, int]
+    ) -> bool:
+        """Is there an execution in which each ``recv_id`` matches ``send_id``?
+
+        This is the query behind the Figure 4 experiment: the paper's
+        encoding must report both 4a and 4b reachable, while the MCC /
+        Elwakil models admit only 4a.
+        """
+        problem = self.encoder.encode(trace, properties=[])
+        solver = Solver(max_iterations=self.max_solver_iterations)
+        solver.add_all(problem.assertions(include_property=False))
+        constraints = [
+            Eq(match_var(recv_id), IntVal(send_id))
+            for recv_id, send_id in pairing.items()
+        ]
+        return solver.check(*constraints) is CheckResult.SAT
+
+    def enumerate_pairings(
+        self,
+        trace: ExecutionTrace,
+        limit: Optional[int] = None,
+    ) -> List[Dict[int, int]]:
+        """All complete matchings admitted by the SMT model.
+
+        Found by iterative blocking: solve, record the matching of the model,
+        add a clause forbidding exactly that matching, repeat.  ``limit``
+        caps the number of matchings returned.
+        """
+        problem = self.encoder.encode(trace, properties=[])
+        solver = Solver(max_iterations=self.max_solver_iterations)
+        solver.add_all(problem.assertions(include_property=False))
+
+        pairings: List[Dict[int, int]] = []
+        while limit is None or len(pairings) < limit:
+            if solver.check() is not CheckResult.SAT:
+                break
+            witness = decode_witness(problem, solver.model())
+            pairings.append(dict(witness.matching))
+            blocking = Not(
+                And(
+                    [
+                        Eq(match_var(recv_id), IntVal(send_id))
+                        for recv_id, send_id in witness.matching.items()
+                    ]
+                )
+            )
+            solver.add(blocking)
+        return pairings

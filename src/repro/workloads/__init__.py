@@ -1,0 +1,37 @@
+"""Workload programs: the paper's Figure 1 plus parameterised generators."""
+
+from repro.workloads.figure1 import (
+    X_VALUE,
+    Y_VALUE,
+    Z_VALUE,
+    all_feasible_pairings,
+    figure1_program,
+    figure4a_pairing,
+    figure4b_pairing,
+)
+from repro.workloads.generators import (
+    branching_consumer,
+    client_server,
+    nonblocking_fanin,
+    pipeline,
+    racy_fanin,
+    scatter_gather,
+    token_ring,
+)
+
+__all__ = [
+    "X_VALUE",
+    "Y_VALUE",
+    "Z_VALUE",
+    "all_feasible_pairings",
+    "figure1_program",
+    "figure4a_pairing",
+    "figure4b_pairing",
+    "branching_consumer",
+    "client_server",
+    "nonblocking_fanin",
+    "pipeline",
+    "racy_fanin",
+    "scatter_gather",
+    "token_ring",
+]

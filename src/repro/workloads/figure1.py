@@ -1,0 +1,110 @@
+"""The paper's Figure 1 program and its two behaviours (Figure 4a / 4b).
+
+::
+
+    Thread t0        Thread t1        Thread t2
+    1: recv(A)       recv(C)          send(Y):t0
+    2: recv(B)       send(X):t0       send(Z):t1
+
+Both ``send(Y)`` (from t2) and ``send(X)`` (from t1) target thread t0, and
+nothing forces their delivery order: if the message carrying ``Y`` is delayed
+long enough, ``recv(A)`` obtains ``X`` instead (the paper's Figure 4b), a
+behaviour MCC and the Elwakil/Yang encoding ignore.
+
+The module also provides the two concrete pairings of Figure 4 as data, so
+tests and benchmarks can compare what each analysis admits against the
+paper's ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.program.ast import C, Program, V
+from repro.program.builder import ProgramBuilder
+
+__all__ = [
+    "X_VALUE",
+    "Y_VALUE",
+    "Z_VALUE",
+    "figure1_program",
+    "figure4a_pairing",
+    "figure4b_pairing",
+    "all_feasible_pairings",
+]
+
+#: Concrete payloads used for the symbolic messages X, Y, Z of the paper.
+X_VALUE = 10
+Y_VALUE = 20
+Z_VALUE = 30
+
+
+def figure1_program(
+    assert_a_is_y: bool = False,
+    assert_a_is_x: bool = False,
+) -> Program:
+    """Build the Figure 1 program.
+
+    Parameters
+    ----------
+    assert_a_is_y:
+        Add ``assert A == Y`` at the end of thread t0.  This assertion holds
+        in the Figure 4a behaviour (the only one MCC explores) but is
+        violated by the Figure 4b behaviour, so a *complete* analysis must
+        report it as violable.
+    assert_a_is_x:
+        Add ``assert A == X`` instead — violated by Figure 4a, witnessing
+        that behaviour.
+    """
+    builder = ProgramBuilder("figure1")
+
+    t0 = builder.thread("t0")
+    t0.recv("A")
+    t0.recv("B")
+    if assert_a_is_y:
+        t0.assertion(V("A").eq(C(Y_VALUE)), label="A-received-Y")
+    if assert_a_is_x:
+        t0.assertion(V("A").eq(C(X_VALUE)), label="A-received-X")
+
+    t1 = builder.thread("t1")
+    t1.recv("C")
+    t1.send("t0", C(X_VALUE))
+
+    t2 = builder.thread("t2")
+    t2.send("t0", C(Y_VALUE))
+    t2.send("t1", C(Z_VALUE))
+
+    return builder.build()
+
+
+def figure4a_pairing() -> Dict[str, str]:
+    """The pairing of Figure 4a: Y->recv(A), Z->recv(C), X->recv(B).
+
+    Sends are written with their concrete payloads (X=10, Y=20, Z=30) so the
+    dictionaries compare directly against
+    :meth:`repro.encoding.witness.Witness.pairing_description`.
+    """
+    return {
+        "recv(A)": f"send({Y_VALUE})@t2",
+        "recv(C)": f"send({Z_VALUE})@t2",
+        "recv(B)": f"send({X_VALUE})@t1",
+    }
+
+
+def figure4b_pairing() -> Dict[str, str]:
+    """The pairing of Figure 4b: Z->recv(C), X->recv(A), Y->recv(B)."""
+    return {
+        "recv(A)": f"send({X_VALUE})@t1",
+        "recv(C)": f"send({Z_VALUE})@t2",
+        "recv(B)": f"send({Y_VALUE})@t2",
+    }
+
+
+def all_feasible_pairings() -> List[Dict[str, str]]:
+    """All pairings an analysis that models delays must admit.
+
+    recv(C) can only obtain Z (it is the only message sent to t1), while
+    recv(A)/recv(B) can obtain X and Y in either order — exactly the two
+    behaviours of the paper's Figure 4.
+    """
+    return [figure4a_pairing(), figure4b_pairing()]

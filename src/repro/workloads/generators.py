@@ -1,0 +1,245 @@
+"""Parameterised MCAPI workload generators.
+
+These are the programs the benchmark harness sweeps over.  Each generator
+returns a :class:`repro.program.ast.Program`; all of them are built from the
+communication patterns the paper's introduction motivates (several senders
+racing towards one endpoint, pipelines of dependent transfers, request /
+response services) so that the scalability and coverage results exercise the
+same phenomena as the Figure 1 example, just bigger.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.program.ast import C, Program, V
+from repro.program.builder import ProgramBuilder
+from repro.utils.errors import ProgramError
+
+__all__ = [
+    "racy_fanin",
+    "pipeline",
+    "token_ring",
+    "scatter_gather",
+    "client_server",
+    "nonblocking_fanin",
+    "branching_consumer",
+]
+
+
+def _payload(sender: int, index: int) -> int:
+    """A distinct, recognisable payload per (sender, message index)."""
+    return 100 * (sender + 1) + index
+
+
+def racy_fanin(
+    num_senders: int,
+    messages_per_sender: int = 1,
+    assert_first_from_sender0: bool = False,
+) -> Program:
+    """``num_senders`` threads each send messages to a single receiver.
+
+    This is the direct generalisation of Figure 1's race: every message
+    targets the same endpoint, so any interleaving of deliveries is possible
+    and the number of admissible matchings grows factorially.
+
+    With ``assert_first_from_sender0`` the receiver asserts that its *first*
+    message came from sender 0 — true in some executions, false in others,
+    which is the shape of property the symbolic analysis is built to expose.
+    """
+    if num_senders < 1:
+        raise ProgramError("racy_fanin needs at least one sender")
+    builder = ProgramBuilder(f"racy_fanin_{num_senders}x{messages_per_sender}")
+
+    receiver = builder.thread("recv")
+    total = num_senders * messages_per_sender
+    for index in range(total):
+        receiver.recv(f"m{index}")
+    if assert_first_from_sender0:
+        receiver.assertion(
+            V("m0").eq(C(_payload(0, 0))), label="first-message-from-sender0"
+        )
+
+    for sender in range(num_senders):
+        thread = builder.thread(f"send{sender}")
+        for index in range(messages_per_sender):
+            thread.send("recv", C(_payload(sender, index)))
+    return builder.build()
+
+
+def pipeline(depth: int, initial_value: int = 1) -> Program:
+    """A linear pipeline: each stage receives a value, adds one, forwards it.
+
+    The final stage asserts the value equals ``initial_value + depth - 1``,
+    which must hold in *every* execution — a property the verifier should
+    prove unreachable to violate.
+    """
+    if depth < 2:
+        raise ProgramError("pipeline needs at least two stages")
+    builder = ProgramBuilder(f"pipeline_{depth}")
+
+    first = builder.thread("stage0")
+    first.assign("v", C(initial_value))
+    first.send("stage1", V("v"))
+
+    for stage in range(1, depth):
+        thread = builder.thread(f"stage{stage}")
+        thread.recv("v")
+        thread.assign("w", V("v") + 1)
+        if stage < depth - 1:
+            thread.send(f"stage{stage + 1}", V("w"))
+        else:
+            thread.assertion(
+                V("w").eq(C(initial_value + depth - 1)), label="pipeline-sum"
+            )
+    return builder.build()
+
+
+def token_ring(size: int, rounds: int = 1, token: int = 7) -> Program:
+    """A token circulates ``rounds`` times around a ring of ``size`` threads.
+
+    Thread 0 injects the token, every thread forwards it, and thread 0
+    finally asserts the token value is unchanged.
+    """
+    if size < 2:
+        raise ProgramError("token_ring needs at least two threads")
+    builder = ProgramBuilder(f"token_ring_{size}x{rounds}")
+
+    threads = [builder.thread(f"node{i}") for i in range(size)]
+    threads[0].send("node1", C(token))
+    for _ in range(rounds):
+        for index in range(1, size):
+            threads[index].recv("tok")
+            threads[index].send(f"node{(index + 1) % size}", V("tok"))
+        threads[0].recv("tok")
+        if _ < rounds - 1:
+            threads[0].send("node1", V("tok"))
+    threads[0].assertion(V("tok").eq(C(token)), label="token-preserved")
+    return builder.build()
+
+
+def scatter_gather(num_workers: int, assert_order: bool = False) -> Program:
+    """A master scatters one task per worker and gathers the doubled results.
+
+    The master's final assertion on the *sum* of results holds in every
+    execution; with ``assert_order`` an additional assertion claims the first
+    gathered result came from worker 0, which is racy (violable) because the
+    workers' replies target a single master endpoint.
+    """
+    if num_workers < 1:
+        raise ProgramError("scatter_gather needs at least one worker")
+    builder = ProgramBuilder(f"scatter_gather_{num_workers}")
+
+    master = builder.thread("master")
+    for worker in range(num_workers):
+        master.send(f"worker{worker}", C(worker + 1))
+    for index in range(num_workers):
+        master.recv(f"r{index}")
+    total = V("r0")
+    for index in range(1, num_workers):
+        total = total + V(f"r{index}")
+    expected = sum(2 * (w + 1) for w in range(num_workers))
+    master.assertion(total.eq(C(expected)), label="gather-sum")
+    if assert_order:
+        master.assertion(V("r0").eq(C(2)), label="first-reply-from-worker0")
+
+    for worker in range(num_workers):
+        thread = builder.thread(f"worker{worker}")
+        thread.recv("task")
+        thread.assign("result", V("task") * 2)
+        thread.send("master", V("result"))
+    return builder.build()
+
+
+def client_server(num_clients: int) -> Program:
+    """``num_clients`` clients send requests to a server that replies to each.
+
+    Requests race towards the server's endpoint; replies are directed, so
+    each client's assertion (reply == its own request + 1000) holds in every
+    execution only because the server echoes the request id back — the racy
+    part is *which* request the server handles first.
+    """
+    if num_clients < 1:
+        raise ProgramError("client_server needs at least one client")
+    builder = ProgramBuilder(f"client_server_{num_clients}")
+
+    server = builder.thread("server")
+    for index in range(num_clients):
+        server.recv(f"req{index}")
+    # Reply to clients in a fixed order with the *slot* value it received;
+    # the slot may hold any client's request, so the replies carry the echo.
+    for index in range(num_clients):
+        server.send(f"client{index}", V(f"req{index}") + 1000)
+
+    for client in range(num_clients):
+        thread = builder.thread(f"client{client}")
+        thread.send("server", C(client + 1))
+        thread.recv("reply")
+        thread.assertion(V("reply") > C(1000), label=f"client{client}-got-reply")
+    return builder.build()
+
+
+def nonblocking_fanin(num_senders: int) -> Program:
+    """Like :func:`racy_fanin` but the receiver uses ``recv_i`` + ``wait``.
+
+    This exercises the non-blocking receive path of the paper's ``match``
+    predicate: the happens-before constraint must reference the *wait*
+    operation, not the receive issue.
+    """
+    if num_senders < 1:
+        raise ProgramError("nonblocking_fanin needs at least one sender")
+    builder = ProgramBuilder(f"nonblocking_fanin_{num_senders}")
+
+    receiver = builder.thread("recv")
+    for index in range(num_senders):
+        receiver.recv_i(f"m{index}", handle=f"h{index}")
+    for index in range(num_senders):
+        receiver.wait(f"h{index}")
+    receiver.assertion(
+        V("m0").eq(C(_payload(0, 0))), label="first-request-bound-to-sender0"
+    )
+
+    for sender in range(num_senders):
+        thread = builder.thread(f"send{sender}")
+        thread.send("recv", C(_payload(sender, 0)))
+    return builder.build()
+
+
+def branching_consumer(threshold: int = 150) -> Program:
+    """A consumer whose control flow depends on the received value.
+
+    Two producers race to a consumer; the consumer branches on the first
+    value and forwards either the value itself or a marker along the same
+    acknowledgement channel.  Used to test that the analysis is *path
+    constrained*: the generated SMT problem follows the branch outcome of the
+    recorded trace, so which producer "won" in the recorded run determines
+    which constraint set is generated.
+    """
+    builder = ProgramBuilder("branching_consumer")
+
+    consumer = builder.thread("consumer")
+    consumer.recv("x")
+    consumer.if_(
+        V("x") > C(threshold),
+        then=[_send_stmt("ack", V("x"))],
+        orelse=[_send_stmt("ack", V("x") + 1000)],
+    )
+    consumer.recv("y")
+    consumer.assertion(V("x").ne(V("y")), label="values-differ")
+
+    producer_a = builder.thread("prodA")
+    producer_a.send("consumer", C(100))
+    producer_b = builder.thread("prodB")
+    producer_b.send("consumer", C(200))
+
+    acker = builder.thread("ack")
+    acker.recv("got")
+    acker.send("consumer", V("got") + 1)
+    return builder.build()
+
+
+def _send_stmt(destination: str, payload):
+    """Helper constructing a raw Send statement for nested bodies."""
+    from repro.program.ast import Send
+
+    return Send(destination, payload)

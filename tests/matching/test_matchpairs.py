@@ -1,0 +1,149 @@
+"""Tests for match-pair generation (endpoint over-approximation and precise DFS)."""
+
+import pytest
+
+from repro.matching import (
+    MatchPairs,
+    count_feasible_matchings,
+    endpoint_match_pairs,
+    enumerate_matchings,
+    matching_is_feasible,
+    precise_match_pairs,
+)
+from repro.program import run_program
+from repro.utils.errors import MatchPairError
+from repro.workloads import (
+    figure1_program,
+    nonblocking_fanin,
+    pipeline,
+    racy_fanin,
+    token_ring,
+)
+
+
+@pytest.fixture(scope="module")
+def figure1_trace():
+    return run_program(figure1_program(), seed=0).trace
+
+
+class TestEndpointMatchPairs:
+    def test_figure1_candidates(self, figure1_trace):
+        pairs = endpoint_match_pairs(figure1_trace)
+        # recv(A) and recv(B) are on t0's endpoint: candidates = the 2 sends to t0.
+        # recv(C) on t1's endpoint: candidate = the 1 send to t1.
+        sizes = sorted(len(pairs.get_sends(r)) for r in pairs.receive_ids())
+        assert sizes == [1, 2, 2]
+        assert pairs.pair_count() == 5
+        pairs.validate(figure1_trace)
+
+    def test_pipeline_candidates_are_singletons(self):
+        trace = run_program(pipeline(4), seed=0).trace
+        pairs = endpoint_match_pairs(trace)
+        assert all(len(pairs.get_sends(r)) == 1 for r in pairs.receive_ids())
+
+    def test_racy_fanin_all_sends_candidate(self):
+        trace = run_program(racy_fanin(4), seed=0).trace
+        pairs = endpoint_match_pairs(trace)
+        for recv_id in pairs.receive_ids():
+            assert len(pairs.get_sends(recv_id)) == 4
+
+    def test_unknown_receive_rejected(self, figure1_trace):
+        pairs = endpoint_match_pairs(figure1_trace)
+        with pytest.raises(MatchPairError):
+            pairs.get_sends(99)
+
+    def test_from_mapping_validates_endpoints(self, figure1_trace):
+        # recv(C) (recv_id of thread t1) cannot match a send targeting t0.
+        sends_to_t0 = [
+            s.send_id
+            for s in figure1_trace.sends()
+            if s.destination.node == 0
+        ]
+        recv_c = [
+            op.recv_id
+            for op in figure1_trace.receive_operations()
+            if op.thread == "t1"
+        ][0]
+        with pytest.raises(MatchPairError):
+            MatchPairs.from_mapping(figure1_trace, {recv_c: sends_to_t0})
+
+    def test_summary_and_subset(self, figure1_trace):
+        endpoint = endpoint_match_pairs(figure1_trace)
+        precise = precise_match_pairs(figure1_trace)
+        assert precise.is_subset_of(endpoint)
+        summary = endpoint.summary()
+        assert summary["receives"] == 3
+        assert summary["max_candidates"] == 2
+
+
+class TestPreciseMatchPairs:
+    def test_figure1_precise_equals_endpoint(self, figure1_trace):
+        """For Figure 1 every endpoint-compatible pair is actually reachable."""
+        endpoint = endpoint_match_pairs(figure1_trace)
+        precise = precise_match_pairs(figure1_trace)
+        assert precise.candidates == endpoint.candidates
+
+    def test_figure1_has_exactly_two_matchings(self, figure1_trace):
+        assert count_feasible_matchings(figure1_trace) == 2
+
+    def test_matchings_are_injective_and_acyclic(self, figure1_trace):
+        for matching in enumerate_matchings(figure1_trace):
+            assert len(set(matching.values())) == len(matching)
+            assert matching_is_feasible(figure1_trace, matching)
+
+    def test_token_ring_precise_prunes_infeasible_pairs(self):
+        """In a ring every receive has a unique feasible sender even though
+        several sends target the same endpoint across rounds."""
+        trace = run_program(token_ring(3, rounds=2), seed=0).trace
+        endpoint = endpoint_match_pairs(trace)
+        precise = precise_match_pairs(trace)
+        assert precise.is_subset_of(endpoint)
+        assert precise.pair_count() <= endpoint.pair_count()
+        # Ring forwarding is deterministic: exactly one complete matching.
+        assert count_feasible_matchings(trace) == 1
+
+    def test_racy_fanin_matching_count_is_factorial(self):
+        trace = run_program(racy_fanin(3), seed=0).trace
+        assert count_feasible_matchings(trace) == 6
+        trace4 = run_program(racy_fanin(4), seed=0).trace
+        assert count_feasible_matchings(trace4) == 24
+
+    def test_limit_caps_enumeration(self):
+        trace = run_program(racy_fanin(4), seed=0).trace
+        assert count_feasible_matchings(trace, limit=5) == 5
+        limited = precise_match_pairs(trace, limit=1)
+        full = precise_match_pairs(trace)
+        assert limited.is_subset_of(full)
+
+    def test_nonblocking_uses_wait_for_feasibility(self):
+        trace = run_program(nonblocking_fanin(2), seed=0).trace
+        # Both orders are feasible because only the waits constrain order.
+        assert count_feasible_matchings(trace) == 2
+
+    def test_infeasible_matching_detected_and_pruned(self):
+        """A receive cannot match a send its own thread performs *later*.
+
+        Thread ``a`` receives and then sends to itself; thread ``b`` sends to
+        ``a``.  The endpoint over-approximation pairs a's receive with both
+        sends, but the precise analysis prunes a's own (later) send because
+        matching it would create a happens-before cycle.
+        """
+        from repro.program import ProgramBuilder, C
+
+        builder = ProgramBuilder("self_send")
+        a = builder.thread("a")
+        a.recv("x")
+        a.send("a", C(1))
+        b = builder.thread("b")
+        b.send("a", C(2))
+        trace = run_program(builder.build(), seed=0).trace
+
+        sends = {s.thread: s.send_id for s in trace.sends()}
+        (recv_op,) = trace.receive_operations()
+        assert not matching_is_feasible(trace, {recv_op.recv_id: sends["a"]})
+        assert matching_is_feasible(trace, {recv_op.recv_id: sends["b"]})
+
+        endpoint = endpoint_match_pairs(trace)
+        precise = precise_match_pairs(trace)
+        assert set(endpoint.get_sends(recv_op.recv_id)) == {sends["a"], sends["b"]}
+        assert precise.get_sends(recv_op.recv_id) == [sends["b"]]

@@ -1,0 +1,230 @@
+"""Tests for the MCAPI runtime simulator (endpoints, messaging, requests)."""
+
+import pytest
+
+from repro.mcapi import (
+    EndpointId,
+    ImmediateDelivery,
+    McapiRuntime,
+    McapiStatus,
+    RequestKind,
+    UnorderedDelivery,
+)
+from repro.mcapi.status import MCAPI_PORT_ANY
+from repro.utils.errors import McapiError
+
+
+@pytest.fixture
+def runtime():
+    rt = McapiRuntime()
+    rt.initialize(0)
+    rt.initialize(1)
+    return rt
+
+
+class TestLifecycle:
+    def test_initialize_and_finalize(self):
+        rt = McapiRuntime()
+        rt.initialize(7)
+        assert rt.is_initialized(7)
+        assert rt.finalize(7) is McapiStatus.SUCCESS
+        assert not rt.is_initialized(7)
+
+    def test_double_initialize_rejected(self):
+        rt = McapiRuntime()
+        rt.initialize(0)
+        with pytest.raises(McapiError):
+            rt.initialize(0)
+
+    def test_finalize_uninitialized(self):
+        rt = McapiRuntime()
+        assert rt.finalize(3) is McapiStatus.ERR_NODE_NOTINIT
+
+    def test_finalize_closes_endpoints(self):
+        rt = McapiRuntime()
+        rt.initialize(0)
+        ep = rt.endpoint_create(0, 1)
+        rt.finalize(0)
+        with pytest.raises(McapiError):
+            rt.msg_available(ep)
+
+
+class TestEndpoints:
+    def test_create_and_get(self, runtime):
+        ep = runtime.endpoint_create(0, 5)
+        assert ep == EndpointId(0, 5)
+        assert runtime.endpoint_get(0, 5) == ep
+
+    def test_create_on_uninitialized_node(self, runtime):
+        with pytest.raises(McapiError):
+            runtime.endpoint_create(9, 0)
+
+    def test_duplicate_port_rejected(self, runtime):
+        runtime.endpoint_create(0, 3)
+        with pytest.raises(McapiError):
+            runtime.endpoint_create(0, 3)
+
+    def test_port_any_allocates_fresh_ports(self, runtime):
+        a = runtime.endpoint_create(0, MCAPI_PORT_ANY)
+        b = runtime.endpoint_create(0, MCAPI_PORT_ANY)
+        assert a.node == b.node == 0
+        assert a.port != b.port
+
+    def test_get_missing_endpoint(self, runtime):
+        with pytest.raises(McapiError):
+            runtime.endpoint_get(1, 42)
+
+    def test_delete_endpoint(self, runtime):
+        ep = runtime.endpoint_create(0, 2)
+        assert runtime.endpoint_delete(ep) is McapiStatus.SUCCESS
+        assert runtime.endpoint_delete(ep) is McapiStatus.ERR_ENDP_INVALID
+
+
+class TestMessaging:
+    def test_send_goes_in_transit_not_delivered(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        runtime.msg_send(src, dst, 42)
+        assert runtime.msg_available(dst) == 0
+        assert not runtime.quiescent()
+
+    def test_deliver_then_receive(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        runtime.msg_send(src, dst, 42)
+        (record,) = runtime.deliverable_messages()
+        runtime.deliver(record)
+        assert runtime.msg_available(dst) == 1
+        message = runtime.msg_recv_try(dst)
+        assert message.payload == 42
+        assert runtime.quiescent()
+
+    def test_recv_on_empty_queue_returns_none(self, runtime):
+        dst = runtime.endpoint_create(1, 0)
+        assert runtime.msg_recv_try(dst) is None
+
+    def test_send_validations(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        with pytest.raises(McapiError):
+            runtime.msg_send(src, EndpointId(5, 5), 1)
+        with pytest.raises(McapiError):
+            runtime.msg_send(src, dst, 1, priority=99)
+        with pytest.raises(McapiError):
+            runtime.msg_send(src, dst, "x" * 10_000)
+
+    def test_pair_fifo_is_enforced_by_policies(self, runtime):
+        """Two messages over the same endpoint pair deliver in send order."""
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        first = runtime.msg_send(src, dst, 1)
+        second = runtime.msg_send(src, dst, 2)
+        deliverable = runtime.deliverable_messages()
+        assert [r.message_id for r in deliverable] == [first.message_id]
+        runtime.deliver(deliverable[0])
+        deliverable = runtime.deliverable_messages()
+        assert [r.message_id for r in deliverable] == [second.message_id]
+
+    def test_cross_sender_reordering_allowed_by_default(self, runtime):
+        """Messages from different sources to one endpoint may arrive in any order."""
+        runtime.initialize(2)
+        src_a = runtime.endpoint_create(0, 0)
+        src_b = runtime.endpoint_create(2, 0)
+        dst = runtime.endpoint_create(1, 0)
+        a = runtime.msg_send(src_a, dst, 1)
+        b = runtime.msg_send(src_b, dst, 2)
+        ids = {r.message_id for r in runtime.deliverable_messages()}
+        assert ids == {a.message_id, b.message_id}
+
+    def test_immediate_policy_forces_global_order(self):
+        rt = McapiRuntime(policy=ImmediateDelivery())
+        rt.initialize(0)
+        rt.initialize(1)
+        rt.initialize(2)
+        src_a = rt.endpoint_create(0, 0)
+        src_b = rt.endpoint_create(2, 0)
+        dst = rt.endpoint_create(1, 0)
+        first = rt.msg_send(src_a, dst, 1)
+        rt.msg_send(src_b, dst, 2)
+        ids = [r.message_id for r in rt.deliverable_messages()]
+        assert ids == [first.message_id]
+
+    def test_double_delivery_rejected(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        runtime.msg_send(src, dst, 1)
+        (record,) = runtime.deliverable_messages()
+        runtime.deliver(record)
+        with pytest.raises(McapiError):
+            runtime.deliver(record)
+
+
+class TestNonBlocking:
+    def test_send_i_completes_immediately(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        request, message = runtime.msg_send_i(src, dst, 9)
+        assert request.kind is RequestKind.SEND
+        assert runtime.test(request)
+        assert message.payload == 9
+
+    def test_recv_i_binds_on_delivery(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        request = runtime.msg_recv_i(dst)
+        assert not runtime.test(request)
+        assert not runtime.wait_ready(request)
+        runtime.msg_send(src, dst, 5)
+        (record,) = runtime.deliverable_messages()
+        bound = runtime.deliver(record)
+        assert bound is request
+        assert runtime.test(request)
+        assert request.take_message().payload == 5
+
+    def test_recv_i_binds_immediately_if_message_waiting(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        runtime.msg_send(src, dst, 7)
+        (record,) = runtime.deliverable_messages()
+        runtime.deliver(record)
+        request = runtime.msg_recv_i(dst)
+        assert request.completed
+        assert request.take_message().payload == 7
+
+    def test_requests_bind_in_posting_order(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        first = runtime.msg_recv_i(dst)
+        second = runtime.msg_recv_i(dst)
+        runtime.msg_send(src, dst, 1)
+        runtime.msg_send(src, dst, 2)
+        for record in list(runtime.deliverable_messages()):
+            runtime.deliver(record)
+        for record in list(runtime.deliverable_messages()):
+            runtime.deliver(record)
+        assert first.take_message().payload == 1
+        assert second.take_message().payload == 2
+
+    def test_cancel(self, runtime):
+        dst = runtime.endpoint_create(1, 0)
+        request = runtime.msg_recv_i(dst)
+        assert runtime.cancel(request) is McapiStatus.SUCCESS
+        assert request.cancelled
+        with pytest.raises(McapiError):
+            runtime.wait_ready(request)
+
+    def test_cancel_completed_request_fails(self, runtime):
+        src = runtime.endpoint_create(0, 0)
+        dst = runtime.endpoint_create(1, 0)
+        runtime.msg_send(src, dst, 7)
+        (record,) = runtime.deliverable_messages()
+        runtime.deliver(record)
+        request = runtime.msg_recv_i(dst)
+        assert runtime.cancel(request) is McapiStatus.ERR_REQUEST_INVALID
+
+    def test_unknown_request_rejected(self, runtime):
+        from repro.mcapi.requests import Request, RequestKind
+
+        foreign = Request(kind=RequestKind.RECEIVE, endpoint=EndpointId(0, 0))
+        with pytest.raises(McapiError):
+            runtime.test(foreign)

@@ -1,0 +1,201 @@
+"""Tests for the program AST, expression language and the builder DSL."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.program import (
+    Assertion,
+    Assign,
+    C,
+    If,
+    Program,
+    ProgramBuilder,
+    Receive,
+    ReceiveNonblocking,
+    Send,
+    ThreadDef,
+    V,
+    Wait,
+    While,
+)
+from repro.program.ast import BinOp, Const, UnaryOp, VarRef
+from repro.smt.models import Model
+from repro.utils.errors import ProgramError
+
+
+class TestExpressions:
+    def test_const_and_var_evaluate(self):
+        assert C(5).evaluate({}) == 5
+        assert V("x").evaluate({"x": 3}) == 3
+        with pytest.raises(ProgramError):
+            V("missing").evaluate({})
+
+    def test_operator_sugar(self):
+        expr = (V("x") + 1) * 2
+        assert expr.evaluate({"x": 4}) == 10
+        expr2 = 3 - V("x")
+        assert expr2.evaluate({"x": 1}) == 2
+        assert (-V("x")).evaluate({"x": 7}) == -7
+
+    def test_comparisons_and_boolean(self):
+        env = {"x": 2, "y": 5}
+        assert (V("x") < V("y")).evaluate(env) is True
+        assert (V("x") >= V("y")).evaluate(env) is False
+        assert V("x").eq(2).evaluate(env) is True
+        assert V("x").ne(2).evaluate(env) is False
+        assert (V("x").eq(2).and_(V("y").eq(5))).evaluate(env) is True
+        assert ((V("x") > 10).or_(V("y") > 4)).evaluate(env) is True
+        assert (V("x").eq(3)).not_().evaluate(env) is True
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ProgramError):
+            BinOp("%", C(1), C(2))
+        with pytest.raises(ProgramError):
+            UnaryOp("abs", C(1))
+        with pytest.raises(ProgramError):
+            V("x") + 1.5
+
+    def test_variables_listed(self):
+        expr = (V("a") + V("b")) * 2 + V("a")
+        assert expr.variables() == ("a", "b")
+
+    def test_str_forms(self):
+        assert str(C(3)) == "3"
+        assert str(V("x")) == "x"
+        assert "+" in str(V("x") + 1)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_to_smt_agrees_with_evaluate(self, x, y):
+        """Concrete evaluation and SMT evaluation of the same expression agree."""
+        from repro.smt.terms import IntVar
+
+        expr = ((V("x") + V("y")) * 2 + 1) > (V("x") - V("y"))
+        env = {"x": x, "y": y}
+        symbolic_env = {"x": IntVar("sx"), "y": IntVar("sy")}
+        term = expr.to_smt(symbolic_env)
+        model = Model({"sx": x, "sy": y})
+        assert bool(model.eval(term)) == bool(expr.evaluate(env))
+
+
+class TestProgramValidation:
+    def test_valid_program(self):
+        program = Program(
+            "p",
+            [
+                ThreadDef("a", [Send("b", C(1))]),
+                ThreadDef("b", [Receive("x")]),
+            ],
+        )
+        program.validate()
+        assert program.thread_names() == ["a", "b"]
+        assert program.statement_count() == 2
+
+    def test_duplicate_threads_rejected(self):
+        program = Program("p", [ThreadDef("a", []), ThreadDef("a", [])])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_unknown_destination_rejected(self):
+        program = Program("p", [ThreadDef("a", [Send("ghost", C(1))])])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_unknown_wait_handle_rejected(self):
+        program = Program("p", [ThreadDef("a", [Wait("h")])])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_nested_statement_validation(self):
+        body = [If(V("x") > 0, [Send("ghost", C(1))], [])]
+        program = Program("p", [ThreadDef("a", body)])
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_extra_endpoint_checks(self):
+        program = Program(
+            "p",
+            [ThreadDef("a", [])],
+            extra_endpoints={"data": "nobody"},
+        )
+        with pytest.raises(ProgramError):
+            program.validate()
+        clash = Program("p", [ThreadDef("a", [])], extra_endpoints={"a": "a"})
+        with pytest.raises(ProgramError):
+            clash.validate()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("p", []).validate()
+
+    def test_get_thread(self):
+        program = Program("p", [ThreadDef("a", [])])
+        assert program.get_thread("a").name == "a"
+        with pytest.raises(ProgramError):
+            program.get_thread("zzz")
+
+    def test_owner_of_endpoint(self):
+        program = Program(
+            "p", [ThreadDef("a", [])], extra_endpoints={"data": "a"}
+        )
+        assert program.owner_of_endpoint("a") == "a"
+        assert program.owner_of_endpoint("data") == "a"
+        with pytest.raises(ProgramError):
+            program.owner_of_endpoint("nope")
+
+
+class TestBuilder:
+    def test_builder_constructs_program(self):
+        builder = ProgramBuilder("demo")
+        t0 = builder.thread("t0")
+        t0.recv("x").assign("y", V("x") + 1).send("t1", V("y"))
+        t0.assertion(V("y") > 0, label="positive")
+        t1 = builder.thread("t1")
+        t1.send("t0", 5).recv("z")
+        program = builder.build()
+        assert program.statement_count() == 6
+        statements = program.get_thread("t0").body
+        assert isinstance(statements[0], Receive)
+        assert isinstance(statements[1], Assign)
+        assert isinstance(statements[2], Send)
+        assert isinstance(statements[3], Assertion)
+
+    def test_builder_control_flow(self):
+        builder = ProgramBuilder("demo")
+        t = builder.thread("t")
+        t.assign("x", 0)
+        t.while_(V("x") < 3, body=[Assign("x", V("x") + 1)])
+        t.if_(V("x").eq(3), then=[Assign("ok", C(1))], orelse=[Assign("ok", C(0))])
+        program = builder.build()
+        body = program.get_thread("t").body
+        assert isinstance(body[1], While)
+        assert isinstance(body[2], If)
+
+    def test_builder_nonblocking(self):
+        builder = ProgramBuilder("demo")
+        sender = builder.thread("s")
+        sender.send("r", 1)
+        receiver = builder.thread("r")
+        receiver.recv_i("x", handle="h").wait("h")
+        program = builder.build()
+        body = program.get_thread("r").body
+        assert isinstance(body[0], ReceiveNonblocking)
+        assert isinstance(body[1], Wait)
+
+    def test_duplicate_thread_rejected(self):
+        builder = ProgramBuilder("demo")
+        builder.thread("a")
+        with pytest.raises(ProgramError):
+            builder.thread("a")
+
+    def test_duplicate_endpoint_rejected(self):
+        builder = ProgramBuilder("demo")
+        builder.thread("a")
+        builder.endpoint("data", "a")
+        with pytest.raises(ProgramError):
+            builder.endpoint("data", "a")
+
+    def test_non_expression_payload_rejected(self):
+        builder = ProgramBuilder("demo")
+        thread = builder.thread("a")
+        with pytest.raises(ProgramError):
+            thread.send("a", "not an expression")

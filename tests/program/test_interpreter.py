@@ -1,0 +1,172 @@
+"""Tests for the concolic interpreter (ProgramRunner / ThreadTask)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mcapi import ImmediateDelivery, RandomDelayDelivery, RoundRobinStrategy
+from repro.program import ProgramBuilder, run_program, V, C
+from repro.program.ast import Assign, Send
+from repro.utils.errors import ProgramError
+from repro.utils.rng import DeterministicRNG
+from repro.workloads import (
+    branching_consumer,
+    client_server,
+    figure1_program,
+    nonblocking_fanin,
+    pipeline,
+    racy_fanin,
+    scatter_gather,
+    token_ring,
+)
+
+
+class TestBasicExecution:
+    def test_figure1_runs_clean(self):
+        run = run_program(figure1_program(), seed=0)
+        assert run.ok
+        assert run.final_environments["t0"].keys() == {"A", "B"}
+        assert set(run.final_environments["t0"].values()) == {10, 20}
+
+    def test_assignment_and_arithmetic(self):
+        builder = ProgramBuilder("arith")
+        t = builder.thread("t")
+        t.assign("x", 4).assign("y", V("x") * 3 + 2).assertion(V("y").eq(C(14)))
+        run = run_program(builder.build(), seed=0)
+        assert run.ok
+        assert run.final_environments["t"]["y"] == 14
+
+    def test_branching_follows_concrete_values(self):
+        builder = ProgramBuilder("branch")
+        t = builder.thread("t")
+        t.assign("x", 10)
+        t.if_(V("x") > 5, then=[Assign("r", C(1))], orelse=[Assign("r", C(0))])
+        run = run_program(builder.build(), seed=0)
+        assert run.final_environments["t"]["r"] == 1
+        branches = run.trace.branches()
+        assert len(branches) == 1 and branches[0].outcome is True
+
+    def test_while_loop(self):
+        builder = ProgramBuilder("loop")
+        t = builder.thread("t")
+        t.assign("i", 0)
+        t.while_(V("i") < 4, body=[Assign("i", V("i") + 1)])
+        t.assertion(V("i").eq(C(4)))
+        run = run_program(builder.build(), seed=0)
+        assert run.ok
+        # 5 branch events: 4 true iterations + 1 final false check.
+        assert len(run.trace.branches()) == 5
+
+    def test_assertion_failure_recorded(self):
+        builder = ProgramBuilder("fail")
+        t = builder.thread("t")
+        t.assign("x", 1).assertion(V("x").eq(C(2)), label="never")
+        run = run_program(builder.build(), seed=0)
+        assert not run.ok
+        assert run.assertion_failures[0].label == "never"
+
+    def test_deadlock_reported(self):
+        builder = ProgramBuilder("deadlock")
+        builder.thread("a").recv("x")
+        builder.thread("b").recv("y")
+        run = run_program(builder.build(), seed=0)
+        assert run.deadlocked
+        assert not run.ok
+
+    def test_message_passing_values(self):
+        builder = ProgramBuilder("chain")
+        a = builder.thread("a")
+        a.assign("v", 41).send("b", V("v") + 1)
+        b = builder.thread("b")
+        b.recv("w").assertion(V("w").eq(C(42)))
+        run = run_program(builder.build(), seed=3)
+        assert run.ok
+        assert run.final_environments["b"]["w"] == 42
+
+
+class TestSymbolicLabels:
+    def test_send_payload_expression_uses_recv_symbols(self):
+        """A forwarded value's symbolic payload mentions the receive symbol."""
+        run = run_program(pipeline(3), seed=0)
+        sends = run.trace.sends()
+        # The second stage forwards recv value + 1: its payload expression
+        # must mention a recv_val symbol.
+        forwarded = [s for s in sends if s.thread == "stage1"]
+        assert forwarded, "stage1 should send"
+        assert "recv_val" in str(forwarded[0].payload_expr)
+
+    def test_branch_condition_symbolic(self):
+        run = run_program(branching_consumer(), seed=0)
+        (branch,) = run.trace.branches()
+        assert "recv_val" in str(branch.condition)
+
+    def test_assertion_condition_symbolic(self):
+        run = run_program(figure1_program(assert_a_is_y=True), seed=0)
+        (assertion,) = run.trace.assertions()
+        assert "recv_val_0" in str(assertion.condition)
+
+    def test_nonblocking_value_bound_at_wait(self):
+        run = run_program(nonblocking_fanin(2), seed=0)
+        assert run.final_environments["recv"].keys() == {"m0", "m1"}
+        values = set(run.final_environments["recv"].values())
+        assert values == {100, 200}
+
+
+class TestPoliciesAndStrategies:
+    def test_immediate_policy_runs(self):
+        run = run_program(figure1_program(), seed=0, policy=ImmediateDelivery())
+        assert run.ok
+
+    def test_random_delay_policy_runs(self):
+        policy = RandomDelayDelivery(DeterministicRNG(3), mean_delay=1.0)
+        run = run_program(figure1_program(), seed=0, policy=policy)
+        assert run.ok
+
+    def test_round_robin_strategy_runs(self):
+        run = run_program(figure1_program(), seed=0, strategy=RoundRobinStrategy())
+        assert run.ok
+
+    def test_delay_nondeterminism_changes_observed_matching(self):
+        """Across seeds the racy fan-in receiver observes different orders."""
+        orders = set()
+        for seed in range(15):
+            run = run_program(racy_fanin(3), seed=seed)
+            env = run.final_environments["recv"]
+            orders.add(tuple(env[f"m{i}"] for i in range(3)))
+        assert len(orders) >= 2
+
+
+class TestWorkloadsRunClean:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            figure1_program(),
+            racy_fanin(3),
+            racy_fanin(2, messages_per_sender=2),
+            pipeline(4),
+            token_ring(3),
+            token_ring(3, rounds=2),
+            scatter_gather(3),
+            client_server(2),
+            nonblocking_fanin(3),
+            branching_consumer(),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_workload_completes_without_deadlock(self, program):
+        for seed in range(3):
+            run = run_program(program, seed=seed)
+            assert not run.deadlocked
+            run.trace.validate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_pipeline_assertion_holds_under_any_seed(self, seed):
+        """The pipeline's end-to-end assertion is schedule-independent."""
+        run = run_program(pipeline(4), seed=seed)
+        assert run.ok
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_scatter_gather_sum_holds_under_any_seed(self, seed):
+        run = run_program(scatter_gather(3), seed=seed)
+        assert run.ok

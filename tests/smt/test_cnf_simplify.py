@@ -1,0 +1,195 @@
+"""Tests for formula preprocessing and Tseitin CNF conversion."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.cnf import tseitin
+from repro.smt.models import Model
+from repro.smt.simplify import (
+    eliminate_int_equalities,
+    eliminate_int_ite,
+    preprocess,
+    rewrite_bool_eq,
+    simplify_constants,
+)
+from repro.smt.terms import (
+    Add,
+    And,
+    BoolVar,
+    Eq,
+    FALSE,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Not,
+    Or,
+    TRUE,
+    Xor,
+    atoms_of,
+)
+from repro.utils.errors import SolverError
+
+
+class TestSimplify:
+    def test_eliminate_int_equalities(self):
+        x, y = IntVar("x"), IntVar("y")
+        rewritten = eliminate_int_equalities(Eq(x, y))
+        assert rewritten == And(Le(x, y), Le(y, x))
+        # Nested occurrence under negation is rewritten too.
+        nested = eliminate_int_equalities(Not(Eq(x, IntVal(3))))
+        assert all(a.kind != "eq" for a in nested.walk())
+
+    def test_rewrite_bool_eq(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        assert rewrite_bool_eq(Eq(a, b)) == Iff(a, b)
+
+    def test_eliminate_int_ite(self):
+        x, y = IntVar("x"), IntVar("y")
+        cond = Lt(x, IntVal(0))
+        formula = Le(Ite(cond, x, y), IntVal(5))
+        lifted = eliminate_int_ite(formula)
+        assert all(
+            not (node.kind == "ite" and node.sort.is_int) for node in lifted.walk()
+        )
+        # Semantics preserved on a few concrete assignments.
+        for xv, yv in [(-1, 10), (3, 2), (7, 7), (-5, 9)]:
+            model = Model({"x": xv, "y": yv})
+            assert model.eval(lifted) == ((xv if xv < 0 else yv) <= 5)
+
+    def test_eliminate_bool_formula_required(self):
+        with pytest.raises(SolverError):
+            eliminate_int_ite(IntVar("x"))
+
+    def test_simplify_constants(self):
+        a = BoolVar("a")
+        x = IntVar("x")
+        formula = And(Or(a, TRUE), Implies(FALSE, a), Le(Add(IntVal(1), IntVal(2)), IntVal(5)))
+        assert simplify_constants(formula) == TRUE
+
+    def test_preprocess_runs_all_passes(self):
+        x, y = IntVar("x"), IntVar("y")
+        a = BoolVar("a")
+        formula = And(Eq(Ite(a, x, y), IntVal(3)), Eq(a, BoolVar("b")))
+        result = preprocess(formula)
+        for node in result.walk():
+            assert not (node.kind == "ite" and node.sort.is_int)
+            if node.kind == "eq":
+                assert not node.args[0].sort.is_int
+                assert not node.args[0].sort.is_bool
+
+
+def _eval_clauses(clauses, assignment):
+    """Evaluate CNF clauses under a variable assignment dict."""
+    for clause in clauses:
+        if not any(
+            assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+        ):
+            return False
+    return True
+
+
+def _cnf_satisfiable(result):
+    variables = list(range(1, result.num_vars + 1))
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if _eval_clauses(result.clauses, assignment):
+            return True, assignment
+    return False, None
+
+
+class TestTseitin:
+    def test_empty_assertions(self):
+        result = tseitin([])
+        assert result.clauses == []
+
+    def test_true_assertion_produces_nothing(self):
+        assert tseitin([TRUE]).clauses == []
+
+    def test_false_assertion_is_unsat(self):
+        sat, _ = _cnf_satisfiable(tseitin([FALSE]))
+        assert not sat
+
+    def test_atom_assertion(self):
+        a = BoolVar("a")
+        result = tseitin([a])
+        assert result.clauses == [[result.atom_to_var[a]]]
+
+    def test_top_level_conjunction_splits(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        result = tseitin([And(a, b)])
+        assert sorted(len(c) for c in result.clauses) == [1, 1]
+
+    def test_atom_map_roundtrip(self):
+        x, y = IntVar("x"), IntVar("y")
+        atom = Lt(x, y)
+        result = tseitin([Or(atom, BoolVar("a"))])
+        var = result.atom_to_var[atom]
+        assert result.var_to_atom[var] == atom
+
+    def test_stats(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        stats = tseitin([Or(a, b), And(a, Not(b))]).stats()
+        assert stats["clauses"] > 0
+        assert stats["variables"] >= stats["atoms"]
+
+    def _assert_equisatisfiable(self, formula, expected_sat):
+        result = tseitin([formula])
+        sat, _ = _cnf_satisfiable(result)
+        assert sat == expected_sat
+
+    def test_equisatisfiability_basic(self):
+        a, b = BoolVar("a"), BoolVar("b")
+        self._assert_equisatisfiable(And(a, Not(a)), False)
+        self._assert_equisatisfiable(Or(a, Not(a)), True)
+        self._assert_equisatisfiable(Iff(a, Not(a)), False)
+        self._assert_equisatisfiable(Xor(a, b), True)
+        self._assert_equisatisfiable(And(Implies(a, b), a, Not(b)), False)
+        self._assert_equisatisfiable(Ite(a, b, Not(b)), True)
+        self._assert_equisatisfiable(And(Ite(a, b, Not(b)), Not(b), a), False)
+
+
+@st.composite
+def bool_formula(draw, depth=3):
+    """Random Boolean formulas over three variables."""
+    variables = [BoolVar("p"), BoolVar("q"), BoolVar("r")]
+    if depth == 0:
+        return draw(st.sampled_from(variables + [TRUE, FALSE]))
+    choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return draw(st.sampled_from(variables))
+    if choice == 1:
+        return Not(draw(bool_formula(depth=depth - 1)))
+    if choice == 2:
+        return And(draw(bool_formula(depth=depth - 1)), draw(bool_formula(depth=depth - 1)))
+    if choice == 3:
+        return Or(draw(bool_formula(depth=depth - 1)), draw(bool_formula(depth=depth - 1)))
+    if choice == 4:
+        return Implies(draw(bool_formula(depth=depth - 1)), draw(bool_formula(depth=depth - 1)))
+    if choice == 5:
+        return Iff(draw(bool_formula(depth=depth - 1)), draw(bool_formula(depth=depth - 1)))
+    return Ite(
+        draw(bool_formula(depth=depth - 1)),
+        draw(bool_formula(depth=depth - 1)),
+        draw(bool_formula(depth=depth - 1)),
+    )
+
+
+class TestTseitinProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(bool_formula())
+    def test_cnf_equisatisfiable_with_formula(self, formula):
+        """Tseitin CNF is satisfiable iff the original formula is."""
+        names = ["p", "q", "r"]
+        formula_sat = False
+        for bits in itertools.product([False, True], repeat=3):
+            if Model(dict(zip(names, bits))).eval(formula):
+                formula_sat = True
+                break
+        cnf_sat, _ = _cnf_satisfiable(tseitin([formula]))
+        assert cnf_sat == formula_sat

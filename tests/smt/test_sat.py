@@ -1,0 +1,243 @@
+"""Tests for the CDCL SAT solver, including a random-formula cross-check."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SatResult, SatSolver, luby
+from repro.utils.errors import SolverError
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_invalid(self):
+        with pytest.raises(SolverError):
+            luby(0)
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve() is SatResult.SAT
+
+    def test_unit_clause(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(a) is True
+
+    def test_contradictory_units(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        assert solver.add_clause([-a]) is False
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_simple_sat(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(b) is True
+
+    def test_simple_unsat(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clauses([[a, b], [a, -b], [-a, b], [-a, -b]])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([a, -a])
+        assert solver.solve() is SatResult.SAT
+
+    def test_duplicate_literals_collapse(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([a, a, a])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(a) is True
+
+    def test_zero_literal_rejected(self):
+        solver = SatSolver()
+        with pytest.raises(SolverError):
+            solver.add_clause([0])
+
+    def test_unknown_variable_value(self):
+        solver = SatSolver()
+        with pytest.raises(SolverError):
+            solver.value(3)
+
+    def test_ensure_vars(self):
+        solver = SatSolver()
+        solver.add_clause([5])
+        assert solver.num_vars >= 5
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(5) is True
+
+    def test_model_covers_assigned_vars(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a])
+        solver.add_clause([-a, b])
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        assert model[a] is True and model[b] is True
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([-a, b])
+        assert solver.solve(assumptions=[a]) is SatResult.SAT
+        assert solver.value(a) is True
+        assert solver.value(b) is True
+
+    def test_conflicting_assumption(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([-a])
+        assert solver.solve(assumptions=[a]) is SatResult.UNSAT
+        # The solver is reusable afterwards.
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(a) is False
+
+    def test_incremental_use(self):
+        solver = SatSolver()
+        a, b, c = (solver.new_var() for _ in range(3))
+        solver.add_clause([a, b, c])
+        assert solver.solve(assumptions=[-a, -b]) is SatResult.SAT
+        assert solver.value(c) is True
+        solver.add_clause([-c])
+        assert solver.solve(assumptions=[-a, -b]) is SatResult.UNSAT
+        assert solver.solve() is SatResult.SAT
+
+
+class TestStructuredProblems:
+    def test_pigeonhole_3_into_2_unsat(self):
+        """3 pigeons cannot fit in 2 holes (classic small UNSAT instance)."""
+        solver = SatSolver()
+        var = {}
+        for p in range(3):
+            for h in range(2):
+                var[(p, h)] = solver.new_var()
+        for p in range(3):
+            solver.add_clause([var[(p, h)] for h in range(2)])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_pigeonhole_4_into_3_unsat(self):
+        solver = SatSolver()
+        var = {}
+        pigeons, holes = 4, 3
+        for p in range(pigeons):
+            for h in range(holes):
+                var[(p, h)] = solver.new_var()
+        for p in range(pigeons):
+            solver.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.stats.conflicts > 0
+
+    def test_graph_coloring_sat(self):
+        """A 5-cycle is 3-colourable but not 2-colourable."""
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]
+
+        def colorable(num_colors):
+            solver = SatSolver()
+            var = {}
+            for node in range(5):
+                for color in range(num_colors):
+                    var[(node, color)] = solver.new_var()
+            for node in range(5):
+                solver.add_clause([var[(node, c)] for c in range(num_colors)])
+                for c1 in range(num_colors):
+                    for c2 in range(c1 + 1, num_colors):
+                        solver.add_clause([-var[(node, c1)], -var[(node, c2)]])
+            for a, b in edges:
+                for c in range(num_colors):
+                    solver.add_clause([-var[(a, c)], -var[(b, c)]])
+            return solver.solve()
+
+        assert colorable(2) is SatResult.UNSAT
+        assert colorable(3) is SatResult.SAT
+
+    def test_conflict_limit_returns_unknown(self):
+        solver = SatSolver()
+        var = {}
+        pigeons, holes = 7, 6
+        for p in range(pigeons):
+            for h in range(holes):
+                var[(p, h)] = solver.new_var()
+        for p in range(pigeons):
+            solver.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert solver.solve(conflict_limit=5) is SatResult.UNKNOWN
+
+
+def _brute_force_sat(num_vars, clauses):
+    """Reference truth-table satisfiability check."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                bits[abs(lit) - 1] if lit > 0 else not bits[abs(lit) - 1]
+                for lit in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=4))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(random_cnf())
+    def test_random_cnf_matches_truth_table(self, problem):
+        num_vars, clauses = problem
+        solver = SatSolver()
+        solver.ensure_vars(num_vars)
+        solver.add_clauses(clauses)
+        result = solver.solve()
+        expected = _brute_force_sat(num_vars, clauses)
+        assert (result is SatResult.SAT) == expected
+        if result is SatResult.SAT:
+            model = solver.model()
+            for clause in clauses:
+                assert any(
+                    model.get(abs(lit), False) == (lit > 0) for lit in clause
+                ), f"model does not satisfy clause {clause}"

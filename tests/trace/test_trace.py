@@ -1,0 +1,154 @@
+"""Tests for trace events, the trace container and the trace builder."""
+
+import json
+
+import pytest
+
+from repro.mcapi.endpoint import EndpointId
+from repro.program import run_program
+from repro.smt.terms import IntVal, IntVar, Lt
+from repro.trace import ExecutionTrace, SendEvent, TraceBuilder
+from repro.utils.errors import TraceError
+from repro.workloads import figure1_program, nonblocking_fanin
+
+
+EP0 = EndpointId(0, 0)
+EP1 = EndpointId(1, 0)
+
+
+def _small_trace():
+    builder = TraceBuilder("unit")
+    builder.send("t1", EP1, EP0, 5, payload_expr=IntVal(5))
+    builder.receive("t0", EP0, target_variable="x", observed_value=5, observed_send_id=0)
+    builder.branch("t0", Lt(IntVar("recv_val_0"), IntVal(10)), True)
+    builder.assertion("t0", Lt(IntVar("recv_val_0"), IntVal(100)), True, label="small")
+    return builder.build()
+
+
+class TestTraceBuilder:
+    def test_event_numbering(self):
+        trace = _small_trace()
+        assert [e.event_id for e in trace.events] == [0, 1, 2, 3]
+        assert trace[0].thread_index == 0
+        assert trace[1].thread_index == 0  # first event of t0
+        assert trace[2].thread_index == 1
+
+    def test_send_and_recv_ids_are_dense(self):
+        builder = TraceBuilder()
+        builder.send("a", EP0, EP1, 1, payload_expr=IntVal(1))
+        builder.send("a", EP0, EP1, 2, payload_expr=IntVal(2))
+        builder.receive("b", EP1)
+        builder.receive("b", EP1)
+        trace = builder.build()
+        assert [s.send_id for s in trace.sends()] == [0, 1]
+        assert [r.recv_id for r in trace.receive_operations()] == [0, 1]
+
+    def test_value_symbols_are_unique(self):
+        trace = _small_trace()
+        ops = trace.receive_operations()
+        assert ops[0].value_symbol == "recv_val_0"
+
+    def test_nonblocking_requires_wait_for_validation(self):
+        builder = TraceBuilder()
+        builder.receive_init("t0", EP0, target_variable="x")
+        with pytest.raises(TraceError):
+            builder.build()
+        builder.wait("t0", recv_id=0)
+        trace = builder.build()
+        (op,) = trace.receive_operations()
+        assert not op.blocking
+        assert op.completion_event_id != op.issue_event_id
+
+
+class TestExecutionTrace:
+    def test_event_id_must_match_position(self):
+        trace = ExecutionTrace()
+        with pytest.raises(TraceError):
+            trace.append(SendEvent(event_id=5, thread="a", thread_index=0))
+
+    def test_threads_and_program_order(self):
+        trace = _small_trace()
+        assert trace.threads() == ["t1", "t0"]
+        pairs = trace.program_order_pairs()
+        assert (1, 2) in pairs and (2, 3) in pairs
+        assert all(a < len(trace) and b < len(trace) for a, b in pairs)
+
+    def test_typed_views(self):
+        trace = _small_trace()
+        assert len(trace.sends()) == 1
+        assert len(trace.receive_events()) == 1
+        assert len(trace.branches()) == 1
+        assert len(trace.assertions()) == 1
+        assert trace.send_by_id(0).payload_value == 5
+        with pytest.raises(TraceError):
+            trace.send_by_id(9)
+
+    def test_endpoints_listed(self):
+        trace = _small_trace()
+        assert set(trace.endpoints()) == {EP0, EP1}
+
+    def test_summary_and_pretty(self):
+        trace = _small_trace()
+        summary = trace.summary()
+        assert summary["sends"] == 1 and summary["receives"] == 1
+        text = trace.pretty()
+        assert "SendEvent" in text and "ReceiveEvent" in text
+
+    def test_json_serialisation(self):
+        trace = _small_trace()
+        data = json.loads(trace.to_json())
+        assert data["name"] == "unit"
+        kinds = [event["kind"] for event in data["events"]]
+        assert kinds == ["SendEvent", "ReceiveEvent", "BranchEvent", "AssertEvent"]
+        # every event has the base fields
+        for event in data["events"]:
+            assert {"event_id", "thread", "thread_index"} <= set(event)
+
+    def test_validation_rejects_duplicate_symbols(self):
+        builder = TraceBuilder()
+        event = builder.receive("t0", EP0)
+        # Manually corrupt: append another receive with the same symbol.
+        from repro.trace.events import ReceiveEvent
+
+        bad = ReceiveEvent(
+            event_id=1,
+            thread="t0",
+            thread_index=1,
+            recv_id=1,
+            endpoint=EP0,
+            value_symbol=event.value_symbol,
+        )
+        builder.trace.append(bad)
+        with pytest.raises(TraceError):
+            builder.trace.validate()
+
+
+class TestInterpreterTraces:
+    def test_figure1_trace_shape(self):
+        run = run_program(figure1_program(), seed=0)
+        trace = run.trace
+        summary = trace.summary()
+        assert summary["threads"] == 3
+        assert summary["sends"] == 3
+        assert summary["receives"] == 3
+        trace.validate()
+        # Every receive observed one of the sends to its endpoint.
+        sends_by_id = {s.send_id: s for s in trace.sends()}
+        for op in trace.receive_operations():
+            assert op.observed_send_id in sends_by_id
+            assert sends_by_id[op.observed_send_id].destination == op.endpoint
+
+    def test_nonblocking_trace_has_waits(self):
+        run = run_program(nonblocking_fanin(2), seed=1)
+        trace = run.trace
+        assert len(trace.receive_init_events()) == 2
+        assert len(trace.wait_events()) == 2
+        ops = trace.receive_operations()
+        assert all(not op.blocking for op in ops)
+        for op in ops:
+            assert op.completion_event_id > op.issue_event_id
+
+    def test_traces_are_deterministic_per_seed(self):
+        a = run_program(figure1_program(), seed=5).trace
+        b = run_program(figure1_program(), seed=5).trace
+        assert a.to_json() == b.to_json()

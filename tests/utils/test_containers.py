@@ -1,0 +1,132 @@
+"""Tests for IdGenerator, UnionFind and timing helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.ids import IdGenerator
+from repro.utils.timing import StatsCollector, Stopwatch, Timer
+from repro.utils.unionfind import UnionFind
+
+
+class TestIdGenerator:
+    def test_fresh_is_monotonic(self):
+        gen = IdGenerator()
+        ids = [gen.fresh() for _ in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_start_offset(self):
+        gen = IdGenerator(start=100)
+        assert gen.fresh() == 100
+
+    def test_for_key_is_stable(self):
+        gen = IdGenerator()
+        a = gen.for_key("x")
+        b = gen.for_key("y")
+        assert gen.for_key("x") == a
+        assert a != b
+        assert gen.known("x")
+        assert not gen.known("z")
+
+    def test_reset(self):
+        gen = IdGenerator()
+        gen.for_key("x")
+        gen.reset()
+        assert not gen.known("x")
+        assert gen.fresh() == 0
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.same("a", "b")
+
+    def test_union_links(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+        assert not uf.same("a", "d")
+
+    def test_classes_partition(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.add(5)
+        classes = uf.classes()
+        assert sorted(sorted(c) for c in classes) == [[1, 2], [3, 4], [5]]
+
+    def test_contains_and_len(self):
+        uf = UnionFind()
+        uf.add("x")
+        assert "x" in uf
+        assert "y" not in uf
+        assert len(uf) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    def test_transitive_closure_matches_reference(self, pairs):
+        """Union-find must agree with a naive reachability computation."""
+        uf = UnionFind()
+        adjacency = {}
+        for a, b in pairs:
+            uf.union(a, b)
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+        def reachable(start):
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nxt in adjacency.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return seen
+
+        for a, b in pairs:
+            assert uf.same(a, b) == (b in reachable(a))
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= first
+
+    def test_stopwatch_misuse(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stopwatch_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_timer_context(self):
+        with Timer() as t:
+            pass
+        assert t.seconds >= 0.0
+
+    def test_stats_collector(self):
+        stats = StatsCollector()
+        stats.bump("conflicts")
+        stats.bump("conflicts", 2)
+        stats.record("time", 1.0)
+        stats.record("time", 3.0)
+        summary = stats.summary()
+        assert summary["conflicts"] == 3
+        assert summary["time_mean"] == 2.0
+        assert summary["time_max"] == 3.0
+        assert stats.get("missing") == 0

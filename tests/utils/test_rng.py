@@ -1,0 +1,80 @@
+"""Tests for the deterministic RNG helper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import DeterministicRNG
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRNG(42)
+    b = DeterministicRNG(42)
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic():
+    a = DeterministicRNG(7).fork(3)
+    b = DeterministicRNG(7).fork(3)
+    assert a.randint(0, 1000) == b.randint(0, 1000)
+
+
+def test_fork_independent_of_parent_consumption():
+    parent1 = DeterministicRNG(5)
+    parent1.randint(0, 10)
+    fork1 = parent1.fork(1)
+    parent2 = DeterministicRNG(5)
+    fork2 = parent2.fork(1)
+    assert fork1.randint(0, 10**6) == fork2.randint(0, 10**6)
+
+
+def test_shuffle_returns_new_list():
+    rng = DeterministicRNG(0)
+    original = [1, 2, 3, 4, 5]
+    shuffled = rng.shuffle(original)
+    assert sorted(shuffled) == original
+    assert original == [1, 2, 3, 4, 5]
+
+
+def test_choice_empty_raises():
+    with pytest.raises(ValueError):
+        DeterministicRNG(0).choice([])
+
+
+def test_geometric_bounds():
+    rng = DeterministicRNG(3)
+    for _ in range(200):
+        value = rng.geometric(0.5, cap=8)
+        assert 0 <= value <= 8
+
+
+def test_geometric_p_one_is_zero():
+    rng = DeterministicRNG(3)
+    assert all(rng.geometric(1.0) == 0 for _ in range(10))
+
+
+def test_geometric_invalid_p():
+    with pytest.raises(ValueError):
+        DeterministicRNG(0).geometric(0.0)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(0, 100))
+def test_randint_within_bounds(seed, hi):
+    rng = DeterministicRNG(seed)
+    value = rng.randint(0, hi)
+    assert 0 <= value <= hi
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=20), st.integers(0, 1000))
+def test_shuffle_is_permutation(items, seed):
+    rng = DeterministicRNG(seed)
+    assert sorted(rng.shuffle(items)) == sorted(items)

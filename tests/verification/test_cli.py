@@ -1,0 +1,62 @@
+"""Tests for the ``mcapi-verify`` command-line interface."""
+
+import pytest
+
+from repro.verification.cli import build_parser, main
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "figure1"
+        assert args.seed == 0
+        assert args.match_pairs == "endpoint"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "nope"])
+
+
+class TestMain:
+    def test_figure1_violation_exit_code(self, capsys):
+        code = main(["--workload", "figure1", "--property", "a-is-y"])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "violation" in captured
+        assert "matching" in captured
+
+    def test_safe_workload_exit_code(self, capsys):
+        code = main(["--workload", "pipeline", "--senders", "3"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "safe" in captured
+
+    def test_show_trace_and_smt(self, capsys):
+        code = main(
+            [
+                "--workload",
+                "figure1",
+                "--property",
+                "a-is-y",
+                "--show-trace",
+                "--show-smt",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "SendEvent" in captured
+        assert "(set-logic" in captured
+
+    def test_precise_match_pairs_option(self, capsys):
+        code = main(
+            ["--workload", "figure1", "--property", "a-is-y", "--match-pairs", "precise"]
+        )
+        assert code == 1
+
+    def test_racy_fanin_workload(self, capsys):
+        code = main(["--workload", "racy_fanin", "--senders", "2"])
+        assert code == 1  # the first-from-sender0 assertion is violable
+
+    def test_pair_fifo_flag(self, capsys):
+        code = main(["--workload", "figure1", "--property", "a-is-y", "--pair-fifo"])
+        assert code == 1

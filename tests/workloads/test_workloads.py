@@ -1,0 +1,116 @@
+"""Tests for the workload generators and the Figure-1 reference data."""
+
+import pytest
+
+from repro.program import run_program
+from repro.utils.errors import ProgramError
+from repro.workloads import (
+    X_VALUE,
+    Y_VALUE,
+    Z_VALUE,
+    all_feasible_pairings,
+    branching_consumer,
+    client_server,
+    figure1_program,
+    figure4a_pairing,
+    figure4b_pairing,
+    nonblocking_fanin,
+    pipeline,
+    racy_fanin,
+    scatter_gather,
+    token_ring,
+)
+
+
+class TestFigure1:
+    def test_structure_matches_paper(self):
+        program = figure1_program()
+        assert program.thread_names() == ["t0", "t1", "t2"]
+        assert len(program.get_thread("t0").body) == 2  # recv(A); recv(B)
+        assert len(program.get_thread("t1").body) == 2  # recv(C); send(X)
+        assert len(program.get_thread("t2").body) == 2  # send(Y); send(Z)
+
+    def test_payload_constants_distinct(self):
+        assert len({X_VALUE, Y_VALUE, Z_VALUE}) == 3
+
+    def test_assertion_variants(self):
+        with_y = figure1_program(assert_a_is_y=True)
+        assert len(with_y.get_thread("t0").body) == 3
+        with_x = figure1_program(assert_a_is_x=True)
+        assert len(with_x.get_thread("t0").body) == 3
+
+    def test_pairings_reference_data(self):
+        a, b = figure4a_pairing(), figure4b_pairing()
+        assert a != b
+        assert a["recv(C)"] == b["recv(C)"] == "send(30)@t2"
+        assert all_feasible_pairings() == [a, b]
+
+
+class TestGeneratorParameters:
+    def test_racy_fanin_sizes(self):
+        program = racy_fanin(4, messages_per_sender=2)
+        assert len(program.threads) == 5
+        receiver = program.get_thread("recv")
+        assert len(receiver.body) == 8
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ProgramError):
+            racy_fanin(0)
+        with pytest.raises(ProgramError):
+            pipeline(1)
+        with pytest.raises(ProgramError):
+            token_ring(1)
+        with pytest.raises(ProgramError):
+            scatter_gather(0)
+        with pytest.raises(ProgramError):
+            client_server(0)
+        with pytest.raises(ProgramError):
+            nonblocking_fanin(0)
+
+    def test_all_generators_validate(self):
+        for program in [
+            racy_fanin(3),
+            racy_fanin(2, messages_per_sender=3),
+            pipeline(5),
+            token_ring(4, rounds=2),
+            scatter_gather(4),
+            client_server(3),
+            nonblocking_fanin(4),
+            branching_consumer(),
+        ]:
+            program.validate()
+            assert program.statement_count() > 0
+
+
+class TestGeneratorSemantics:
+    def test_pipeline_final_value(self):
+        run = run_program(pipeline(5, initial_value=10), seed=0)
+        assert run.ok
+        assert run.final_environments["stage4"]["w"] == 14
+
+    def test_token_ring_token_value_preserved(self):
+        run = run_program(token_ring(4, token=99), seed=2)
+        assert run.ok
+        assert run.final_environments["node0"]["tok"] == 99
+
+    def test_scatter_gather_sum(self):
+        run = run_program(scatter_gather(4), seed=3)
+        assert run.ok
+        total = sum(run.final_environments["master"][f"r{i}"] for i in range(4))
+        assert total == sum(2 * (w + 1) for w in range(4))
+
+    def test_client_server_replies_exceed_marker(self):
+        run = run_program(client_server(3), seed=1)
+        assert run.ok
+        for client in range(3):
+            assert run.final_environments[f"client{client}"]["reply"] > 1000
+
+    def test_branching_consumer_always_satisfies_assertion(self):
+        for seed in range(6):
+            run = run_program(branching_consumer(), seed=seed)
+            assert run.ok
+
+    def test_racy_fanin_payloads_are_distinct(self):
+        run = run_program(racy_fanin(3, messages_per_sender=2), seed=0)
+        payloads = [s.payload_value for s in run.trace.sends()]
+        assert len(payloads) == len(set(payloads))
