@@ -13,7 +13,7 @@ import pytest
 from repro.baselines import ExplicitStateExplorer, MccChecker
 from repro.baselines.explicit import canonical_matching
 from repro.program import run_program
-from repro.verification import SymbolicVerifier, Verdict
+from repro.verification import Verdict, VerificationSession
 from repro.workloads import figure1_program, nonblocking_fanin, racy_fanin, scatter_gather
 
 
@@ -27,11 +27,12 @@ WORKLOADS = [
 
 
 def _symbolic_coverage(program):
-    verifier = SymbolicVerifier()
-    run = run_program(program, seed=0)
-    pairings = verifier.enumerate_pairings(run.trace)
-    canonical = {canonical_matching(run.trace, m) for m in pairings}
-    verdict = verifier.verify_trace(run.trace)
+    # One session per program: the trace is encoded once and the
+    # enumeration + verdict queries share one incremental solver.
+    session = VerificationSession.from_program(program, seed=0)
+    pairings = session.enumerate_pairings()
+    canonical = {canonical_matching(session.trace, m) for m in pairings}
+    verdict = session.verdict()
     return canonical, verdict.verdict is Verdict.VIOLATION
 
 

@@ -13,14 +13,15 @@ import pytest
 
 from repro.baselines import ElwakilEncoder, ExplicitStateExplorer, MccChecker
 from repro.encoding.variables import match_var
-from repro.encoding.witness import decode_witness
+from repro.encoding.witness import Witness, decode_witness
 from repro.program import run_program
 from repro.smt import And, CheckResult, Eq, IntVal, Not, Solver
-from repro.verification import SymbolicVerifier, Verdict
+from repro.verification import Verdict, VerificationSession
 from repro.workloads import figure1_program, figure4a_pairing, figure4b_pairing
 
 
 def _enumerate_encoder_pairings(encoder, trace, cap=10):
+    """Blocking-clause loop for baseline encoders (no session support)."""
     problem = encoder.encode(trace, properties=[])
     solver = Solver()
     solver.add_all(problem.assertions(include_property=False))
@@ -38,12 +39,15 @@ def _enumerate_encoder_pairings(encoder, trace, cap=10):
 def test_this_work_admits_both_pairings(benchmark, table_printer):
     program = figure1_program(assert_a_is_y=True)
     trace = run_program(program, seed=0).trace
-    verifier = SymbolicVerifier()
 
-    result = benchmark(lambda: verifier.verify_trace(trace))
+    result = benchmark(lambda: VerificationSession(trace).verdict())
     assert result.verdict is Verdict.VIOLATION
 
-    pairings = _enumerate_encoder_pairings(verifier.encoder, trace)
+    session = VerificationSession(trace)
+    pairings = [
+        Witness(matching=m).pairing_description(session.problem)
+        for m in session.pairings()
+    ]
     assert figure4a_pairing() in pairings
     assert figure4b_pairing() in pairings
 

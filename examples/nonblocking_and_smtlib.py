@@ -17,10 +17,10 @@ Run with::
     python examples/nonblocking_and_smtlib.py
 """
 
-from repro.encoding import ReceiveValueProperty, TraceEncoder
+from repro.encoding import ReceiveValueProperty
 from repro.program import ProgramBuilder, V, C, run_program
-from repro.smt import Eq, Ge, IntVal
-from repro.verification import SymbolicVerifier, Verdict
+from repro.smt import Eq, Ge, IntVal, SmtLibProcessBackend
+from repro.verification import SymbolicVerifier, Verdict, VerificationSession
 
 
 def build_program():
@@ -55,17 +55,29 @@ def main() -> None:
     prop = ReceiveValueProperty(
         first_recv, lambda v: Eq(v, IntVal(10)), name="first-is-from-A"
     )
-    racy = verifier.verify_trace(run.trace, properties=[prop])
+    session = VerificationSession(run.trace, properties=[prop], program_run=run)
+    racy = session.verdict()
     print(f"verdict: {racy.verdict.value}   (expected: violation — B can be bound first)")
     if racy.verdict is Verdict.VIOLATION:
         print("counterexample receive values:", racy.witness.receive_values)
     print()
 
     print("=== SMT-LIB export of the generated problem (first 25 lines) ===")
-    problem = TraceEncoder().encode(run.trace, properties=[prop])
-    for line in problem.to_smtlib().splitlines()[:25]:
+    for line in session.problem.to_smtlib().splitlines()[:25]:
         print(line)
     print("...")
+    print()
+
+    # The same script can be solved by an external solver instead of the
+    # in-tree engine: set REPRO_SMT_SOLVER (e.g. to "z3") and open the
+    # session with backend="smtlib".
+    if SmtLibProcessBackend.is_available():
+        external = VerificationSession(
+            run.trace, properties=[prop], backend="smtlib"
+        ).verdict()
+        print(f"external solver verdict: {external.verdict.value}")
+    else:
+        print("(set REPRO_SMT_SOLVER to cross-check with an external solver)")
 
 
 if __name__ == "__main__":

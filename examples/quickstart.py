@@ -18,15 +18,17 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.verification import SymbolicVerifier, Verdict, replay_witness
+from repro.verification import Verdict, VerificationSession, replay_witness
 from repro.workloads import figure1_program
 
 
 def main() -> None:
     program = figure1_program(assert_a_is_y=True)
 
-    verifier = SymbolicVerifier()
-    result = verifier.verify_program(program, seed=0)
+    # One session = one recorded trace, encoded once; every query below
+    # (verdict, pairing enumeration) reuses the same incremental solver.
+    session = VerificationSession.from_program(program, seed=0)
+    result = session.verdict()
 
     print("=== recorded trace (one arbitrary interleaving) ===")
     print(result.trace.pretty())
@@ -34,6 +36,11 @@ def main() -> None:
 
     print("=== verdict ===")
     print(result.describe())
+    print()
+
+    print("=== every admissible send/receive pairing (same encoding) ===")
+    for i, matching in enumerate(session.pairings(), start=1):
+        print(f"  pairing {i}: recv->send {matching}")
     print()
 
     if result.verdict is Verdict.VIOLATION:

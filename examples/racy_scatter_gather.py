@@ -19,23 +19,17 @@ Run with::
     python examples/racy_scatter_gather.py
 """
 
-from repro.baselines.explicit import canonical_matching
-from repro.program import run_program
-from repro.verification import SymbolicVerifier, Verdict
+from repro.verification import Verdict, VerificationSession, verify_many
 from repro.workloads import racy_fanin, scatter_gather
 
 
 def main() -> None:
-    verifier = SymbolicVerifier()
-
-    print("=== scatter/gather, sum property (schedule independent) ===")
-    safe = verifier.verify_program(scatter_gather(3), seed=0)
-    print(f"verdict: {safe.verdict.value}   (expected: safe)")
-    print()
-
-    print("=== scatter/gather, 'first reply is from worker 0' (racy) ===")
-    racy = verifier.verify_program(scatter_gather(3, assert_order=True), seed=0)
-    print(f"verdict: {racy.verdict.value}   (expected: violation)")
+    print("=== scatter/gather: both properties in one batch call ===")
+    safe, racy = verify_many(
+        [scatter_gather(3), scatter_gather(3, assert_order=True)]
+    )
+    print(f"sum property     -> verdict: {safe.verdict.value}   (expected: safe)")
+    print(f"order property   -> verdict: {racy.verdict.value}   (expected: violation)")
     if racy.verdict is Verdict.VIOLATION:
         print("counterexample pairing:")
         for recv, send in racy.witness.pairing_description(racy.problem).items():
@@ -45,8 +39,9 @@ def main() -> None:
     print("=== behaviour growth of the racy fan-in pattern ===")
     print(f"{'senders':>8s} {'admissible pairings':>22s}")
     for senders in range(1, 5):
-        trace = run_program(racy_fanin(senders), seed=0).trace
-        pairings = verifier.enumerate_pairings(trace)
+        # Encode once per size; the enumeration solves warm on one backend.
+        session = VerificationSession.from_program(racy_fanin(senders), seed=0)
+        pairings = session.enumerate_pairings()
         print(f"{senders:>8d} {len(pairings):>22d}")
     print("(n! pairings: every delivery order of the racing messages is possible)")
 

@@ -23,7 +23,7 @@ from repro.encoding.witness import decode_witness
 from repro.encoding.variables import match_var
 from repro.program import run_program
 from repro.smt import And, CheckResult, Eq, IntVal, Not, Solver
-from repro.verification import SymbolicVerifier, Verdict
+from repro.verification import Verdict, VerificationSession
 from repro.workloads import figure1_program
 
 
@@ -48,10 +48,10 @@ def main() -> None:
 
     rows = []
 
-    # This work.
-    verifier = SymbolicVerifier()
-    ours = verifier.verify_trace(trace)
-    ours_pairings = len(verifier.enumerate_pairings(trace))
+    # This work: one session answers both the verdict and the enumeration.
+    session = VerificationSession(trace)
+    ours = session.verdict()
+    ours_pairings = len(session.enumerate_pairings())
     rows.append(("this work (delays modelled)", ours_pairings, ours.verdict is Verdict.VIOLATION))
 
     # Elwakil / Yang style (no delays).

@@ -1,3 +1,40 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).with_name("README.md")
+
+setup(
+    name="repro-mcapi-smt",
+    version="2.0.0",
+    description=(
+        "Reproduction of 'Symbolically Modeling Concurrent MCAPI Executions' "
+        "(PPoPP 2011): trace recording, SMT encoding, and a session-based "
+        "verification API over pluggable incremental solver backends"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    install_requires=[],  # intentionally dependency-free
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "mcapi-verify = repro.verification.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Software Development :: Testing",
+        "Topic :: Scientific/Engineering",
+    ],
+    keywords="smt verification mcapi message-passing concurrency dpllt",
+)

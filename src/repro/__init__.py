@@ -4,8 +4,11 @@ Executions" (Fischer, Mercer, Rungta; PPoPP 2011).
 The package is organised bottom-up:
 
 * :mod:`repro.smt` — a from-scratch SMT solving stack (CDCL SAT core,
-  difference-logic / LIA / EUF theory solvers, DPLL(T), SMT-LIB export),
-  standing in for the Yices solver the paper used.
+  difference-logic / LIA / EUF theory solvers, one-shot and *incremental*
+  DPLL(T), SMT-LIB export) behind a pluggable
+  :class:`~repro.smt.backend.SolverBackend` registry, standing in for the
+  Yices solver the paper used — or delegating to a real external solver via
+  the ``smtlib`` backend.
 * :mod:`repro.mcapi` — a simulator of the MCAPI connectionless-message API
   with an explicitly non-deterministic delivery network.
 * :mod:`repro.program` — a small concurrent modelling language plus a
@@ -15,29 +18,53 @@ The package is organised bottom-up:
   and the paper's precise depth-first abstract execution).
 * :mod:`repro.encoding` — the paper's contribution: the SMT encoding
   ``P = POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧ PEvents``.
-* :mod:`repro.verification` — the user-facing verifier, witness decoding and
-  replay, and the ``mcapi-verify`` CLI.
+* :mod:`repro.verification` — the session-based verification API, the
+  legacy verifier shim, witness decoding and replay, and the
+  ``mcapi-verify`` CLI.
 * :mod:`repro.baselines` — MCC-style, Elwakil-style, exhaustive and
   DPOR-style baselines used by the experiments.
 * :mod:`repro.workloads` — the paper's Figure 1 program and parameterised
   benchmark workloads.
 
-Quickstart::
+Quickstart — encode once, query many times::
 
+    from repro import VerificationSession
     from repro.workloads import figure1_program
-    from repro.verification import SymbolicVerifier
 
-    result = SymbolicVerifier().verify_program(figure1_program(assert_a_is_y=True))
-    print(result.describe())
+    session = VerificationSession.from_program(figure1_program(assert_a_is_y=True))
+    print(session.verdict().describe())     # VIOLATION + counterexample
+    session.feasibility()                   # the model admits executions
+    for matching in session.pairings():     # every admissible pairing,
+        print(matching)                     # solved warm on one backend
+
+Batch traffic goes through :func:`verify_many`; the legacy call-per-query
+:class:`SymbolicVerifier` keeps working unchanged as a shim over sessions.
 """
 
-from repro.verification.verifier import SymbolicVerifier, Verdict, VerificationResult
+from repro.verification.result import Verdict, VerificationResult
+from repro.verification.session import VerificationSession, verify_many
+from repro.verification.verifier import SymbolicVerifier
 from repro.encoding.encoder import EncoderOptions, MatchPairStrategy, TraceEncoder
 from repro.program.interpreter import run_program
+from repro.smt.backend import (
+    DpllTBackend,
+    SmtLibProcessBackend,
+    SolverBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.utils.errors import (
+    BackendUnavailableError,
+    IncompleteEnumerationError,
+    UnknownBackendError,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "VerificationSession",
+    "verify_many",
     "SymbolicVerifier",
     "Verdict",
     "VerificationResult",
@@ -45,5 +72,14 @@ __all__ = [
     "MatchPairStrategy",
     "TraceEncoder",
     "run_program",
+    "SolverBackend",
+    "DpllTBackend",
+    "SmtLibProcessBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "BackendUnavailableError",
+    "IncompleteEnumerationError",
+    "UnknownBackendError",
     "__version__",
 ]

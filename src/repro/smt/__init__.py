@@ -9,7 +9,9 @@ must be dependency-free, the package provides the full stack from scratch:
 * :mod:`repro.smt.sat` — a CDCL SAT solver,
 * :mod:`repro.smt.theory` — difference logic, linear integer arithmetic and
   congruence closure theory solvers,
-* :mod:`repro.smt.dpllt` — the lazy DPLL(T) loop,
+* :mod:`repro.smt.dpllt` — the lazy DPLL(T) loop (one-shot and incremental),
+* :mod:`repro.smt.backend` — the :class:`SolverBackend` protocol, registry
+  and the in-tree / external-process implementations,
 * :mod:`repro.smt.solver` — the public :class:`Solver` facade,
 * :mod:`repro.smt.smtlib` — SMT-LIB v2 export for cross-checking.
 """
@@ -46,6 +48,14 @@ from repro.smt.terms import (
     Xor,
 )
 from repro.smt.models import Model
+from repro.smt.backend import (
+    DpllTBackend,
+    SmtLibProcessBackend,
+    SolverBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.smt.solver import CheckResult, Solver
 from repro.smt.smtlib import to_smtlib
 
@@ -85,5 +95,11 @@ __all__ = [
     "Model",
     "CheckResult",
     "Solver",
+    "SolverBackend",
+    "DpllTBackend",
+    "SmtLibProcessBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
     "to_smtlib",
 ]

@@ -1,0 +1,424 @@
+"""Pluggable solver backends behind a common protocol.
+
+The verification layer never talks to a concrete solver class; it talks to a
+:class:`SolverBackend` — the minimal incremental interface (``add`` /
+``push`` / ``pop`` / ``check`` with assumptions / ``model``) that both the
+session API and the :class:`repro.smt.solver.Solver` facade are written
+against.  Two implementations ship in-tree:
+
+* :class:`DpllTBackend` — the default.  Wraps
+  :class:`~repro.smt.dpllt.IncrementalDpllTEngine`, which keeps its SAT
+  core, Tseitin cache and learned theory lemmas alive across ``check``
+  calls instead of rebuilding the engine per query.
+* :class:`SmtLibProcessBackend` — pipes the SMT-LIB v2 rendering of the
+  assertion set to an external solver binary (z3, cvc5, yices-smt2, ...)
+  named by the ``REPRO_SMT_SOLVER`` environment variable or an explicit
+  ``command``.  This is the seam the paper's tool used for Yices; when no
+  binary is configured the backend reports itself unavailable and callers
+  skip it gracefully.
+
+Backends are resolved by name through a registry so that deployments can
+plug in their own (:func:`register_backend`).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import tempfile
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+try:  # Protocol is 3.8+; fall back to a plain base class elsewhere.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient pythons only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.smt.dpllt import CheckResult, IncrementalDpllTEngine
+from repro.smt.models import Model
+from repro.smt.smtlib import to_smtlib
+from repro.smt.terms import Term, free_variables
+from repro.utils.errors import (
+    BackendUnavailableError,
+    SolverError,
+    UnknownBackendError,
+)
+
+__all__ = [
+    "SolverBackend",
+    "DpllTBackend",
+    "SmtLibProcessBackend",
+    "register_backend",
+    "create_backend",
+    "available_backends",
+    "SMTLIB_SOLVER_ENV",
+]
+
+#: Environment variable naming the external SMT-LIB solver command.
+SMTLIB_SOLVER_ENV = "REPRO_SMT_SOLVER"
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The incremental solving interface every backend provides.
+
+    ``check`` takes *assumptions*: Boolean terms that hold for that single
+    call only.  Implementations must keep whatever state they can between
+    calls — the whole point of the backend seam is that callers may issue
+    thousands of checks against one assertion set.
+    """
+
+    name: str
+
+    def add(self, *terms: Term) -> None: ...
+
+    def add_all(self, terms: Iterable[Term]) -> None: ...
+
+    def push(self) -> None: ...
+
+    def pop(self) -> None: ...
+
+    def check(self, *assumptions: Term) -> CheckResult: ...
+
+    def model(self) -> Model: ...
+
+    def statistics(self) -> Dict[str, int]: ...
+
+
+def _validate_assertion(term: Term) -> Term:
+    if not isinstance(term, Term):
+        raise SolverError(f"backends accept Terms, got {term!r}")
+    if not term.sort.is_bool:
+        raise SolverError(f"assertions must be Boolean, got sort {term.sort}")
+    return term
+
+
+class DpllTBackend:
+    """The in-tree incremental DPLL(T) backend (the default).
+
+    One :class:`~repro.smt.dpllt.IncrementalDpllTEngine` lives for the
+    backend's whole lifetime: learned clauses, variable activities, saved
+    phases and theory lemmas all carry over from one ``check`` to the next,
+    and assumption-scoped queries never disturb the assertion set.
+    """
+
+    name = "dpllt"
+
+    def __init__(self, max_iterations: int = 200_000) -> None:
+        self._engine = IncrementalDpllTEngine(max_iterations=max_iterations)
+
+    @property
+    def engine(self) -> IncrementalDpllTEngine:
+        """The underlying engine (exposed for tests and diagnostics)."""
+        return self._engine
+
+    def add(self, *terms: Term) -> None:
+        for term in terms:
+            self._engine.add(_validate_assertion(term))
+
+    def add_all(self, terms: Iterable[Term]) -> None:
+        self.add(*terms)
+
+    def push(self) -> None:
+        self._engine.push()
+
+    def pop(self) -> None:
+        self._engine.pop()
+
+    def check(self, *assumptions: Term) -> CheckResult:
+        return self._engine.check(*assumptions)
+
+    def model(self) -> Model:
+        return self._engine.model()
+
+    def statistics(self) -> Dict[str, int]:
+        if self._engine.total_checks == 0:
+            return {}
+        stats = self._engine.stats.as_dict()
+        stats["checks"] = self._engine.total_checks
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DpllTBackend(checks={self._engine.total_checks})"
+
+
+# ---------------------------------------------------------------------------
+# External SMT-LIB process backend
+# ---------------------------------------------------------------------------
+
+
+_SEXPR_TOKEN = re.compile(r"\(|\)|[^\s()]+")
+
+
+def _parse_sexprs(text: str):
+    """Parse SMT-LIB output into nested lists of token strings."""
+    stack: List[list] = [[]]
+    for token in _SEXPR_TOKEN.findall(text):
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if len(stack) == 1:
+                raise SolverError("unbalanced ')' in solver output")
+            done = stack.pop()
+            stack[-1].append(done)
+        else:
+            stack[-1].append(token)
+    return stack[0]
+
+
+def _eval_smtlib_value(expr) -> Optional[int]:
+    """Evaluate a ground numeric model value like ``5`` or ``(- 5)``."""
+    if isinstance(expr, str):
+        try:
+            return int(expr)
+        except ValueError:
+            return None
+    if isinstance(expr, list) and expr and expr[0] == "-" and len(expr) == 2:
+        inner = _eval_smtlib_value(expr[1])
+        return None if inner is None else -inner
+    return None
+
+
+def _collect_define_funs(exprs, values: Dict[str, object]) -> None:
+    for expr in exprs:
+        if not isinstance(expr, list):
+            continue
+        if expr and expr[0] == "define-fun" and len(expr) >= 5:
+            _, name, args, sort = expr[0], expr[1], expr[2], expr[3]
+            if args != []:
+                continue  # non-nullary function: not a variable value
+            body = expr[4]
+            if sort == "Bool" and isinstance(body, str):
+                values[str(name)] = body == "true"
+            elif sort == "Int":
+                value = _eval_smtlib_value(body)
+                if value is not None:
+                    values[str(name)] = value
+            # Uninterpreted-sort values are solver-specific; skipped.
+        else:
+            _collect_define_funs(expr, values)
+
+
+class SmtLibProcessBackend:
+    """Solve by piping SMT-LIB v2 scripts to an external solver process.
+
+    The solver command comes from the ``command`` argument or the
+    ``REPRO_SMT_SOLVER`` environment variable (e.g. ``z3``, ``cvc5 -L
+    smt2``, ``yices-smt2``).  Every ``check`` writes the current assertion
+    set (plus call-scoped assumptions) to a temporary ``.smt2`` file, runs
+    the solver on it and parses the verdict and, for SAT, the
+    ``(get-model)`` output.
+
+    The process is one-shot per check — external incrementality would need
+    a long-lived pipe session — so this backend trades speed for
+    cross-checking power: it exists to validate the in-tree engine against
+    an industrial solver and to scale past what pure Python can do.
+    """
+
+    name = "smtlib"
+
+    def __init__(
+        self,
+        command: Union[str, Sequence[str], None] = None,
+        timeout: float = 60.0,
+        max_iterations: Optional[int] = None,  # accepted for factory parity
+    ) -> None:
+        if command is None:
+            command = os.environ.get(SMTLIB_SOLVER_ENV)
+        if not command:
+            raise BackendUnavailableError(
+                "no external SMT solver configured; set the "
+                f"{SMTLIB_SOLVER_ENV} environment variable (e.g. to 'z3') or "
+                "pass command= explicitly"
+            )
+        self._command = shlex.split(command) if isinstance(command, str) else list(command)
+        if shutil.which(self._command[0]) is None:
+            raise BackendUnavailableError(
+                f"external SMT solver binary {self._command[0]!r} not found on PATH"
+            )
+        self._timeout = timeout
+        self._assertions: List[Term] = []
+        self._scopes: List[int] = []
+        self._last_result: Optional[CheckResult] = None
+        self._last_model: Optional[Model] = None
+        self._checks = 0
+
+    @classmethod
+    def is_available(cls, command: Union[str, Sequence[str], None] = None) -> bool:
+        """True when a usable solver command is configured on this host."""
+        try:
+            cls(command=command)
+        except BackendUnavailableError:
+            return False
+        return True
+
+    # -- assertion management --------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        for term in terms:
+            self._assertions.append(_validate_assertion(term))
+        self._last_result = None
+        self._last_model = None
+
+    def add_all(self, terms: Iterable[Term]) -> None:
+        self.add(*terms)
+
+    def push(self) -> None:
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        if not self._scopes:
+            raise SolverError("pop without matching push")
+        size = self._scopes.pop()
+        del self._assertions[size:]
+        self._last_result = None
+        self._last_model = None
+
+    # -- solving ----------------------------------------------------------------
+
+    def check(self, *assumptions: Term) -> CheckResult:
+        terms = self._assertions + [_validate_assertion(a) for a in assumptions]
+        script = to_smtlib(terms, get_model=True)
+        output = self._run(script)
+        self._checks += 1
+        verdict, model = self._parse_output(output, terms)
+        self._last_result = verdict
+        self._last_model = model
+        return verdict
+
+    def model(self) -> Model:
+        if self._last_result is not CheckResult.SAT or self._last_model is None:
+            raise SolverError("model() requires the previous check() to be SAT")
+        return self._last_model
+
+    def statistics(self) -> Dict[str, int]:
+        if self._checks == 0:
+            return {}
+        return {"external_checks": self._checks}
+
+    # -- internals ----------------------------------------------------------------
+
+    def _run(self, script: str) -> str:
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".smt2", prefix="repro-", delete=False
+        ) as handle:
+            handle.write(script)
+            path = handle.name
+        try:
+            proc = subprocess.run(
+                self._command + [path],
+                capture_output=True,
+                text=True,
+                timeout=self._timeout,
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise SolverError(
+                f"external solver timed out after {self._timeout}s"
+            ) from exc
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - cleanup best effort
+                pass
+        return (proc.stdout or "") + ("\n" + proc.stderr if proc.stderr else "")
+
+    def _parse_output(self, output: str, terms: Sequence[Term]):
+        # Find the verdict first.  Error chatter after an 'unknown' answer
+        # (e.g. z3/yices printing '(error "model is not available")' for the
+        # unconditional (get-model)) must not mask the verdict itself.
+        verdict: Optional[CheckResult] = None
+        rest_lines: List[str] = []
+        for line in output.splitlines():
+            stripped = line.strip()
+            if verdict is None and stripped in ("sat", "unsat", "unknown"):
+                verdict = CheckResult(stripped)
+                continue
+            rest_lines.append(line)
+        if verdict is None:
+            raise SolverError(
+                f"could not find sat/unsat/unknown in solver output:\n{output.strip()}"
+            )
+        model: Optional[Model] = None
+        if verdict is CheckResult.SAT:
+            values: Dict[str, object] = {}
+            _collect_define_funs(_parse_sexprs("\n".join(rest_lines)), values)
+            names: Dict[str, object] = {}
+            for term in terms:
+                names.update(free_variables(term))
+            if names and not values:
+                # 'sat' but no parseable model: defaulting every variable
+                # would fabricate a witness, so fail loudly instead.
+                raise SolverError(
+                    "external solver answered sat but returned no model:\n"
+                    + output.strip()
+                )
+            for name, sort in names.items():
+                if name not in values:
+                    values[name] = False if getattr(sort, "is_bool", False) else 0
+            model = Model(values)  # type: ignore[arg-type]
+        return verdict, model
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SmtLibProcessBackend({' '.join(self._command)!r})"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+BackendFactory = Callable[..., "SolverBackend"]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, replace: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory is called with the keyword arguments given to
+    :func:`create_backend` (currently ``max_iterations``).
+    """
+    if name in _REGISTRY and not replace:
+        raise SolverError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(
+    spec: Union[str, "SolverBackend", None] = None, **kwargs
+) -> "SolverBackend":
+    """Resolve ``spec`` into a live backend instance.
+
+    ``spec`` may be a registry name (``"dpllt"``, ``"smtlib"``, ...), an
+    already-constructed backend (returned as-is, ``kwargs`` ignored), or
+    ``None`` for the default DPLL(T) backend.
+    """
+    if spec is None:
+        spec = DpllTBackend.name
+    if isinstance(spec, str):
+        factory = _REGISTRY.get(spec)
+        if factory is None:
+            raise UnknownBackendError(
+                f"unknown solver backend {spec!r}; available: "
+                + ", ".join(available_backends())
+            )
+        return factory(**kwargs)
+    required = ("add", "push", "pop", "check", "model")
+    if all(hasattr(spec, attr) for attr in required):
+        return spec
+    raise UnknownBackendError(
+        f"{spec!r} is neither a backend name nor a SolverBackend instance"
+    )
+
+
+register_backend(DpllTBackend.name, DpllTBackend)
+register_backend(SmtLibProcessBackend.name, SmtLibProcessBackend)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.smt.terms import Term
 from repro.utils.errors import SolverError
 
-__all__ = ["CnfResult", "tseitin"]
+__all__ = ["CnfResult", "TseitinConverter", "tseitin"]
 
 
 @dataclass
@@ -50,12 +50,28 @@ class CnfResult:
         }
 
 
-class _TseitinConverter:
+class TseitinConverter:
+    """A stateful converter whose variable space and gate cache persist.
+
+    One-shot conversion goes through :func:`tseitin`; the incremental
+    DPLL(T) engine keeps a converter alive for the lifetime of a solver so
+    that assertions added later share atom variables and gate definitions
+    with everything encoded before.
+    """
+
     def __init__(self) -> None:
         self.result = CnfResult()
         self._cache: Dict[Term, int] = {}
 
     # -- variable allocation -------------------------------------------------
+
+    def fresh_var(self) -> int:
+        """Allocate a fresh propositional variable (used for scope selectors)."""
+        return self._fresh_var()
+
+    def add_raw_clause(self, lits: List[int]) -> None:
+        """Append an already-built clause over this converter's variables."""
+        self.result.clauses.append(list(lits))
 
     def _fresh_var(self) -> int:
         self.result.num_vars += 1
@@ -179,7 +195,7 @@ def tseitin(assertions: List[Term]) -> CnfResult:
     assertions is satisfiable *as a propositional formula over its atoms*
     (the theory meaning of the atoms is handled by DPLL(T)).
     """
-    converter = _TseitinConverter()
+    converter = TseitinConverter()
     for term in assertions:
         converter.encode_assertion(term)
     return converter.result

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.smt.cnf import CnfResult, tseitin
+from repro.smt.cnf import TseitinConverter, tseitin
 from repro.smt.linear import LinearLe, atom_to_constraints
 from repro.smt.models import Model
 from repro.smt.sat import SatResult, SatSolver
@@ -31,7 +31,7 @@ from repro.smt.theory.idl import DifferenceLogicSolver
 from repro.smt.theory.lia import LinearIntSolver
 from repro.utils.errors import SolverError
 
-__all__ = ["CheckResult", "DpllTEngine", "SmtStats"]
+__all__ = ["CheckResult", "DpllTEngine", "IncrementalDpllTEngine", "SmtStats"]
 
 
 class CheckResult(Enum):
@@ -93,6 +93,131 @@ def _classify_atom(atom: Term) -> str:
     raise SolverError(f"unclassifiable atom: {atom}")
 
 
+def _partition_atom(
+    atom: Term,
+    var: int,
+    arith_atoms: Dict[Term, int],
+    euf_atoms: Dict[Term, int],
+) -> None:
+    """Route ``atom`` into the arithmetic or EUF atom map (or reject it)."""
+    kind = _classify_atom(atom)
+    if kind == "arith":
+        arith_atoms[atom] = var
+    elif kind == "euf_pred":
+        raise SolverError(
+            "Boolean-valued uninterpreted predicates are not supported; "
+            "model them as equalities with a distinguished constant"
+        )
+    elif kind == "euf":
+        euf_atoms[atom] = var
+    elif kind == "bool_eq":
+        raise SolverError(
+            "Boolean equality atoms should have been rewritten to iff "
+            "by preprocessing"
+        )
+
+
+def _theory_consistency(
+    arith_atoms: Dict[Term, int],
+    euf_atoms: Dict[Term, int],
+    bool_model: Dict[int, bool],
+    constraint_cache: Optional[Dict[Tuple[int, bool], Tuple[LinearLe, ...]]] = None,
+) -> Tuple[Optional[List[int]], Dict[str, int], Dict[str, int]]:
+    """Check a candidate propositional model against the theories.
+
+    Returns ``(conflict, arith_model, euf_model)``.  ``conflict`` is ``None``
+    when the theories agree; otherwise it lists the SAT literals (as asserted
+    by the candidate model) whose conjunction is theory-inconsistent.  When a
+    theory fails to localise its inconsistency the full set of asserted
+    literals of that theory is returned, which is always a valid (if coarse)
+    explanation.
+
+    ``constraint_cache`` memoises the pure atom-to-constraint translation
+    keyed by ``(atom_var, polarity)``; across the many theory iterations of
+    an enumeration workload this is the single hottest path.
+    """
+    arith_model: Dict[str, int] = {}
+    euf_model: Dict[str, int] = {}
+
+    # ---- arithmetic ----
+    constraints: List[LinearLe] = []
+    origin_lits: List[int] = []
+    for atom, var in arith_atoms.items():
+        value = bool_model.get(var)
+        if value is None:
+            continue
+        if constraint_cache is None:
+            translated: Tuple[LinearLe, ...] = tuple(atom_to_constraints(atom, value))
+        else:
+            key = (var, value)
+            cached = constraint_cache.get(key)
+            if cached is None:
+                cached = tuple(atom_to_constraints(atom, value))
+                constraint_cache[key] = cached
+            translated = cached
+        origin = var if value else -var
+        for constraint in translated:
+            constraints.append(constraint)
+            origin_lits.append(origin)
+
+    if constraints:
+        if DifferenceLogicSolver.is_applicable(constraints):
+            arith: object = DifferenceLogicSolver()
+        else:
+            arith = LinearIntSolver()
+        arith.assert_all(constraints)  # type: ignore[attr-defined]
+        outcome = arith.check()  # type: ignore[attr-defined]
+        if not outcome.satisfiable:
+            conflict = sorted({origin_lits[i] for i in outcome.conflict or []})
+            return conflict or sorted(set(origin_lits)), arith_model, euf_model
+        arith_model = outcome.model or {}
+
+    # ---- EUF ----
+    if euf_atoms:
+        euf = CongruenceClosure()
+        euf_origin: List[int] = []
+        for atom, var in euf_atoms.items():
+            value = bool_model.get(var)
+            if value is None:
+                continue
+            lhs, rhs = atom.args
+            if value:
+                euf.assert_equal(lhs, rhs)
+            else:
+                euf.assert_distinct(lhs, rhs)
+            euf_origin.append(var if value else -var)
+        outcome = euf.check()
+        if not outcome.satisfiable:
+            conflict = sorted({euf_origin[i] for i in outcome.conflict or []})
+            return conflict or sorted(set(euf_origin)), arith_model, euf_model
+        euf_model = outcome.model or {}
+
+    return None, arith_model, euf_model
+
+
+def _assemble_model(
+    atom_to_var: Dict[Term, int],
+    bool_model: Dict[int, bool],
+    variables: Dict[str, object],
+    arith_model: Dict[str, int],
+    euf_model: Dict[str, int],
+) -> Model:
+    """Combine theory models and the SAT assignment into a full model."""
+    values: Dict[str, object] = {}
+    # Theory values first.
+    values.update(arith_model)
+    values.update(euf_model)
+    # Boolean variables straight from the SAT model.
+    for atom, var in atom_to_var.items():
+        if atom.kind == "var" and atom.sort.is_bool:
+            values[atom.name] = bool_model.get(var, False)
+    # Defaults for anything the formula mentions but nothing constrained.
+    for name, sort in variables.items():
+        if name not in values:
+            values[name] = False if getattr(sort, "is_bool", False) else 0
+    return Model(values)  # type: ignore[arg-type]
+
+
 class DpllTEngine:
     """One-shot DPLL(T) check over a list of assertions.
 
@@ -129,21 +254,7 @@ class DpllTEngine:
         arith_atoms: Dict[Term, int] = {}
         euf_atoms: Dict[Term, int] = {}
         for atom, var in cnf.atom_to_var.items():
-            kind = _classify_atom(atom)
-            if kind == "arith":
-                arith_atoms[atom] = var
-            elif kind in ("euf", "euf_pred"):
-                if kind == "euf_pred":
-                    raise SolverError(
-                        "Boolean-valued uninterpreted predicates are not supported; "
-                        "model them as equalities with a distinguished constant"
-                    )
-                euf_atoms[atom] = var
-            elif kind == "bool_eq":
-                raise SolverError(
-                    "Boolean equality atoms should have been rewritten to iff "
-                    "by preprocessing"
-                )
+            _partition_atom(atom, var, arith_atoms, euf_atoms)
         self.stats.arith_atoms = len(arith_atoms)
         self.stats.euf_atoms = len(euf_atoms)
 
@@ -151,6 +262,7 @@ class DpllTEngine:
         for assertion in assertions:
             variables.update(free_variables(assertion))
 
+        constraint_cache: Dict[Tuple[int, bool], Tuple[LinearLe, ...]] = {}
         while True:
             self.stats.iterations += 1
             if self.stats.iterations > self._max_iterations:
@@ -164,13 +276,13 @@ class DpllTEngine:
                 return CheckResult.UNKNOWN
 
             bool_model = sat.model()
-            conflict_lits = self._theory_check(
-                arith_atoms, euf_atoms, bool_model, variables
+            conflict_lits, arith_model, euf_model = _theory_consistency(
+                arith_atoms, euf_atoms, bool_model, constraint_cache
             )
             if conflict_lits is None:
                 # Theories agree: assemble the model.
-                self._model = self._build_model(
-                    cnf, bool_model, arith_atoms, euf_atoms, variables
+                self._model = _assemble_model(
+                    cnf.atom_to_var, bool_model, variables, arith_model, euf_model
                 )
                 return CheckResult.SAT
 
@@ -187,85 +299,192 @@ class DpllTEngine:
             raise SolverError("no model available (last check was not SAT)")
         return self._model
 
-    # ------------------------------------------------------------------ theory glue
 
-    def _theory_check(
-        self,
-        arith_atoms: Dict[Term, int],
-        euf_atoms: Dict[Term, int],
-        bool_model: Dict[int, bool],
-        variables: Dict[str, object],
-    ) -> Optional[List[int]]:
-        """Check the candidate model against the theories.
+class IncrementalDpllTEngine:
+    """A persistent DPLL(T) engine with add/push/pop and assumption checks.
 
-        Returns ``None`` when consistent, otherwise the list of SAT literals
-        (as asserted by the candidate model) whose conjunction is
-        theory-inconsistent.
+    Where :class:`DpllTEngine` is rebuilt from scratch for every query, this
+    engine keeps all solver state alive across ``check`` calls:
+
+    * one :class:`~repro.smt.cnf.TseitinConverter` — atoms keep their
+      propositional variables and gate definitions are shared, so asserting
+      the same subformula twice costs nothing;
+    * one :class:`~repro.smt.sat.SatSolver` — learned clauses, variable
+      activities and saved phases survive between checks;
+    * theory lemmas (blocking clauses) speak about the atom vocabulary, not
+      about a particular assertion set, so they remain valid and persist.
+
+    Scopes are implemented with *selector literals* in the MiniSat
+    tradition: an assertion added after a :meth:`push` is encoded as
+    ``selector -> assertion`` and every :meth:`check` assumes the selectors
+    of the open scopes; :meth:`pop` retires a selector by asserting its
+    negation, permanently satisfying the scope's clauses.  Per-call
+    assumptions are Tseitin-encoded to literals and assumed the same way.
+    This is what makes blocking-clause enumeration and reachability probes
+    cheap: the clause database is never rebuilt, only extended.
+    """
+
+    def __init__(self, max_iterations: int = 200_000) -> None:
+        self._converter = TseitinConverter()
+        self._sat = SatSolver()
+        self._max_iterations = max_iterations
+        self._clauses_fed = 0
+        self._atoms_seen = 0
+        self._arith_atoms: Dict[Term, int] = {}
+        self._euf_atoms: Dict[Term, int] = {}
+        self._variables: Dict[str, object] = {}
+        self._selectors: List[int] = []
+        self._constraint_cache: Dict[Tuple[int, bool], Tuple[LinearLe, ...]] = {}
+        self._model: Optional[Model] = None
+        self._last_result: Optional[CheckResult] = None
+        #: Statistics of the most recent :meth:`check`.
+        self.stats = SmtStats()
+        #: Number of ``check`` calls served by this engine instance.
+        self.total_checks = 0
+
+    # ------------------------------------------------------------------ assertions
+
+    def add(self, term: Term) -> None:
+        """Assert ``term`` in the current scope."""
+        term = preprocess(term)
+        self._variables.update(free_variables(term))
+        self._invalidate()
+        if self._selectors:
+            self._encode_guarded(term, self._selectors[-1])
+        else:
+            self._converter.encode_assertion(term)
+        self._flush()
+
+    def push(self) -> None:
+        """Open a scope: later assertions hold only while the scope is open.
+
+        Opening a scope adds no constraints, so the model of the last check
+        (if any) stays valid and available.
         """
-        self._last_arith_model: Dict[str, int] = {}
-        self._last_euf_model: Dict[str, int] = {}
+        self._selectors.append(self._converter.fresh_var())
 
-        # ---- arithmetic ----
-        constraints: List[LinearLe] = []
-        origin_lits: List[int] = []
-        for atom, var in arith_atoms.items():
-            value = bool_model.get(var)
-            if value is None:
-                continue
-            for constraint in atom_to_constraints(atom, value):
-                constraints.append(constraint)
-                origin_lits.append(var if value else -var)
+    def pop(self) -> None:
+        """Close the innermost scope, retiring its assertions."""
+        if not self._selectors:
+            raise SolverError("pop without matching push")
+        selector = self._selectors.pop()
+        self._sat.ensure_vars(self._converter.result.num_vars)
+        self._sat.add_clause([-selector])
+        self._invalidate()
 
-        if constraints:
-            if DifferenceLogicSolver.is_applicable(constraints):
-                arith: object = DifferenceLogicSolver()
-            else:
-                arith = LinearIntSolver()
-            arith.assert_all(constraints)  # type: ignore[attr-defined]
-            outcome = arith.check()  # type: ignore[attr-defined]
-            if not outcome.satisfiable:
-                return sorted({origin_lits[i] for i in outcome.conflict or []})
-            self._last_arith_model = outcome.model or {}
+    @property
+    def scope_depth(self) -> int:
+        """Number of currently open scopes."""
+        return len(self._selectors)
 
-        # ---- EUF ----
-        if euf_atoms:
-            euf = CongruenceClosure()
-            euf_origin: List[int] = []
-            for atom, var in euf_atoms.items():
-                value = bool_model.get(var)
-                if value is None:
-                    continue
-                lhs, rhs = atom.args
-                if value:
-                    euf.assert_equal(lhs, rhs)
-                else:
-                    euf.assert_distinct(lhs, rhs)
-                euf_origin.append(var if value else -var)
-            outcome = euf.check()
-            if not outcome.satisfiable:
-                return sorted({euf_origin[i] for i in outcome.conflict or []})
-            self._last_euf_model = outcome.model or {}
+    # ------------------------------------------------------------------ solving
 
-        return None
+    def check(self, *assumptions: Term) -> CheckResult:
+        """Decide satisfiability of the live assertions plus ``assumptions``.
 
-    def _build_model(
-        self,
-        cnf: CnfResult,
-        bool_model: Dict[int, bool],
-        arith_atoms: Dict[Term, int],
-        euf_atoms: Dict[Term, int],
-        variables: Dict[str, object],
-    ) -> Model:
-        values: Dict[str, object] = {}
-        # Theory values first.
-        values.update(self._last_arith_model)
-        values.update(self._last_euf_model)
-        # Boolean variables straight from the SAT model.
-        for atom, var in cnf.atom_to_var.items():
-            if atom.kind == "var" and atom.sort.is_bool:
-                values[atom.name] = bool_model.get(var, False)
-        # Defaults for anything the formula mentions but nothing constrained.
-        for name, sort in variables.items():
-            if name not in values:
-                values[name] = False if getattr(sort, "is_bool", False) else 0
-        return Model(values)  # type: ignore[arg-type]
+        Assumptions are scoped to this single call; nothing learned from a
+        previous call is forgotten.
+        """
+        self._model = None
+        self.total_checks += 1
+        assumption_lits: List[int] = []
+        for term in assumptions:
+            term = preprocess(term)
+            self._variables.update(free_variables(term))
+            assumption_lits.append(self._converter.literal(term))
+        self._flush()
+
+        stats = SmtStats()
+        self.stats = stats
+        stats.sat_clauses = self._sat.num_clauses
+        stats.sat_variables = self._sat.num_vars
+        stats.atoms = self._atoms_seen
+        stats.arith_atoms = len(self._arith_atoms)
+        stats.euf_atoms = len(self._euf_atoms)
+        # The SAT core's counters are engine-lifetime; report per-check deltas.
+        base_decisions = self._sat.stats.decisions
+        base_conflicts = self._sat.stats.conflicts
+
+        sat_assumptions = list(self._selectors) + assumption_lits
+        while True:
+            stats.iterations += 1
+            if stats.iterations > self._max_iterations:
+                return self._finish(CheckResult.UNKNOWN)
+            result = self._sat.solve(sat_assumptions)
+            stats.sat_decisions = self._sat.stats.decisions - base_decisions
+            stats.sat_conflicts = self._sat.stats.conflicts - base_conflicts
+            if result is SatResult.UNSAT:
+                return self._finish(CheckResult.UNSAT)
+            if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
+                return self._finish(CheckResult.UNKNOWN)
+
+            bool_model = self._sat.model()
+            conflict_lits, arith_model, euf_model = _theory_consistency(
+                self._arith_atoms, self._euf_atoms, bool_model, self._constraint_cache
+            )
+            if conflict_lits is None:
+                self._model = _assemble_model(
+                    self._converter.result.atom_to_var,
+                    bool_model,
+                    self._variables,
+                    arith_model,
+                    euf_model,
+                )
+                return self._finish(CheckResult.SAT)
+
+            stats.theory_conflicts += 1
+            if not conflict_lits:  # pragma: no cover - theories always explain
+                return self._finish(CheckResult.UNSAT)
+            # The lemma is theory-valid, so it may outlive scopes and
+            # assumptions: this is the learned state reused across checks.
+            if not self._sat.add_clause([-lit for lit in conflict_lits]):
+                return self._finish(CheckResult.UNSAT)
+
+    def model(self) -> Model:
+        """The model of the last :meth:`check`, which must have returned SAT."""
+        if self._model is None:
+            raise SolverError("model() requires the previous check() to be SAT")
+        return self._model
+
+    @property
+    def last_result(self) -> Optional[CheckResult]:
+        """Outcome of the most recent check (None after add/push/pop)."""
+        return self._last_result
+
+    # ------------------------------------------------------------------ internals
+
+    def _finish(self, result: CheckResult) -> CheckResult:
+        self._last_result = result
+        return result
+
+    def _invalidate(self) -> None:
+        self._model = None
+        self._last_result = None
+
+    def _encode_guarded(self, term: Term, selector: int) -> None:
+        """Encode ``selector -> term``, splitting top-level conjunctions."""
+        if term.is_true:
+            return
+        if term.kind == "and":
+            for child in term.args:
+                self._encode_guarded(child, selector)
+            return
+        self._converter.add_raw_clause([-selector, self._converter.literal(term)])
+
+    def _flush(self) -> None:
+        """Feed clauses and atoms created since the last flush to the SAT core."""
+        result = self._converter.result
+        self._sat.ensure_vars(result.num_vars)
+        clauses = result.clauses
+        while self._clauses_fed < len(clauses):
+            self._sat.add_clause(clauses[self._clauses_fed])
+            self._clauses_fed += 1
+        if len(result.atom_to_var) > self._atoms_seen:
+            atom_items = list(result.atom_to_var.items())
+            # Advance the counter per atom: if partitioning rejects one (e.g.
+            # an unsupported Boolean predicate), atoms after it must not be
+            # silently skipped — the next flush retries and re-raises.
+            while self._atoms_seen < len(atom_items):
+                atom, var = atom_items[self._atoms_seen]
+                _partition_atom(atom, var, self._arith_atoms, self._euf_atoms)
+                self._atoms_seen += 1

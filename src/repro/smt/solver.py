@@ -1,27 +1,34 @@
 """The public SMT solver facade.
 
 :class:`Solver` exposes a small, z3-like API (``add`` / ``push`` / ``pop`` /
-``check`` / ``model``) on top of the DPLL(T) engine.  The rest of the library
-— the trace encoder, the verifier, the baselines — talks to the SMT layer
-exclusively through this class, so swapping in an external solver (the paper
-used Yices) would only require re-implementing this facade.
+``check`` / ``model``) over a pluggable :class:`repro.smt.backend.SolverBackend`.
+The default backend is the in-tree incremental DPLL(T) engine, which keeps
+its learned state alive between ``check`` calls; passing
+``backend="smtlib"`` (with an external solver configured via the
+``REPRO_SMT_SOLVER`` environment variable) swaps in an external SMT-LIB
+process instead — the swap the paper performed with Yices.
+
+The facade itself only mirrors the assertion stack so that
+:meth:`assertions` and :meth:`to_smtlib` work uniformly; all solving is
+delegated to the backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.smt.dpllt import CheckResult, DpllTEngine, SmtStats
+from repro.smt.backend import SolverBackend, create_backend
+from repro.smt.dpllt import CheckResult
 from repro.smt.models import Model
 from repro.smt.smtlib import to_smtlib
-from repro.smt.terms import And, Not, Term
+from repro.smt.terms import Not, Term
 from repro.utils.errors import SolverError
 
 __all__ = ["Solver", "CheckResult"]
 
 
 class Solver:
-    """An incremental-by-assertion-stack SMT solver for QF_LIA + QF_UF.
+    """An incremental SMT solver for QF_LIA + QF_UF over a pluggable backend.
 
     Example
     -------
@@ -36,12 +43,21 @@ class Solver:
     True
     """
 
-    def __init__(self, max_iterations: int = 200_000) -> None:
+    def __init__(
+        self,
+        max_iterations: int = 200_000,
+        backend: Union[str, SolverBackend, None] = None,
+    ) -> None:
         self._assertions: List[Term] = []
         self._scopes: List[int] = []
         self._max_iterations = max_iterations
-        self._last_result: Optional[CheckResult] = None
-        self._last_engine: Optional[DpllTEngine] = None
+        self._backend = create_backend(backend, max_iterations=max_iterations)
+        self._dirty = True  # True until the backend has seen a check
+
+    @property
+    def backend(self) -> SolverBackend:
+        """The live solver backend."""
+        return self._backend
 
     # -- assertion management ----------------------------------------------------
 
@@ -52,8 +68,9 @@ class Solver:
                 raise SolverError(f"Solver.add expects Terms, got {term!r}")
             if not term.sort.is_bool:
                 raise SolverError(f"assertions must be Boolean, got sort {term.sort}")
-            self._assertions.append(term)
-        self._last_result = None
+        self._backend.add(*terms)
+        self._assertions.extend(terms)
+        self._dirty = True
 
     def add_all(self, terms: Iterable[Term]) -> None:
         self.add(*terms)
@@ -61,6 +78,7 @@ class Solver:
     def push(self) -> None:
         """Open a new assertion scope."""
         self._scopes.append(len(self._assertions))
+        self._backend.push()
 
     def pop(self) -> None:
         """Discard all assertions added since the matching :meth:`push`."""
@@ -68,7 +86,8 @@ class Solver:
             raise SolverError("pop without matching push")
         size = self._scopes.pop()
         del self._assertions[size:]
-        self._last_result = None
+        self._backend.pop()
+        self._dirty = True
 
     @property
     def assertions(self) -> List[Term]:
@@ -80,26 +99,22 @@ class Solver:
     def check(self, *assumptions: Term) -> CheckResult:
         """Decide satisfiability of the asserted formulas (plus assumptions).
 
-        Assumptions are temporary assertions scoped to this single call.
+        Assumptions are temporary assertions scoped to this single call; the
+        backend keeps everything it learned for the next call.
         """
-        terms = self._assertions + list(assumptions)
-        engine = DpllTEngine(terms, max_iterations=self._max_iterations)
-        result = engine.check()
-        self._last_engine = engine
-        self._last_result = result
+        result = self._backend.check(*assumptions)
+        self._dirty = False
         return result
 
     def model(self) -> Model:
         """The model of the last :meth:`check`, which must have returned SAT."""
-        if self._last_result is not CheckResult.SAT or self._last_engine is None:
+        if self._dirty:
             raise SolverError("model() requires the previous check() to be SAT")
-        return self._last_engine.model()
+        return self._backend.model()
 
     def statistics(self) -> Dict[str, int]:
         """Statistics of the most recent check (empty dict if none)."""
-        if self._last_engine is None:
-            return {}
-        return self._last_engine.stats.as_dict()
+        return self._backend.statistics()
 
     # -- interop ---------------------------------------------------------------------
 
@@ -117,4 +132,7 @@ class Solver:
         return result is CheckResult.UNSAT
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Solver({len(self._assertions)} assertions)"
+        return (
+            f"Solver({len(self._assertions)} assertions, "
+            f"backend={getattr(self._backend, 'name', '?')})"
+        )

@@ -16,6 +16,30 @@ class SolverError(ReproError):
     """Raised for misuse of the SMT solver or internal solver failures."""
 
 
+class UnknownBackendError(SolverError):
+    """Raised when a solver backend name does not resolve in the registry."""
+
+
+class BackendUnavailableError(SolverError):
+    """Raised when a registered backend cannot run in this environment.
+
+    The canonical case is :class:`repro.smt.backend.SmtLibProcessBackend`
+    when no external SMT solver binary is configured.
+    """
+
+
+class IncompleteEnumerationError(SolverError):
+    """Raised when a pairing enumeration stops on UNKNOWN instead of UNSAT.
+
+    The matchings discovered before the solver gave up are available on the
+    :attr:`pairings` attribute; callers must not treat them as complete.
+    """
+
+    def __init__(self, message: str, pairings=()) -> None:
+        super().__init__(message)
+        self.pairings = list(pairings)
+
+
 class EncodingError(ReproError):
     """Raised when a trace cannot be encoded into an SMT problem."""
 

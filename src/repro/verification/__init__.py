@@ -1,9 +1,19 @@
-"""Verification front-end: the symbolic verifier, witness replay and the CLI."""
+"""Verification front-end: sessions, the symbolic verifier shim, replay, CLI.
 
-from repro.verification.verifier import SymbolicVerifier, Verdict, VerificationResult
+The primary entry point is :class:`VerificationSession` (encode once, query
+many times against one incremental solver backend) together with the batch
+helper :func:`verify_many`; :class:`SymbolicVerifier` remains as a
+backwards-compatible call-per-query facade.
+"""
+
+from repro.verification.result import Verdict, VerificationResult
+from repro.verification.session import VerificationSession, verify_many
+from repro.verification.verifier import SymbolicVerifier
 from repro.verification.replay import ReplayOutcome, replay_witness, witness_schedule
 
 __all__ = [
+    "VerificationSession",
+    "verify_many",
     "SymbolicVerifier",
     "Verdict",
     "VerificationResult",

@@ -1,21 +1,31 @@
 """Command-line interface: ``mcapi-verify``.
 
-Runs one of the bundled workloads, records a trace, encodes it and reports
-the verdict together with a counterexample (when one exists)::
+Runs one of the bundled workloads, records a trace, opens a
+:class:`~repro.verification.session.VerificationSession` and reports the
+verdict together with a counterexample (when one exists)::
 
     mcapi-verify --workload figure1 --property a-is-y
     mcapi-verify --workload racy_fanin --senders 3 --seed 2 --show-smt
+    mcapi-verify --list-workloads
+    mcapi-verify --workload figure1 --backend smtlib   # external solver
+
+Workloads live in a declarative registry; adding one is a
+:func:`register_workload` call, not another ``elif``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.encoding.encoder import EncoderOptions, MatchPairStrategy
 from repro.program.ast import Program
-from repro.verification.verifier import SymbolicVerifier, Verdict
+from repro.smt.backend import available_backends
+from repro.utils.errors import BackendUnavailableError, SolverError
+from repro.verification.result import Verdict
+from repro.verification.session import VerificationSession
 from repro.workloads import (
     branching_consumer,
     client_server,
@@ -27,31 +37,81 @@ from repro.workloads import (
     token_ring,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "register_workload", "WORKLOADS"]
 
 
-def _make_workload(args: argparse.Namespace) -> Program:
-    name = args.workload
-    if name == "figure1":
-        return figure1_program(
-            assert_a_is_y=(args.property in ("a-is-y", None)),
-            assert_a_is_x=(args.property == "a-is-x"),
-        )
-    if name == "racy_fanin":
-        return racy_fanin(args.senders, args.messages, assert_first_from_sender0=True)
-    if name == "nonblocking_fanin":
-        return nonblocking_fanin(args.senders)
-    if name == "pipeline":
-        return pipeline(max(args.senders, 2))
-    if name == "token_ring":
-        return token_ring(max(args.senders, 2))
-    if name == "scatter_gather":
-        return scatter_gather(args.senders, assert_order=True)
-    if name == "client_server":
-        return client_server(args.senders)
-    if name == "branching_consumer":
-        return branching_consumer()
-    raise SystemExit(f"unknown workload {name!r}")
+@dataclass(frozen=True)
+class Workload:
+    """A named, self-describing workload factory for the CLI."""
+
+    name: str
+    build: Callable[[argparse.Namespace], Program]
+    description: str
+
+
+#: The workload registry, keyed by ``--workload`` name.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register_workload(name: str, description: str):
+    """Register a CLI workload; the decorated function maps args -> Program."""
+
+    def decorate(build: Callable[[argparse.Namespace], Program]):
+        WORKLOADS[name] = Workload(name=name, build=build, description=description)
+        return build
+
+    return decorate
+
+
+@register_workload("figure1", "the paper's Figure 1 program (see --property)")
+def _figure1(args: argparse.Namespace) -> Program:
+    return figure1_program(
+        assert_a_is_y=(args.property in ("a-is-y", None)),
+        assert_a_is_x=(args.property == "a-is-x"),
+    )
+
+
+@register_workload("racy_fanin", "N senders race to one receiver endpoint")
+def _racy_fanin(args: argparse.Namespace) -> Program:
+    return racy_fanin(args.senders, args.messages, assert_first_from_sender0=True)
+
+
+@register_workload("nonblocking_fanin", "racy fan-in with non-blocking receives")
+def _nonblocking_fanin(args: argparse.Namespace) -> Program:
+    return nonblocking_fanin(args.senders)
+
+
+@register_workload("pipeline", "a value threaded through N stages (safe)")
+def _pipeline(args: argparse.Namespace) -> Program:
+    return pipeline(max(args.senders, 2))
+
+
+@register_workload("token_ring", "a token circulating around N threads (safe)")
+def _token_ring(args: argparse.Namespace) -> Program:
+    return token_ring(max(args.senders, 2))
+
+
+@register_workload("scatter_gather", "master scatters to N workers, gathers replies")
+def _scatter_gather(args: argparse.Namespace) -> Program:
+    return scatter_gather(args.senders, assert_order=True)
+
+
+@register_workload("client_server", "N clients against one server endpoint")
+def _client_server(args: argparse.Namespace) -> Program:
+    return client_server(args.senders)
+
+
+@register_workload("branching_consumer", "consumer branching on received values")
+def _branching_consumer(args: argparse.Namespace) -> Program:
+    return branching_consumer()
+
+
+def _list_workloads() -> str:
+    width = max(len(name) for name in WORKLOADS)
+    lines = ["available workloads:"]
+    for name in sorted(WORKLOADS):
+        lines.append(f"  {name.ljust(width)}  {WORKLOADS[name].description}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,17 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workload",
         default="figure1",
-        choices=[
-            "figure1",
-            "racy_fanin",
-            "nonblocking_fanin",
-            "pipeline",
-            "token_ring",
-            "scatter_gather",
-            "client_server",
-            "branching_consumer",
-        ],
+        choices=sorted(WORKLOADS),
         help="which bundled workload to verify",
+    )
+    parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="list the available workloads and exit",
+    )
+    parser.add_argument(
+        "--backend",
+        default="dpllt",
+        choices=available_backends(),
+        help="solver backend (smtlib needs REPRO_SMT_SOLVER to name a binary)",
     )
     parser.add_argument(
         "--property",
@@ -105,7 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    program = _make_workload(args)
+    if args.list_workloads:
+        print(_list_workloads())
+        return 0
+    program = WORKLOADS[args.workload].build(args)
 
     options = EncoderOptions(
         match_strategy=(
@@ -115,8 +180,17 @@ def main(argv: Optional[list] = None) -> int:
         ),
         enforce_pair_fifo=args.pair_fifo,
     )
-    verifier = SymbolicVerifier(options=options)
-    result = verifier.verify_program(program, seed=args.seed)
+    try:
+        session = VerificationSession.from_program(
+            program, seed=args.seed, options=options, backend=args.backend
+        )
+        result = session.verdict()
+    except BackendUnavailableError as exc:
+        print(f"backend {args.backend!r} unavailable: {exc}", file=sys.stderr)
+        return 2
+    except SolverError as exc:
+        print(f"solver failure in backend {args.backend!r}: {exc}", file=sys.stderr)
+        return 2
 
     if args.show_trace and result.trace is not None:
         print(result.trace.pretty())

@@ -1,0 +1,67 @@
+"""Verification verdicts and results.
+
+Shared by the session API (:mod:`repro.verification.session`) and the
+backwards-compatible :class:`repro.verification.verifier.SymbolicVerifier`
+facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.encoding.encoder import EncodedProblem
+from repro.encoding.witness import Witness
+from repro.program.interpreter import ProgramRun
+from repro.trace.trace import ExecutionTrace
+
+__all__ = ["Verdict", "VerificationResult"]
+
+
+class Verdict(Enum):
+    """Outcome of a verification query."""
+
+    #: No execution consistent with the trace's branch outcomes violates the
+    #: properties.
+    SAFE = "safe"
+    #: Some execution violates a property; a witness is attached.
+    VIOLATION = "violation"
+    #: The solver gave up (iteration limit); no conclusion.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    """The verdict plus everything needed to understand and reproduce it."""
+
+    verdict: Verdict
+    problem: EncodedProblem
+    witness: Optional[Witness] = None
+    solver_statistics: Dict[str, int] = field(default_factory=dict)
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    trace: Optional[ExecutionTrace] = None
+    program_run: Optional[ProgramRun] = None
+    backend: Optional[str] = None
+
+    @property
+    def is_violation(self) -> bool:
+        return self.verdict is Verdict.VIOLATION
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict is Verdict.SAFE
+
+    def describe(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        lines.append(f"problem size: {self.problem.size_summary()}")
+        lines.append(
+            f"encode time: {self.encode_seconds * 1000:.1f} ms, "
+            f"solve time: {self.solve_seconds * 1000:.1f} ms"
+        )
+        if self.backend is not None:
+            lines.append(f"backend: {self.backend}")
+        if self.witness is not None:
+            lines.append(self.witness.describe(self.problem))
+        return "\n".join(lines)

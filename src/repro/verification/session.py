@@ -1,0 +1,366 @@
+"""Session-based verification: encode a trace once, query it many times.
+
+The paper's headline observation is that *one* SMT encoding of a recorded
+trace answers many different questions — is a property violated, is the
+model feasible at all, can a particular send/receive pairing happen, what is
+the full set of admissible matchings.  :class:`VerificationSession` turns
+that observation into the API: the problem ``P = POrder ∧ PMatchPairs ∧
+PUnique ∧ PEvents`` is encoded exactly once and loaded into one incremental
+:class:`~repro.smt.backend.SolverBackend`; every query after that is an
+assumption-scoped ``check`` (or, for enumeration, a blocking-clause loop in
+a solver scope), so learned clauses and theory lemmas accumulate across the
+whole query stream instead of being thrown away per call.
+
+The negated property ``¬PProp`` is *assumed*, never asserted, which is what
+lets verdict, feasibility, reachability and enumeration queries share one
+backend without stepping on each other.
+
+Quickstart::
+
+    from repro.verification import VerificationSession
+    from repro.workloads import figure1_program
+
+    session = VerificationSession.from_program(figure1_program(assert_a_is_y=True))
+    result = session.verdict()           # SAFE / VIOLATION (+ witness)
+    session.feasibility()                # the model admits some execution
+    for matching in session.pairings():  # every admissible send/recv pairing
+        print(matching)
+
+For one-shot batch traffic use :func:`verify_many`, and for the legacy
+call-per-query interface keep using
+:class:`~repro.verification.verifier.SymbolicVerifier`, which is now a thin
+shim over sessions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.encoding.encoder import EncodedProblem, EncoderOptions, TraceEncoder
+from repro.encoding.properties import Property
+from repro.encoding.variables import match_var
+from repro.encoding.witness import Witness, decode_witness
+from repro.mcapi.network import DeliveryPolicy
+from repro.mcapi.scheduler import SchedulingStrategy
+from repro.program.ast import Program
+from repro.program.interpreter import ProgramRun, run_program
+from repro.smt.backend import SolverBackend, create_backend
+from repro.smt.dpllt import CheckResult
+from repro.smt.terms import And, Eq, IntVal, Not
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import (
+    EncodingError,
+    IncompleteEnumerationError,
+    SolverError,
+)
+from repro.verification.result import Verdict, VerificationResult
+
+__all__ = ["VerificationSession", "verify_many"]
+
+
+def _recording_run(
+    program: Program,
+    seed: int,
+    policy: Optional[DeliveryPolicy],
+    strategy: Optional[SchedulingStrategy],
+) -> ProgramRun:
+    """Run ``program`` once to obtain a complete recording trace."""
+    run = run_program(program, seed=seed, policy=policy, strategy=strategy)
+    if run.deadlocked:
+        raise EncodingError(
+            f"the recording run of {program.name!r} deadlocked; "
+            "pick a different seed/strategy to obtain a complete trace"
+        )
+    return run
+
+
+class VerificationSession:
+    """One encoded trace, one incremental solver, arbitrarily many queries.
+
+    Parameters
+    ----------
+    trace:
+        The recorded execution trace to model.
+    options:
+        Encoder configuration (match-pair strategy, FIFO extension, ...).
+    properties:
+        Correctness properties; defaults to the assertions recorded in the
+        trace, exactly like the legacy verifier.
+    backend:
+        A backend registry name (``"dpllt"``, ``"smtlib"``), a live
+        :class:`~repro.smt.backend.SolverBackend`, or ``None`` for the
+        default incremental DPLL(T) backend.
+    max_solver_iterations:
+        DPLL(T) iteration budget per ``check``.
+    program_run:
+        The recording run, when the trace came from one (attached to
+        results for replay).
+    encoder:
+        An existing :class:`TraceEncoder` to reuse (overrides ``options``).
+
+    The constructor encodes the problem exactly once; no public method ever
+    re-encodes.  The backend is created lazily on the first query so that
+    sessions on property-free traces stay cheap.
+    """
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        options: Optional[EncoderOptions] = None,
+        properties: Optional[Sequence[Property]] = None,
+        backend: Union[str, SolverBackend, None] = None,
+        max_solver_iterations: int = 200_000,
+        program_run: Optional[ProgramRun] = None,
+        encoder: Optional[TraceEncoder] = None,
+    ) -> None:
+        self.trace = trace
+        self.program_run = program_run
+        self._encoder = encoder if encoder is not None else TraceEncoder(options)
+        start = time.perf_counter()
+        self._problem = self._encoder.encode(trace, properties=properties)
+        self.encode_seconds = time.perf_counter() - start
+        #: How many times the trace has been encoded.  Stays 1 for the
+        #: session's whole lifetime — that is the point of the API.
+        self.encode_count = 1
+        self._backend_spec = backend
+        self._max_iterations = max_solver_iterations
+        self._backend: Optional[SolverBackend] = None
+        self._verdict: Optional[VerificationResult] = None
+        self._enumerating = False
+
+    # ------------------------------------------------------------------ creation
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        seed: int = 0,
+        policy: Optional[DeliveryPolicy] = None,
+        strategy: Optional[SchedulingStrategy] = None,
+        **kwargs,
+    ) -> "VerificationSession":
+        """Record ``program`` once (any scheduling works) and open a session."""
+        run = _recording_run(program, seed, policy, strategy)
+        return cls(run.trace, program_run=run, **kwargs)
+
+    # ------------------------------------------------------------------ accessors
+
+    @property
+    def problem(self) -> EncodedProblem:
+        """The encoded problem (built exactly once, at construction)."""
+        return self._problem
+
+    @property
+    def backend(self) -> SolverBackend:
+        """The live solver backend, loaded with the base assertion set."""
+        if self._backend is None:
+            self._backend = create_backend(
+                self._backend_spec, max_iterations=self._max_iterations
+            )
+            self._backend.add_all(self._problem.assertions(include_property=False))
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        if self._backend is not None:
+            return getattr(self._backend, "name", "?")
+        if isinstance(self._backend_spec, str):
+            return self._backend_spec
+        if self._backend_spec is None:
+            return "dpllt"
+        return getattr(self._backend_spec, "name", "?")
+
+    def statistics(self) -> Dict[str, int]:
+        """Backend statistics accumulated over the session (empty if unused)."""
+        return {} if self._backend is None else self._backend.statistics()
+
+    # ------------------------------------------------------------------ queries
+
+    def verdict(self) -> VerificationResult:
+        """Check whether any modelled execution violates the properties.
+
+        The negated property is passed as a *check assumption*, so the
+        persistent assertion set — shared with every other query — is never
+        polluted.  The result is cached; repeated calls are free.
+        """
+        if self._verdict is not None:
+            return self._verdict
+        self._require_not_enumerating("verdict")
+        negated = self._problem.negated_property
+        if negated is None:
+            # No properties with content: nothing can be violated.
+            self._verdict = VerificationResult(
+                verdict=Verdict.SAFE,
+                problem=self._problem,
+                encode_seconds=self.encode_seconds,
+                trace=self.trace,
+                program_run=self.program_run,
+                backend=self.backend_name,
+            )
+            return self._verdict
+
+        backend = self.backend
+        start = time.perf_counter()
+        outcome = backend.check(negated)
+        solve_seconds = time.perf_counter() - start
+
+        witness: Optional[Witness] = None
+        if outcome is CheckResult.SAT:
+            verdict = Verdict.VIOLATION
+            witness = decode_witness(self._problem, backend.model())
+        elif outcome is CheckResult.UNSAT:
+            verdict = Verdict.SAFE
+        else:
+            verdict = Verdict.UNKNOWN
+
+        self._verdict = VerificationResult(
+            verdict=verdict,
+            problem=self._problem,
+            witness=witness,
+            solver_statistics=backend.statistics(),
+            encode_seconds=self.encode_seconds,
+            solve_seconds=solve_seconds,
+            trace=self.trace,
+            program_run=self.program_run,
+            backend=self.backend_name,
+        )
+        return self._verdict
+
+    def _require_not_enumerating(self, operation: str) -> None:
+        """Queries must not run inside an active enumeration's solver scope:
+        its blocking clauses would silently change their answers."""
+        if self._enumerating:
+            raise SolverError(
+                f"{operation}() cannot run while a pairings() enumeration is "
+                "active on this session; exhaust or close the generator first"
+            )
+
+    def feasibility(self) -> bool:
+        """True if the encoding admits at least one execution (sanity check)."""
+        self._require_not_enumerating("feasibility")
+        return self.backend.check() is CheckResult.SAT
+
+    def reachable(self, pairing: Dict[int, int]) -> bool:
+        """Is there an execution in which each ``recv_id`` matches ``send_id``?
+
+        This is the query behind the Figure 4 experiment.  The pairing
+        constraints are assumptions, so consecutive probes reuse everything
+        the solver has learned.
+        """
+        self._require_not_enumerating("reachable")
+        constraints = [
+            Eq(match_var(recv_id), IntVal(send_id))
+            for recv_id, send_id in pairing.items()
+        ]
+        return self.backend.check(*constraints) is CheckResult.SAT
+
+    def pairings(self, limit: Optional[int] = None) -> Iterator[Dict[int, int]]:
+        """Yield every complete matching the SMT model admits.
+
+        Iterative blocking inside one solver scope: solve, yield the model's
+        matching, assert a clause forbidding exactly that matching, repeat —
+        all against the same incremental backend, so no query starts cold.
+        The scope is popped when the generator is exhausted or closed,
+        leaving the session ready for further queries.
+
+        ``limit`` caps the number of matchings yielded.  If the solver gives
+        up (UNKNOWN) the generator raises
+        :class:`~repro.utils.errors.IncompleteEnumerationError` instead of
+        silently presenting the matchings found so far as exhaustive.
+
+        Only one enumeration may be active per session at a time.
+        """
+        if self._enumerating:
+            raise SolverError(
+                "a pairings() enumeration is already active on this session; "
+                "exhaust or close it before starting another"
+            )
+        backend = self.backend
+        self._enumerating = True
+        backend.push()
+        found: List[Dict[int, int]] = []
+        try:
+            while limit is None or len(found) < limit:
+                outcome = backend.check()
+                if outcome is CheckResult.UNKNOWN:
+                    raise IncompleteEnumerationError(
+                        "pairing enumeration stopped on UNKNOWN (solver "
+                        f"iteration limit); the {len(found)} matchings found "
+                        "so far are not exhaustive",
+                        pairings=found,
+                    )
+                if outcome is not CheckResult.SAT:
+                    return
+                witness = decode_witness(self._problem, backend.model())
+                matching = dict(witness.matching)
+                found.append(matching)
+                backend.add(
+                    Not(
+                        And(
+                            [
+                                Eq(match_var(recv_id), IntVal(send_id))
+                                for recv_id, send_id in matching.items()
+                            ]
+                        )
+                    )
+                )
+                yield matching
+        finally:
+            self._enumerating = False
+            backend.pop()
+
+    def enumerate_pairings(self, limit: Optional[int] = None) -> List[Dict[int, int]]:
+        """All admissible matchings as a list (see :meth:`pairings`)."""
+        return list(self.pairings(limit=limit))
+
+
+def verify_many(
+    items: Iterable[Union[Program, ExecutionTrace]],
+    options: Optional[EncoderOptions] = None,
+    properties: Optional[Sequence[Property]] = None,
+    backend: Union[str, SolverBackend, None] = None,
+    seed: int = 0,
+    max_solver_iterations: int = 200_000,
+) -> List[VerificationResult]:
+    """Batch front door: verify many programs and/or traces in one call.
+
+    Programs are recorded once with ``seed`` and every item gets its own
+    :class:`VerificationSession` (encode-once per item) sharing one encoder
+    configuration.  Results come back in input order.  ``backend`` must be a
+    registry name (each item gets a fresh backend); sharing one live backend
+    instance across items would mix their assertion sets.
+    """
+    items = list(items)
+    if backend is not None and not isinstance(backend, str) and len(items) > 1:
+        raise SolverError(
+            "verify_many needs a backend registry name, not a live backend "
+            "instance: each item must get its own solver state"
+        )
+    encoder = TraceEncoder(options)
+    results: List[VerificationResult] = []
+    for item in items:
+        if isinstance(item, Program):
+            run = _recording_run(item, seed, None, None)
+            session = VerificationSession(
+                run.trace,
+                properties=properties,
+                backend=backend,
+                max_solver_iterations=max_solver_iterations,
+                program_run=run,
+                encoder=encoder,
+            )
+        elif isinstance(item, ExecutionTrace):
+            session = VerificationSession(
+                item,
+                properties=properties,
+                backend=backend,
+                max_solver_iterations=max_solver_iterations,
+                encoder=encoder,
+            )
+        else:
+            raise EncodingError(
+                f"verify_many accepts Programs or ExecutionTraces, got {item!r}"
+            )
+        results.append(session.verdict())
+    return results

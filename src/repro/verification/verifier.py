@@ -1,97 +1,73 @@
-"""The symbolic verifier: the user-facing API of the reproduction.
+"""The symbolic verifier: the legacy call-per-query facade.
 
-``SymbolicVerifier`` ties the pipeline together:
+``SymbolicVerifier`` predates the session API and is kept as a thin,
+backwards-compatible shim over :class:`repro.verification.session.VerificationSession`:
+every method opens a session for the trace at hand and delegates.  New code
+— and anything issuing more than one query against the same trace — should
+hold a session directly, which encodes the problem once and keeps one
+incremental solver warm across the whole query stream:
 
 1. run the program once (any scheduling) to obtain an execution trace,
 2. generate match pairs from the trace,
 3. encode ``P = POrder ∧ PMatchPairs ∧ PUnique ∧ ¬PProp ∧ PEvents``,
-4. hand the problem to the SMT solver,
+4. hand the problem to the configured solver backend,
 5. decode a counterexample witness if the problem is satisfiable.
-
-Beyond the paper's yes/no question the verifier can also *enumerate* every
-send/receive pairing the model admits (by iteratively blocking found
-matchings), which is what the coverage benchmarks use to compare against MCC
-and the Elwakil/Yang encoding.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.encoding.encoder import EncodedProblem, EncoderOptions, TraceEncoder
+from repro.encoding.encoder import EncoderOptions, TraceEncoder
 from repro.encoding.properties import Property
-from repro.encoding.variables import match_var
-from repro.encoding.witness import Witness, decode_witness
-from repro.program.ast import Program
-from repro.program.interpreter import ProgramRun, run_program
 from repro.mcapi.network import DeliveryPolicy
 from repro.mcapi.scheduler import SchedulingStrategy
-from repro.smt.solver import CheckResult, Solver
-from repro.smt.terms import And, Eq, IntVal, Not, Term
+from repro.program.ast import Program
+from repro.program.interpreter import ProgramRun
+from repro.smt.backend import SolverBackend
 from repro.trace.trace import ExecutionTrace
-from repro.utils.errors import EncodingError
+from repro.verification.result import Verdict, VerificationResult
+from repro.verification.session import VerificationSession, _recording_run
 
 __all__ = ["Verdict", "VerificationResult", "SymbolicVerifier"]
 
 
-class Verdict(Enum):
-    """Outcome of a verification query."""
-
-    #: No execution consistent with the trace's branch outcomes violates the
-    #: properties.
-    SAFE = "safe"
-    #: Some execution violates a property; a witness is attached.
-    VIOLATION = "violation"
-    #: The solver gave up (iteration limit); no conclusion.
-    UNKNOWN = "unknown"
-
-
-@dataclass
-class VerificationResult:
-    """The verdict plus everything needed to understand and reproduce it."""
-
-    verdict: Verdict
-    problem: EncodedProblem
-    witness: Optional[Witness] = None
-    solver_statistics: Dict[str, int] = field(default_factory=dict)
-    encode_seconds: float = 0.0
-    solve_seconds: float = 0.0
-    trace: Optional[ExecutionTrace] = None
-    program_run: Optional[ProgramRun] = None
-
-    @property
-    def is_violation(self) -> bool:
-        return self.verdict is Verdict.VIOLATION
-
-    @property
-    def is_safe(self) -> bool:
-        return self.verdict is Verdict.SAFE
-
-    def describe(self) -> str:
-        lines = [f"verdict: {self.verdict.value}"]
-        lines.append(f"problem size: {self.problem.size_summary()}")
-        lines.append(
-            f"encode time: {self.encode_seconds * 1000:.1f} ms, "
-            f"solve time: {self.solve_seconds * 1000:.1f} ms"
-        )
-        if self.witness is not None:
-            lines.append(self.witness.describe(self.problem))
-        return "\n".join(lines)
-
-
 class SymbolicVerifier:
-    """Trace- and program-level verification via the SMT encoding."""
+    """Trace- and program-level verification via the SMT encoding.
+
+    A shim over :class:`VerificationSession`: each call opens a fresh
+    session, so the legacy per-call semantics (including re-encoding per
+    query) are preserved exactly.  The ``backend`` argument selects the
+    solver backend by registry name or instance, as for sessions.
+    """
 
     def __init__(
         self,
         options: Optional[EncoderOptions] = None,
         max_solver_iterations: int = 200_000,
+        backend: Union[str, SolverBackend, None] = None,
     ) -> None:
         self.encoder = TraceEncoder(options)
         self.max_solver_iterations = max_solver_iterations
+        self.backend = backend
+
+    # ------------------------------------------------------------------ sessions
+
+    def session(
+        self,
+        trace: ExecutionTrace,
+        properties: Optional[Sequence[Property]] = None,
+        program_run: Optional[ProgramRun] = None,
+    ) -> VerificationSession:
+        """Open a :class:`VerificationSession` with this verifier's config."""
+        return VerificationSession(
+            trace,
+            properties=properties,
+            backend=self.backend,
+            max_solver_iterations=self.max_solver_iterations,
+            program_run=program_run,
+            encoder=self.encoder,
+        )
 
     # ------------------------------------------------------------------ traces
 
@@ -102,45 +78,7 @@ class SymbolicVerifier:
         program_run: Optional[ProgramRun] = None,
     ) -> VerificationResult:
         """Check whether any modelled execution violates the properties."""
-        start = time.perf_counter()
-        problem = self.encoder.encode(trace, properties=properties)
-        encode_seconds = time.perf_counter() - start
-
-        if problem.negated_property is None:
-            # No properties with content: nothing can be violated.
-            return VerificationResult(
-                verdict=Verdict.SAFE,
-                problem=problem,
-                encode_seconds=encode_seconds,
-                trace=trace,
-                program_run=program_run,
-            )
-
-        solver = Solver(max_iterations=self.max_solver_iterations)
-        solver.add_all(problem.assertions(include_property=True))
-        start = time.perf_counter()
-        outcome = solver.check()
-        solve_seconds = time.perf_counter() - start
-
-        witness: Optional[Witness] = None
-        if outcome is CheckResult.SAT:
-            verdict = Verdict.VIOLATION
-            witness = decode_witness(problem, solver.model())
-        elif outcome is CheckResult.UNSAT:
-            verdict = Verdict.SAFE
-        else:
-            verdict = Verdict.UNKNOWN
-
-        return VerificationResult(
-            verdict=verdict,
-            problem=problem,
-            witness=witness,
-            solver_statistics=solver.statistics(),
-            encode_seconds=encode_seconds,
-            solve_seconds=solve_seconds,
-            trace=trace,
-            program_run=program_run,
-        )
+        return self.session(trace, properties=properties, program_run=program_run).verdict()
 
     # ------------------------------------------------------------------ programs
 
@@ -158,22 +96,14 @@ class SymbolicVerifier:
         other interleavings symbolically — so the default is a seeded random
         schedule.
         """
-        run = run_program(program, seed=seed, policy=policy, strategy=strategy)
-        if run.deadlocked:
-            raise EncodingError(
-                f"the recording run of {program.name!r} deadlocked; "
-                "pick a different seed/strategy to obtain a complete trace"
-            )
+        run = _recording_run(program, seed, policy, strategy)
         return self.verify_trace(run.trace, properties=properties, program_run=run)
 
     # ------------------------------------------------------------------ reachability
 
     def feasibility(self, trace: ExecutionTrace) -> bool:
         """True if the encoding admits at least one execution (sanity check)."""
-        problem = self.encoder.encode(trace, properties=[])
-        solver = Solver(max_iterations=self.max_solver_iterations)
-        solver.add_all(problem.assertions(include_property=False))
-        return solver.check() is CheckResult.SAT
+        return self.session(trace, properties=[]).feasibility()
 
     def is_pairing_reachable(
         self, trace: ExecutionTrace, pairing: Dict[int, int]
@@ -184,14 +114,7 @@ class SymbolicVerifier:
         encoding must report both 4a and 4b reachable, while the MCC /
         Elwakil models admit only 4a.
         """
-        problem = self.encoder.encode(trace, properties=[])
-        solver = Solver(max_iterations=self.max_solver_iterations)
-        solver.add_all(problem.assertions(include_property=False))
-        constraints = [
-            Eq(match_var(recv_id), IntVal(send_id))
-            for recv_id, send_id in pairing.items()
-        ]
-        return solver.check(*constraints) is CheckResult.SAT
+        return self.session(trace, properties=[]).reachable(pairing)
 
     def enumerate_pairings(
         self,
@@ -200,27 +123,11 @@ class SymbolicVerifier:
     ) -> List[Dict[int, int]]:
         """All complete matchings admitted by the SMT model.
 
-        Found by iterative blocking: solve, record the matching of the model,
-        add a clause forbidding exactly that matching, repeat.  ``limit``
-        caps the number of matchings returned.
+        Found by iterative blocking against one incremental solver (see
+        :meth:`VerificationSession.pairings`).  ``limit`` caps the number of
+        matchings returned.  Raises
+        :class:`~repro.utils.errors.IncompleteEnumerationError` if the
+        solver gives up before the enumeration is exhaustive — a partial
+        list is never silently returned as complete.
         """
-        problem = self.encoder.encode(trace, properties=[])
-        solver = Solver(max_iterations=self.max_solver_iterations)
-        solver.add_all(problem.assertions(include_property=False))
-
-        pairings: List[Dict[int, int]] = []
-        while limit is None or len(pairings) < limit:
-            if solver.check() is not CheckResult.SAT:
-                break
-            witness = decode_witness(problem, solver.model())
-            pairings.append(dict(witness.matching))
-            blocking = Not(
-                And(
-                    [
-                        Eq(match_var(recv_id), IntVal(send_id))
-                        for recv_id, send_id in witness.matching.items()
-                    ]
-                )
-            )
-            solver.add(blocking)
-        return pairings
+        return self.session(trace, properties=[]).enumerate_pairings(limit=limit)

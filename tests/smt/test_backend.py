@@ -1,0 +1,439 @@
+"""Tests for the solver-backend layer: incrementality semantics, the
+backend registry, and the external SMT-LIB process backend."""
+
+import os
+import stat
+import sys
+
+import pytest
+
+from repro.smt import (
+    And,
+    BoolVar,
+    CheckResult,
+    DpllTBackend,
+    Eq,
+    Ge,
+    IntVal,
+    IntVar,
+    Le,
+    Lt,
+    Not,
+    Or,
+    SmtLibProcessBackend,
+    Solver,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.smt.backend import _parse_sexprs
+from repro.smt.dpllt import IncrementalDpllTEngine
+from repro.utils.errors import (
+    BackendUnavailableError,
+    SolverError,
+    UnknownBackendError,
+)
+
+
+x, y, z = IntVar("x"), IntVar("y"), IntVar("z")
+
+
+class TestIncrementalSemantics:
+    """Push/pop, assumptions and model queries interleaved on one engine."""
+
+    def test_push_pop_interleaved_with_check_and_model(self):
+        b = DpllTBackend()
+        b.add(Ge(x, IntVal(0)), Le(x, IntVal(10)))
+        assert b.check() is CheckResult.SAT
+        assert 0 <= b.model().value_of("x") <= 10
+
+        b.push()
+        b.add(Ge(x, IntVal(5)))
+        assert b.check() is CheckResult.SAT
+        assert b.model().value_of("x") >= 5
+
+        b.push()
+        b.add(Lt(x, IntVal(5)))
+        assert b.check() is CheckResult.UNSAT
+
+        b.pop()  # drop x < 5
+        assert b.check() is CheckResult.SAT
+        assert b.model().value_of("x") >= 5
+
+        b.pop()  # drop x >= 5
+        b.add(Lt(x, IntVal(3)))  # base-level assertion after pops
+        assert b.check() is CheckResult.SAT
+        assert 0 <= b.model().value_of("x") < 3
+
+    def test_deep_scope_nesting(self):
+        b = DpllTBackend()
+        b.add(Ge(x, IntVal(0)))
+        for bound in (8, 6, 4, 2):
+            b.push()
+            b.add(Le(x, IntVal(bound)))
+            assert b.check() is CheckResult.SAT
+            assert b.model().value_of("x") <= bound
+        b.push()
+        b.add(Lt(x, IntVal(0)))
+        assert b.check() is CheckResult.UNSAT
+        for _ in range(5):
+            b.pop()
+        assert b.check() is CheckResult.SAT
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(SolverError):
+            DpllTBackend().pop()
+
+    def test_model_survives_push(self):
+        """Opening a scope adds no constraints; the check/model/push/probe
+        pattern from the legacy facade must keep working."""
+        b = DpllTBackend()
+        b.add(Ge(x, IntVal(0)), Le(x, IntVal(5)))
+        assert b.check() is CheckResult.SAT
+        value = b.model().value_of("x")
+        b.push()
+        assert b.model().value_of("x") == value
+        b.pop()
+        with pytest.raises(SolverError):
+            b.model()  # pop retires state, like the old facade
+
+    def test_rejected_atom_does_not_corrupt_engine(self):
+        """A failed add must not silently drop later atoms from the theory
+        partition: subsequent use keeps failing loudly instead of going
+        unsound."""
+        from repro.smt import BOOL, App, Function, Var, uninterpreted_sort
+
+        u = uninterpreted_sort("U")
+        pred = Function("P", (u,), BOOL)
+        b = DpllTBackend()
+        bad = And(App(pred, Var("u0", u)), Eq(x, IntVal(1)), Eq(x, IntVal(2)))
+        with pytest.raises(SolverError):
+            b.add(bad)
+        # The engine is poisoned loudly, not silently: the unsupported atom
+        # is retried (and rejected) on the next flush.
+        with pytest.raises(SolverError):
+            b.check()
+
+    def test_assumptions_are_call_scoped(self):
+        b = DpllTBackend()
+        b.add(Ge(x, IntVal(0)))
+        assert b.check(Lt(x, IntVal(0))) is CheckResult.UNSAT
+        assert b.check() is CheckResult.SAT
+        # Assumption-UNSAT must not poison later, different assumptions.
+        assert b.check(Ge(x, IntVal(7))) is CheckResult.SAT
+        assert b.model().value_of("x") >= 7
+
+    def test_compound_assumptions(self):
+        b = DpllTBackend()
+        a = BoolVar("a")
+        b.add(Or(a, Ge(x, IntVal(10))))
+        assert b.check(And(Not(a), Le(x, IntVal(3)))) is CheckResult.UNSAT
+        assert b.check(Not(a)) is CheckResult.SAT
+        assert b.model().value_of("x") >= 10
+
+    def test_model_invalidated_by_add(self):
+        b = DpllTBackend()
+        b.add(Ge(x, IntVal(0)))
+        assert b.check() is CheckResult.SAT
+        b.add(Le(x, IntVal(5)))
+        with pytest.raises(SolverError):
+            b.model()
+
+    def test_model_after_unsat_raises(self):
+        b = DpllTBackend()
+        b.add(Lt(x, x))
+        assert b.check() is CheckResult.UNSAT
+        with pytest.raises(SolverError):
+            b.model()
+
+    def test_learned_state_reused_across_checks(self):
+        """Theory lemmas survive check boundaries: re-checking the same
+        problem must not rediscover any theory conflict, and an enumeration
+        never pays the first check's lemma bill twice."""
+        b = DpllTBackend()
+        vs = [IntVar(f"v{i}") for i in range(4)]
+        for i, v in enumerate(vs):
+            b.add(Ge(v, IntVal(0)), Le(v, IntVal(3)))
+        for i in range(len(vs) - 1):
+            b.add(Lt(vs[i], vs[i + 1]))  # forces v0<v1<v2<v3 == 0,1,2,3
+        assert b.check() is CheckResult.SAT
+        first_conflicts = b.engine.stats.theory_conflicts
+        assert b.check() is CheckResult.SAT
+        assert b.engine.stats.theory_conflicts == 0
+        assert first_conflicts >= 0  # first check may or may not have conflicted
+        assert b.engine.total_checks == 2
+
+    def test_incremental_engine_does_less_work_than_cold_restarts(self):
+        """An enumeration on one engine performs far fewer DPLL(T) iterations
+        than rebuilding a fresh engine per query (the seed architecture)."""
+        from repro.smt.dpllt import DpllTEngine
+
+        def constraints():
+            terms = []
+            vs = [IntVar(f"w{i}") for i in range(4)]
+            for v in vs:
+                terms.append(Ge(v, IntVal(0)))
+                terms.append(Le(v, IntVal(2)))
+            terms.append(Lt(vs[0], vs[1]))
+            terms.append(Lt(vs[1], vs[2]))
+            return terms, vs
+
+        terms, vs = constraints()
+
+        # Cold: fresh engine per check, blocking clauses re-supplied.
+        blocking = []
+        cold_iterations = 0
+        while True:
+            engine = DpllTEngine(terms + blocking)
+            result = engine.check()
+            cold_iterations += engine.stats.iterations
+            if result is not CheckResult.SAT:
+                break
+            model = engine.model()
+            blocking.append(
+                Not(And([Eq(v, IntVal(model.value_of(v.name))) for v in vs]))
+            )
+        solutions_cold = len(blocking)
+
+        # Warm: one incremental engine, same enumeration.
+        warm = IncrementalDpllTEngine()
+        for term in terms:
+            warm.add(term)
+        warm_iterations = 0
+        solutions_warm = 0
+        while warm.check() is CheckResult.SAT:
+            warm_iterations += warm.stats.iterations
+            model = warm.model()
+            solutions_warm += 1
+            warm.add(Not(And([Eq(v, IntVal(model.value_of(v.name))) for v in vs])))
+        warm_iterations += warm.stats.iterations
+
+        assert solutions_warm == solutions_cold > 0
+        assert warm_iterations < cold_iterations
+
+    def test_blocking_enumeration_in_scope_restores_state(self):
+        b = DpllTBackend()
+        b.add(Ge(x, IntVal(0)), Le(x, IntVal(2)))
+        b.push()
+        seen = set()
+        while b.check() is CheckResult.SAT:
+            value = b.model().value_of("x")
+            seen.add(value)
+            b.add(Not(Eq(x, IntVal(value))))
+        b.pop()
+        assert seen == {0, 1, 2}
+        # After popping the blocking clauses every value is reachable again.
+        assert b.check(Eq(x, IntVal(0))) is CheckResult.SAT
+        assert b.check(Eq(x, IntVal(2))) is CheckResult.SAT
+
+    def test_unknown_on_iteration_limit(self):
+        b = DpllTBackend(max_iterations=0)
+        b.add(Ge(x, IntVal(0)))
+        assert b.check() is CheckResult.UNKNOWN
+
+    def test_statistics_shape(self):
+        b = DpllTBackend()
+        assert b.statistics() == {}
+        b.add(Lt(x, IntVal(3)))
+        b.check()
+        stats = b.statistics()
+        assert stats["atoms"] >= 1
+        assert stats["checks"] == 1
+
+    def test_sat_statistics_are_per_check(self):
+        """sat_decisions/sat_conflicts report the last check, not the
+        engine's lifetime totals."""
+        b = DpllTBackend()
+        vs = [IntVar(f"s{i}") for i in range(4)]
+        for v in vs:
+            b.add(Ge(v, IntVal(0)), Le(v, IntVal(3)))
+        for i in range(len(vs) - 1):
+            b.add(Lt(vs[i], vs[i + 1]))
+        # Disjunctions so the SAT core must actually decide something.
+        for i, v in enumerate(vs):
+            b.add(Or(BoolVar(f"p{i}"), Eq(v, IntVal(i))))
+        assert b.check() is CheckResult.SAT
+        first = b.statistics()["sat_decisions"]
+        assert b.check() is CheckResult.SAT
+        second = b.statistics()["sat_decisions"]
+        # A warm identical re-check decides at most as much as the first
+        # check — impossible if the counter were cumulative and > 0.
+        assert first > 0
+        assert second <= first
+
+
+class TestSolverFacadeOverBackends:
+    def test_solver_uses_incremental_backend_by_default(self):
+        s = Solver()
+        assert isinstance(s.backend, DpllTBackend)
+        s.add(Ge(x, IntVal(0)))
+        assert s.check() is CheckResult.SAT
+        assert s.backend.engine.total_checks == 1
+        assert s.check() is CheckResult.SAT
+        assert s.backend.engine.total_checks == 2  # same engine, not rebuilt
+
+    def test_solver_accepts_backend_instance(self):
+        backend = DpllTBackend(max_iterations=10_000)
+        s = Solver(backend=backend)
+        assert s.backend is backend
+
+    def test_solver_rejects_unknown_backend_name(self):
+        with pytest.raises(UnknownBackendError):
+            Solver(backend="not-a-backend")
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "dpllt" in names
+        assert "smtlib" in names
+
+    def test_create_by_name_and_default(self):
+        assert isinstance(create_backend("dpllt"), DpllTBackend)
+        assert isinstance(create_backend(None), DpllTBackend)
+
+    def test_create_passes_kwargs(self):
+        backend = create_backend("dpllt", max_iterations=0)
+        backend.add(Ge(x, IntVal(0)))
+        assert backend.check() is CheckResult.UNKNOWN
+
+    def test_unknown_backend_error_lists_available(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            create_backend("yices")
+        message = str(excinfo.value)
+        assert "yices" in message
+        assert "dpllt" in message
+
+    def test_instance_passthrough(self):
+        backend = DpllTBackend()
+        assert create_backend(backend) is backend
+
+    def test_non_backend_object_rejected(self):
+        with pytest.raises(UnknownBackendError):
+            create_backend(42)
+
+    def test_register_custom_backend(self):
+        calls = []
+
+        def factory(**kwargs):
+            calls.append(kwargs)
+            return DpllTBackend(**kwargs)
+
+        register_backend("custom-test", factory)
+        try:
+            backend = create_backend("custom-test", max_iterations=123)
+            assert isinstance(backend, DpllTBackend)
+            assert calls == [{"max_iterations": 123}]
+            with pytest.raises(SolverError):
+                register_backend("custom-test", factory)
+            register_backend("custom-test", factory, replace=True)
+        finally:
+            from repro.smt import backend as backend_module
+
+            backend_module._REGISTRY.pop("custom-test", None)
+
+
+def _stub_solver(tmp_path, output: str) -> str:
+    """Create an executable that ignores its input and prints ``output``."""
+    script = tmp_path / "fake-solver"
+    script.write_text(f"#!{sys.executable}\nprint('''{output}''')\n")
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return str(script)
+
+
+class TestSmtLibProcessBackend:
+    def test_unconfigured_backend_unavailable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SMT_SOLVER", raising=False)
+        with pytest.raises(BackendUnavailableError):
+            SmtLibProcessBackend()
+        assert not SmtLibProcessBackend.is_available()
+
+    def test_missing_binary_unavailable(self):
+        with pytest.raises(BackendUnavailableError):
+            SmtLibProcessBackend(command="definitely-not-a-solver-binary")
+
+    def test_sat_with_model_parsing(self, tmp_path):
+        command = _stub_solver(
+            tmp_path,
+            "sat\n(\n  (define-fun x () Int 4)\n"
+            "  (define-fun y () Int (- 2))\n"
+            "  (define-fun a () Bool true)\n)",
+        )
+        backend = SmtLibProcessBackend(command=command)
+        backend.add(Ge(x, IntVal(0)))
+        assert backend.check() is CheckResult.SAT
+        model = backend.model()
+        assert model.value_of("x") == 4
+        assert model.value_of("y") == -2
+        assert model.value_of("a") is True
+        assert backend.statistics() == {"external_checks": 1}
+
+    def test_unsat_and_unknown(self, tmp_path):
+        backend = SmtLibProcessBackend(command=_stub_solver(tmp_path, "unsat"))
+        backend.add(Lt(x, x))
+        assert backend.check() is CheckResult.UNSAT
+        with pytest.raises(SolverError):
+            backend.model()
+        backend = SmtLibProcessBackend(command=_stub_solver(tmp_path, "unknown"))
+        backend.add(Ge(x, IntVal(0)))
+        assert backend.check() is CheckResult.UNKNOWN
+
+    def test_unknown_with_model_error_chatter(self, tmp_path):
+        """z3/yices answer 'unknown' then object to the (get-model); that is
+        an UNKNOWN verdict, not a solver failure."""
+        command = _stub_solver(
+            tmp_path, 'unknown\n(error "model is not available")'
+        )
+        backend = SmtLibProcessBackend(command=command)
+        backend.add(Ge(x, IntVal(0)))
+        assert backend.check() is CheckResult.UNKNOWN
+
+    def test_sat_without_model_raises(self, tmp_path):
+        """'sat' with no parseable model must not fabricate a default model."""
+        command = _stub_solver(tmp_path, 'sat\n(error "model printing failed")')
+        backend = SmtLibProcessBackend(command=command)
+        backend.add(Ge(x, IntVal(0)))
+        with pytest.raises(SolverError):
+            backend.check()
+
+    def test_garbage_output_raises(self, tmp_path):
+        backend = SmtLibProcessBackend(command=_stub_solver(tmp_path, "flagrant"))
+        backend.add(Ge(x, IntVal(0)))
+        with pytest.raises(SolverError):
+            backend.check()
+
+    def test_push_pop_assertion_stack(self, tmp_path):
+        backend = SmtLibProcessBackend(command=_stub_solver(tmp_path, "sat"))
+        backend.add(Ge(x, IntVal(0)))
+        backend.push()
+        backend.add(Lt(x, IntVal(0)))
+        backend.pop()
+        assert backend._assertions == [Ge(x, IntVal(0))]
+        with pytest.raises(SolverError):
+            backend.pop()
+
+    def test_registry_resolution_without_solver_configured(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SMT_SOLVER", raising=False)
+        with pytest.raises(BackendUnavailableError):
+            create_backend("smtlib")
+
+    def test_sexpr_parser(self):
+        parsed = _parse_sexprs("(model (define-fun x () Int 5))")
+        assert parsed == [["model", ["define-fun", "x", [], "Int", "5"]]]
+        with pytest.raises(SolverError):
+            _parse_sexprs(")")
+
+
+@pytest.mark.skipif(
+    not SmtLibProcessBackend.is_available(),
+    reason="no external SMT solver configured (set REPRO_SMT_SOLVER)",
+)
+class TestSmtLibAgainstRealSolver:
+    """Cross-checks that only run when an external solver is installed."""
+
+    def test_agrees_with_dpllt(self):
+        external = SmtLibProcessBackend()
+        external.add(Lt(x, y), Lt(y, IntVal(3)), Lt(IntVal(0), x))
+        assert external.check() is CheckResult.SAT
+        model = external.model()
+        assert 0 < model.value_of("x") < model.value_of("y") < 3

@@ -1,0 +1,251 @@
+"""Tests for the session-based verification API: encode-once semantics,
+incremental query streams, UNKNOWN surfacing, and the batch front door."""
+
+import pytest
+
+from repro.baselines.explicit import ExplicitStateExplorer, canonical_matching
+from repro.encoding.encoder import TraceEncoder
+from repro.program import ProgramBuilder, run_program
+from repro.smt import CheckResult, DpllTBackend
+from repro.utils.errors import (
+    EncodingError,
+    IncompleteEnumerationError,
+    SolverError,
+    UnknownBackendError,
+)
+from repro.verification import (
+    SymbolicVerifier,
+    Verdict,
+    VerificationSession,
+    verify_many,
+)
+from repro.workloads import (
+    X_VALUE,
+    Y_VALUE,
+    figure1_program,
+    figure4a_pairing,
+    figure4b_pairing,
+    pipeline,
+    racy_fanin,
+    scatter_gather,
+)
+
+
+class CountingEncoder(TraceEncoder):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.encode_calls = 0
+
+    def encode(self, *args, **kwargs):
+        self.encode_calls += 1
+        return super().encode(*args, **kwargs)
+
+
+class TestSessionQueries:
+    def test_verdict_violation_with_witness(self):
+        session = VerificationSession.from_program(
+            figure1_program(assert_a_is_y=True), seed=0
+        )
+        result = session.verdict()
+        assert result.verdict is Verdict.VIOLATION
+        assert result.witness is not None
+        assert result.backend == "dpllt"
+        # Cached: same object on repeat calls.
+        assert session.verdict() is result
+
+    def test_verdict_safe(self):
+        session = VerificationSession.from_program(pipeline(3), seed=0)
+        assert session.verdict().verdict is Verdict.SAFE
+
+    def test_feasibility_and_reachability_share_one_backend(self):
+        session = VerificationSession.from_program(figure1_program(), seed=0)
+        assert session.feasibility()
+        backend = session.backend
+        trace = session.trace
+        sends_by_value = {s.payload_value: s.send_id for s in trace.sends()}
+        recv_by_var = {
+            getattr(trace[op.issue_event_id], "target_variable", None): op.recv_id
+            for op in trace.receive_operations()
+        }
+        assert session.reachable({recv_by_var["A"]: sends_by_value[Y_VALUE]})
+        assert session.reachable({recv_by_var["A"]: sends_by_value[X_VALUE]})
+        assert not session.reachable({recv_by_var["C"]: sends_by_value[X_VALUE]})
+        assert session.backend is backend  # never rebuilt
+
+    def test_verdict_does_not_pollute_enumeration(self):
+        """¬PProp is assumed, not asserted: the pairing enumeration after a
+        VIOLATION verdict must still see every admissible matching."""
+        session = VerificationSession.from_program(
+            figure1_program(assert_a_is_y=True), seed=0
+        )
+        assert session.verdict().verdict is Verdict.VIOLATION
+        assert len(session.enumerate_pairings()) == 2
+        assert session.feasibility()
+
+    def test_pairings_generator_is_lazy_and_restorable(self):
+        session = VerificationSession.from_program(racy_fanin(3), seed=0)
+        gen = session.pairings()
+        first = next(gen)
+        assert isinstance(first, dict)
+        gen.close()  # abandon mid-enumeration: scope must unwind
+        # Full enumeration afterwards still sees all 6 matchings.
+        assert len(session.enumerate_pairings()) == 6
+
+    def test_pairings_limit(self):
+        session = VerificationSession.from_program(racy_fanin(3), seed=0)
+        assert len(session.enumerate_pairings(limit=2)) == 2
+
+    def test_concurrent_enumerations_rejected(self):
+        session = VerificationSession.from_program(racy_fanin(2), seed=0)
+        gen = session.pairings()
+        next(gen)
+        with pytest.raises(SolverError):
+            next(session.pairings())
+        gen.close()
+
+    def test_queries_rejected_while_enumeration_active(self):
+        """Blocking clauses of a live enumeration must never silently leak
+        into verdict/feasibility/reachability answers."""
+        session = VerificationSession.from_program(
+            figure1_program(assert_a_is_y=True), seed=0
+        )
+        gen = session.pairings()
+        first = next(gen)
+        with pytest.raises(SolverError):
+            session.reachable(first)
+        with pytest.raises(SolverError):
+            session.feasibility()
+        with pytest.raises(SolverError):
+            session.verdict()
+        gen.close()
+        # After the enumeration closes, the answers are correct (the verdict
+        # must not have been cached as SAFE by the blocked attempt).
+        assert session.reachable(first)
+        assert session.verdict().verdict is Verdict.VIOLATION
+
+    def test_pairings_match_explicit_exploration(self):
+        program = racy_fanin(3)
+        session = VerificationSession.from_program(program, seed=0)
+        symbolic = {
+            canonical_matching(session.trace, m) for m in session.pairings()
+        }
+        explicit = ExplicitStateExplorer(program).explore().matchings
+        assert symbolic == explicit
+
+    def test_figure4_pairings_through_session(self):
+        session = VerificationSession.from_program(figure1_program(), seed=0)
+        from repro.encoding.witness import Witness
+
+        descriptions = [
+            Witness(matching=m).pairing_description(session.problem)
+            for m in session.pairings()
+        ]
+        assert figure4a_pairing() in descriptions
+        assert figure4b_pairing() in descriptions
+        assert len(descriptions) == 2
+
+
+class TestEncodeOnce:
+    def test_all_queries_encode_exactly_once(self):
+        run = run_program(figure1_program(assert_a_is_y=True), seed=0)
+        encoder = CountingEncoder()
+        session = VerificationSession(run.trace, encoder=encoder, program_run=run)
+        session.verdict()
+        session.feasibility()
+        session.enumerate_pairings()
+        session.verdict()
+        assert encoder.encode_calls == 1
+        assert session.encode_count == 1
+
+    def test_legacy_verifier_encodes_per_call(self):
+        """The shim intentionally preserves call-per-query semantics."""
+        run = run_program(figure1_program(assert_a_is_y=True), seed=0)
+        verifier = SymbolicVerifier()
+        verifier.encoder = CountingEncoder()
+        verifier.verify_trace(run.trace)
+        verifier.feasibility(run.trace)
+        assert verifier.encoder.encode_calls == 2
+
+
+class TestUnknownSurfacing:
+    """The seed bug: UNKNOWN used to terminate enumeration as if exhaustive."""
+
+    def test_session_pairings_raise_on_unknown(self):
+        session = VerificationSession.from_program(
+            racy_fanin(3), seed=0, max_solver_iterations=0
+        )
+        with pytest.raises(IncompleteEnumerationError) as excinfo:
+            session.enumerate_pairings()
+        assert excinfo.value.pairings == []
+
+    def test_legacy_enumerate_pairings_raises_on_unknown(self):
+        verifier = SymbolicVerifier(max_solver_iterations=0)
+        run = run_program(racy_fanin(3), seed=0)
+        with pytest.raises(IncompleteEnumerationError):
+            verifier.enumerate_pairings(run.trace)
+
+    def test_verdict_unknown_flagged(self):
+        session = VerificationSession.from_program(
+            figure1_program(assert_a_is_y=True), seed=0, max_solver_iterations=0
+        )
+        assert session.verdict().verdict is Verdict.UNKNOWN
+
+
+class TestSessionConstruction:
+    def test_from_program_rejects_deadlock(self):
+        builder = ProgramBuilder("stuck")
+        builder.thread("a").recv("x")
+        with pytest.raises(EncodingError):
+            VerificationSession.from_program(builder.build(), seed=0)
+
+    def test_unknown_backend_name(self):
+        session = VerificationSession.from_program(
+            figure1_program(), seed=0, backend="nope"
+        )
+        with pytest.raises(UnknownBackendError):
+            session.feasibility()
+
+    def test_explicit_backend_instance(self):
+        backend = DpllTBackend()
+        session = VerificationSession.from_program(
+            figure1_program(), seed=0, backend=backend
+        )
+        assert session.feasibility()
+        assert session.backend is backend
+        assert session.backend_name == "dpllt"
+
+    def test_statistics_empty_before_first_query(self):
+        session = VerificationSession.from_program(figure1_program(), seed=0)
+        assert session.statistics() == {}
+        session.feasibility()
+        assert session.statistics()["checks"] >= 1
+
+
+class TestVerifyMany:
+    def test_batch_of_programs_and_traces(self):
+        trace = run_program(scatter_gather(2, assert_order=True), seed=0).trace
+        results = verify_many(
+            [
+                figure1_program(assert_a_is_y=True),
+                pipeline(3),
+                trace,
+            ]
+        )
+        assert [r.verdict for r in results] == [
+            Verdict.VIOLATION,
+            Verdict.SAFE,
+            Verdict.VIOLATION,
+        ]
+        assert results[0].program_run is not None
+        assert results[2].trace is trace
+
+    def test_rejects_foreign_items(self):
+        with pytest.raises(EncodingError):
+            verify_many(["not a program"])
+
+    def test_rejects_shared_backend_instance(self):
+        with pytest.raises(SolverError):
+            verify_many([pipeline(2), pipeline(3)], backend=DpllTBackend())
+
+    def test_empty_batch(self):
+        assert verify_many([]) == []
