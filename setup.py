@@ -21,7 +21,7 @@ setup(
     python_requires=">=3.8",
     install_requires=[],  # intentionally dependency-free
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "test": ["pytest", "pytest-benchmark", "pytest-cov", "hypothesis"],
     },
     entry_points={
         "console_scripts": [

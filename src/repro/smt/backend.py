@@ -29,7 +29,8 @@ import shlex
 import shutil
 import subprocess
 import tempfile
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 try:  # Protocol is 3.8+; fall back to a plain base class elsewhere.
     from typing import Protocol, runtime_checkable
@@ -52,6 +53,7 @@ from repro.utils.errors import (
 
 __all__ = [
     "SolverBackend",
+    "BackendSpec",
     "DpllTBackend",
     "SmtLibProcessBackend",
     "register_backend",
@@ -62,6 +64,49 @@ __all__ = [
 
 #: Environment variable naming the external SMT-LIB solver command.
 SMTLIB_SOLVER_ENV = "REPRO_SMT_SOLVER"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A picklable description of how to build a backend.
+
+    Live backends hold solver state (engines, subprocess handles) and must
+    never cross a process boundary; worker processes instead receive a
+    ``BackendSpec`` — registry name plus construction kwargs — and build
+    their own instance with :meth:`create`.  Frozen and hashable so it can
+    double as (part of) a cache key.
+    """
+
+    name: str = "dpllt"
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(
+        cls, spec: Union[str, "BackendSpec", None], **kwargs
+    ) -> "BackendSpec":
+        """Normalise a registry name / spec / None into a ``BackendSpec``.
+
+        Live backend instances are rejected: they are exactly what this
+        type exists to avoid shipping between processes.
+        """
+        if spec is None:
+            spec = DpllTBackend.name
+        if isinstance(spec, cls):
+            if not kwargs:
+                return spec
+            merged = dict(spec.kwargs)
+            merged.update(kwargs)
+            return cls(spec.name, tuple(sorted(merged.items())))
+        if isinstance(spec, str):
+            return cls(spec, tuple(sorted(kwargs.items())))
+        raise SolverError(
+            "worker-safe backend construction needs a registry name or "
+            f"BackendSpec, not a live backend instance: {spec!r}"
+        )
+
+    def create(self) -> "SolverBackend":
+        """Build a fresh backend in the calling process."""
+        return create_backend(self.name, **dict(self.kwargs))
 
 
 @runtime_checkable
@@ -285,9 +330,9 @@ class SmtLibProcessBackend:
     def check(self, *assumptions: Term) -> CheckResult:
         terms = self._assertions + [_validate_assertion(a) for a in assumptions]
         script = to_smtlib(terms, get_model=True)
-        output = self._run(script)
+        output, returncode = self._run(script)
         self._checks += 1
-        verdict, model = self._parse_output(output, terms)
+        verdict, model = self._parse_output(output, terms, returncode)
         self._last_result = verdict
         self._last_model = model
         return verdict
@@ -304,7 +349,7 @@ class SmtLibProcessBackend:
 
     # -- internals ----------------------------------------------------------------
 
-    def _run(self, script: str) -> str:
+    def _run(self, script: str) -> Tuple[str, int]:
         with tempfile.NamedTemporaryFile(
             "w", suffix=".smt2", prefix="repro-", delete=False
         ) as handle:
@@ -326,12 +371,14 @@ class SmtLibProcessBackend:
                 os.unlink(path)
             except OSError:  # pragma: no cover - cleanup best effort
                 pass
-        return (proc.stdout or "") + ("\n" + proc.stderr if proc.stderr else "")
+        output = (proc.stdout or "") + ("\n" + proc.stderr if proc.stderr else "")
+        return output, proc.returncode
 
-    def _parse_output(self, output: str, terms: Sequence[Term]):
+    def _parse_output(self, output: str, terms: Sequence[Term], returncode: int = 0):
         # Find the verdict first.  Error chatter after an 'unknown' answer
         # (e.g. z3/yices printing '(error "model is not available")' for the
-        # unconditional (get-model)) must not mask the verdict itself.
+        # unconditional (get-model)) must not mask the verdict itself, and
+        # some solvers exit nonzero while still printing a usable verdict.
         verdict: Optional[CheckResult] = None
         rest_lines: List[str] = []
         for line in output.splitlines():
@@ -341,6 +388,11 @@ class SmtLibProcessBackend:
                 continue
             rest_lines.append(line)
         if verdict is None:
+            if returncode != 0:
+                raise SolverError(
+                    f"external solver exited with status {returncode} and no "
+                    f"verdict:\n{output.strip() or '(no output)'}"
+                )
             raise SolverError(
                 f"could not find sat/unsat/unknown in solver output:\n{output.strip()}"
             )
@@ -398,12 +450,16 @@ def create_backend(
 ) -> "SolverBackend":
     """Resolve ``spec`` into a live backend instance.
 
-    ``spec`` may be a registry name (``"dpllt"``, ``"smtlib"``, ...), an
-    already-constructed backend (returned as-is, ``kwargs`` ignored), or
-    ``None`` for the default DPLL(T) backend.
+    ``spec`` may be a registry name (``"dpllt"``, ``"smtlib"``, ...), a
+    :class:`BackendSpec`, an already-constructed backend (returned as-is,
+    ``kwargs`` ignored), or ``None`` for the default DPLL(T) backend.
     """
     if spec is None:
         spec = DpllTBackend.name
+    if isinstance(spec, BackendSpec):
+        merged = dict(spec.kwargs)
+        merged.update(kwargs)
+        spec, kwargs = spec.name, merged
     if isinstance(spec, str):
         factory = _REGISTRY.get(spec)
         if factory is None:

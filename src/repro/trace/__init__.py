@@ -13,6 +13,7 @@ from repro.trace.events import (
 )
 from repro.trace.trace import ExecutionTrace, ReceiveOperation
 from repro.trace.builder import TraceBuilder
+from repro.trace.fingerprint import canonical_form, trace_fingerprint
 
 __all__ = [
     "AssertEvent",
@@ -27,4 +28,6 @@ __all__ = [
     "ExecutionTrace",
     "ReceiveOperation",
     "TraceBuilder",
+    "canonical_form",
+    "trace_fingerprint",
 ]

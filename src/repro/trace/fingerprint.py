@@ -1,0 +1,199 @@
+"""Canonical, order-independent fingerprints of execution traces.
+
+The paper's encoding is built entirely from the *per-thread* structure of a
+trace: program order, the communication operations with their endpoints, the
+symbolic expressions over received values, and the recorded branch outcomes.
+The global interleaving in which the recording scheduler happened to run the
+threads — and every identifier assigned in that global order (``event_id``,
+``send_id``, ``recv_id``, ``recv_val_<k>`` symbols) — is irrelevant to the
+generated SMT problem up to a consistent renaming, and therefore irrelevant
+to every verdict derived from it.
+
+:func:`trace_fingerprint` hashes exactly that invariant core, which makes it
+the cache key of :mod:`repro.verification.cache`:
+
+**Stability guarantees**
+
+* *Deterministic*: the fingerprint is a SHA-256 of a canonical rendering —
+  no ``id()``, no dict iteration order, no ``PYTHONHASHSEED`` dependence.
+  The same trace hashes identically across processes, platforms and runs,
+  so fingerprints are safe to persist in on-disk caches.
+* *Order-independent*: two recordings of the same program that differ only
+  in the global interleaving (and hence in event/send/recv numbering and
+  value-symbol names) produce the **same** fingerprint, provided they took
+  the same conditional branch outcomes.  Threads are visited in sorted-name
+  order and events in per-thread program order; all trace-local identifiers
+  are canonically renumbered by that traversal.
+* *Semantic, not cosmetic*: concrete observed values, observed matchings
+  and assertion labels are **excluded** — they are reporting artefacts of
+  the particular recording and do not influence the encoded problem.
+  Branch *outcomes* are included (the analysis is path-constrained), as are
+  payload expressions, endpoints and blocking/non-blocking modes.
+
+Two traces with equal fingerprints yield isomorphic SMT problems: same
+verdict, same feasibility, and matchings that correspond under the
+``(thread, thread_index)`` renaming that
+:func:`repro.baselines.explicit.canonical_matching` uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Dict, List, Optional
+
+from repro.mcapi.endpoint import EndpointId
+from repro.trace.events import (
+    AssertEvent,
+    AssignEvent,
+    BranchEvent,
+    LocalEvent,
+    ReceiveEvent,
+    ReceiveInitEvent,
+    SendEvent,
+    WaitEvent,
+)
+from repro.trace.trace import ExecutionTrace
+
+__all__ = ["trace_fingerprint", "canonical_form"]
+
+
+def _symbol_renaming(trace: ExecutionTrace) -> Dict[str, str]:
+    """Map every value symbol to a canonical name by per-thread position.
+
+    Symbols (``recv_val_<k>``, assignment SSA names) are allocated in global
+    execution order by the interpreter, so the raw names differ between
+    interleavings of the same program.  Renaming them by ``(sorted thread,
+    thread_index)`` makes the rendering interleaving-independent.
+    """
+    renaming: Dict[str, str] = {}
+    for thread in sorted(trace.threads()):
+        for event in trace.events_of_thread(thread):
+            symbol = getattr(event, "value_symbol", None)
+            if symbol and symbol not in renaming:
+                renaming[symbol] = f"sym_{thread}_{event.thread_index}"
+    return renaming
+
+
+def _endpoint_naming(trace: ExecutionTrace) -> Dict[EndpointId, str]:
+    """Name endpoints by their receiving thread, falling back to raw ids.
+
+    An endpoint's identity in the encoding is "where do these sends race" —
+    the owning thread, not the numeric ``(node, port)`` pair the runtime
+    happened to allocate (which depends on thread creation order).
+    """
+    naming: Dict[EndpointId, str] = {}
+    for event in trace:
+        if isinstance(event, (ReceiveEvent, ReceiveInitEvent)):
+            naming.setdefault(event.endpoint, f"ep@{event.thread}")
+    for event in trace.sends():
+        naming.setdefault(event.source, f"ep@{event.thread}")
+        naming.setdefault(
+            event.destination,
+            f"ep#{event.destination.node}:{event.destination.port}",
+        )
+    return naming
+
+
+def _rename_expression(expr, renaming: Dict[str, str]) -> Optional[str]:
+    """Render a term with canonical symbol names (None stays None)."""
+    if expr is None:
+        return None
+    text = str(expr)
+    if not renaming:
+        return text
+    pattern = re.compile(
+        "|".join(re.escape(name) for name in sorted(renaming, key=len, reverse=True))
+    )
+    return pattern.sub(lambda match: renaming[match.group(0)], text)
+
+
+def canonical_form(trace: ExecutionTrace) -> List[List[object]]:
+    """The canonical structure :func:`trace_fingerprint` hashes.
+
+    One entry per thread (threads in sorted-name order), each a list of
+    per-event tuples in program order.  Exposed separately so tests and
+    debugging sessions can diff two traces' canonical forms directly.
+    """
+    renaming = _symbol_renaming(trace)
+    endpoints = _endpoint_naming(trace)
+    form: List[List[object]] = []
+    for thread in sorted(trace.threads()):
+        rows: List[object] = [("thread", thread)]
+        for event in trace.events_of_thread(thread):
+            if isinstance(event, SendEvent):
+                rows.append(
+                    (
+                        "send",
+                        endpoints.get(event.source, "?"),
+                        endpoints.get(event.destination, "?"),
+                        _rename_expression(event.payload_expr, renaming),
+                        event.blocking,
+                    )
+                )
+            elif isinstance(event, ReceiveEvent):
+                rows.append(
+                    (
+                        "recv",
+                        endpoints.get(event.endpoint, "?"),
+                        renaming.get(event.value_symbol or "", None),
+                    )
+                )
+            elif isinstance(event, ReceiveInitEvent):
+                rows.append(
+                    (
+                        "recv_i",
+                        endpoints.get(event.endpoint, "?"),
+                        renaming.get(event.value_symbol or "", None),
+                    )
+                )
+            elif isinstance(event, WaitEvent):
+                # Identify the waited-on receive by its issue position in
+                # this thread (recv_ids are interleaving-dependent).
+                issue_index = None
+                for other in trace.events_of_thread(event.thread):
+                    if (
+                        isinstance(other, ReceiveInitEvent)
+                        and other.recv_id == event.recv_id
+                    ):
+                        issue_index = other.thread_index
+                        break
+                rows.append(("wait", issue_index))
+            elif isinstance(event, AssignEvent):
+                rows.append(
+                    (
+                        "assign",
+                        renaming.get(event.value_symbol or "", None),
+                        _rename_expression(event.expression, renaming),
+                    )
+                )
+            elif isinstance(event, BranchEvent):
+                rows.append(
+                    (
+                        "branch",
+                        _rename_expression(event.condition, renaming),
+                        event.outcome,
+                    )
+                )
+            elif isinstance(event, AssertEvent):
+                rows.append(("assert", _rename_expression(event.condition, renaming)))
+            elif isinstance(event, LocalEvent):
+                rows.append(("local",))
+            else:  # future event kinds: hash their class name conservatively
+                rows.append((event.kind,))
+        form.append(rows)
+    return form
+
+
+def trace_fingerprint(trace: ExecutionTrace) -> str:
+    """A SHA-256 hex digest of the trace's canonical form.
+
+    See the module docstring for the exact stability guarantees.  Traces of
+    the same program recorded under different schedulers/seeds fingerprint
+    identically as long as they followed the same branch outcomes, which is
+    what lets :mod:`repro.verification.cache` answer repeated traces in a
+    batch without solving.
+    """
+    rendering = json.dumps(canonical_form(trace), default=list, sort_keys=False)
+    return hashlib.sha256(rendering.encode("utf-8")).hexdigest()

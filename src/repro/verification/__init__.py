@@ -3,17 +3,32 @@
 The primary entry point is :class:`VerificationSession` (encode once, query
 many times against one incremental solver backend) together with the batch
 helper :func:`verify_many`; :class:`SymbolicVerifier` remains as a
-backwards-compatible call-per-query facade.
+backwards-compatible call-per-query facade.  Batch traffic scales out
+through :class:`ParallelVerifier` / :func:`verify_many_parallel` (process
+sharding, fingerprint dedup, portfolio racing) with answers memoised in a
+:class:`ResultCache`.
 """
 
 from repro.verification.result import Verdict, VerificationResult
 from repro.verification.session import VerificationSession, verify_many
 from repro.verification.verifier import SymbolicVerifier
 from repro.verification.replay import ReplayOutcome, replay_witness, witness_schedule
+from repro.verification.cache import CacheKey, ResultCache, make_cache_key
+from repro.verification.parallel import (
+    ParallelVerifier,
+    default_portfolio,
+    verify_many_parallel,
+)
 
 __all__ = [
     "VerificationSession",
     "verify_many",
+    "verify_many_parallel",
+    "ParallelVerifier",
+    "default_portfolio",
+    "ResultCache",
+    "CacheKey",
+    "make_cache_key",
     "SymbolicVerifier",
     "Verdict",
     "VerificationResult",

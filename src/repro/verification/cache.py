@@ -1,0 +1,310 @@
+"""Verification result caching keyed on trace fingerprints.
+
+Batch traffic is full of repeats: the same workload recorded under different
+seeds, the same trace verified twice, a nightly batch re-running yesterday's
+corpus.  Because :func:`repro.trace.fingerprint.trace_fingerprint` is
+invariant under global interleaving, all of those collapse onto one cache
+key — ``(fingerprint, property-set, encoder options, backend)`` — and a
+:class:`ResultCache` answers them without touching a solver.
+
+Two storage layers compose:
+
+* an in-memory LRU (always on), bounded by ``maxsize`` entries;
+* an optional on-disk JSON store (one file per key under ``directory``),
+  which survives processes and is shared by concurrent workers — safe
+  because entries are immutable once written and writes are atomic
+  (``os.replace`` of a temp file).
+
+**Semantics.** Only conclusive verdicts (``SAFE`` / ``VIOLATION``) are
+cached; ``UNKNOWN`` is a resource exhaustion artefact and must stay
+retryable with a bigger budget.  Cached hits reconstruct a
+:class:`~repro.verification.result.VerificationResult` with
+``from_cache=True``, ``problem=None`` (the encoding was never built) and a
+witness whose matching has been translated into the *query* trace's
+send/recv identifiers via the canonical ``(thread, thread_index)`` naming.
+
+**Invalidation.** Keys embed everything that can change an answer: the
+trace's semantic content (fingerprint), the property set, the encoder
+options and the backend family.  There is nothing to invalidate manually —
+a different question is a different key.  Deleting the cache directory (or
+:meth:`ResultCache.clear`) simply forces re-solving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.encoding.encoder import EncoderOptions
+from repro.encoding.properties import Property
+from repro.encoding.witness import Witness
+from repro.trace.fingerprint import trace_fingerprint
+from repro.trace.trace import ExecutionTrace
+from repro.verification.result import Verdict, VerificationResult
+
+__all__ = ["CacheKey", "ResultCache", "make_cache_key"]
+
+#: Canonical (thread, thread_index) naming of one operation.
+_OpKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything that determines a verification answer."""
+
+    fingerprint: str
+    properties: str
+    options: str
+    backend: str
+
+    def digest(self) -> str:
+        """A filesystem-safe digest naming this key on disk."""
+        joined = "\x1f".join(
+            (self.fingerprint, self.properties, self.options, self.backend)
+        )
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def _options_signature(options: Optional[EncoderOptions]) -> str:
+    options = options if options is not None else EncoderOptions()
+    parts = []
+    for field in fields(options):
+        value = getattr(options, field.name)
+        value = value.value if hasattr(value, "value") else value
+        parts.append(f"{field.name}={value}")
+    return ";".join(parts)
+
+
+def _properties_signature(
+    trace: ExecutionTrace, properties: Optional[Sequence[Property]]
+) -> str:
+    """Identify the property set.
+
+    The default (``None`` — the trace's own assertions) is fully captured by
+    the fingerprint itself, so it gets a fixed tag.  Explicit properties are
+    rendered against *this* trace's identifiers: that is deliberately
+    conservative — properties referencing trace-local recv/send ids are not
+    portable between traces, even fingerprint-equal ones, so such entries
+    only ever hit on the identical numbering.
+    """
+    if properties is None:
+        return "trace-assertions"
+    rendered = sorted(
+        f"{type(prop).__name__}:{prop.term(trace)}" for prop in properties
+    )
+    # Two fingerprint-equal traces can bind the same recv/send id to
+    # *different* logical operations (ids are assigned in interleaving
+    # order), so a term like "recv_val_1 == 1" renders identically while
+    # meaning different things.  Fold the id -> (thread, thread_index)
+    # binding into the signature so such traces never share an entry.
+    bindings = sorted(
+        f"r{op.recv_id}@{trace[op.issue_event_id].thread}:"
+        f"{trace[op.issue_event_id].thread_index}"
+        for op in trace.receive_operations()
+    ) + sorted(
+        f"s{event.send_id}@{event.thread}:{event.thread_index}"
+        for event in trace.sends()
+    )
+    payload = "\n".join(rendered) + "\x1f" + ";".join(bindings)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def make_cache_key(
+    trace: ExecutionTrace,
+    properties: Optional[Sequence[Property]] = None,
+    options: Optional[EncoderOptions] = None,
+    backend: str = "dpllt",
+) -> CacheKey:
+    """Build the cache key for one verification question."""
+    return CacheKey(
+        fingerprint=trace_fingerprint(trace),
+        properties=_properties_signature(trace, properties),
+        options=_options_signature(options),
+        backend=backend,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Canonical matching translation
+# ---------------------------------------------------------------------------
+
+
+def _operation_keys(
+    trace: ExecutionTrace,
+) -> Tuple[Dict[int, _OpKey], Dict[int, _OpKey]]:
+    """Map this trace's recv/send ids to canonical (thread, index) keys."""
+    recv_keys: Dict[int, _OpKey] = {}
+    for op in trace.receive_operations():
+        issue = trace[op.issue_event_id]
+        recv_keys[op.recv_id] = (issue.thread, issue.thread_index)
+    send_keys: Dict[int, _OpKey] = {
+        event.send_id: (event.thread, event.thread_index) for event in trace.sends()
+    }
+    return recv_keys, send_keys
+
+
+def _encode_witness(trace: ExecutionTrace, witness: Witness) -> Dict[str, object]:
+    recv_keys, send_keys = _operation_keys(trace)
+    matching = [
+        [list(recv_keys[recv_id]), list(send_keys[send_id])]
+        for recv_id, send_id in sorted(witness.matching.items())
+    ]
+    values = [
+        [list(recv_keys[recv_id]), value]
+        for recv_id, value in sorted(witness.receive_values.items())
+        if recv_id in recv_keys
+    ]
+    return {"matching": matching, "receive_values": values}
+
+
+def _decode_witness(trace: ExecutionTrace, payload: Dict[str, object]) -> Witness:
+    recv_keys, send_keys = _operation_keys(trace)
+    recv_by_key = {key: recv_id for recv_id, key in recv_keys.items()}
+    send_by_key = {key: send_id for send_id, key in send_keys.items()}
+    matching = {
+        recv_by_key[tuple(recv)]: send_by_key[tuple(send)]
+        for recv, send in payload.get("matching", [])
+    }
+    values = {
+        recv_by_key[tuple(recv)]: value
+        for recv, value in payload.get("receive_values", [])
+    }
+    return Witness(matching=matching, receive_values=values)
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """In-memory LRU of verification answers, optionally backed by disk."""
+
+    def __init__(self, maxsize: int = 4096, directory: Optional[str] = None) -> None:
+        if maxsize < 1:
+            raise ValueError("ResultCache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self.directory = directory
+        self._entries: "OrderedDict[CacheKey, Dict[str, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk files are left in place)."""
+        self._entries.clear()
+
+    # -- storage -----------------------------------------------------------------
+
+    def _disk_path(self, key: CacheKey) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, key.digest() + ".json")
+
+    def _load_from_disk(self, key: CacheKey) -> Optional[Dict[str, object]]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None  # a torn/corrupt file is a miss, never an error
+
+    def _write_to_disk(self, key: CacheKey, entry: Dict[str, object]) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except OSError:  # pragma: no cover - disk store is best effort
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+
+    def _remember(self, key: CacheKey, entry: Dict[str, object]) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    # -- public API --------------------------------------------------------------
+
+    def lookup(
+        self, key: CacheKey, trace: ExecutionTrace
+    ) -> Optional[VerificationResult]:
+        """Return a cached answer translated onto ``trace``, or ``None``.
+
+        ``trace`` must be a trace whose key equals ``key`` — the witness
+        matching is re-expressed in that trace's recv/send identifiers.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        else:
+            entry = self._load_from_disk(key)
+            if entry is not None:
+                self._remember(key, entry)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        witness = None
+        if entry.get("witness") is not None:
+            witness = _decode_witness(trace, entry["witness"])
+        return VerificationResult(
+            verdict=Verdict(entry["verdict"]),
+            witness=witness,
+            solve_seconds=float(entry.get("solve_seconds", 0.0)),
+            trace=trace,
+            backend=entry.get("backend"),
+            from_cache=True,
+        )
+
+    def store(self, key: CacheKey, result: VerificationResult) -> bool:
+        """Record a freshly computed result; returns True if cached.
+
+        UNKNOWN verdicts and results already served from cache are skipped.
+        """
+        if result.from_cache or result.verdict is Verdict.UNKNOWN:
+            return False
+        if result.trace is None:
+            return False
+        entry: Dict[str, object] = {
+            "verdict": result.verdict.value,
+            "backend": result.backend,
+            "solve_seconds": result.solve_seconds,
+            "witness": (
+                _encode_witness(result.trace, result.witness)
+                if result.witness is not None
+                else None
+            ),
+        }
+        self._remember(key, entry)
+        self._write_to_disk(key, entry)
+        self.stores += 1
+        return True

@@ -9,6 +9,16 @@ verdict together with a counterexample (when one exists)::
     mcapi-verify --list-workloads
     mcapi-verify --workload figure1 --backend smtlib   # external solver
 
+Batch mode — ``--repeat`` records the workload several times (consecutive
+seeds) and verifies the whole batch through
+:func:`~repro.verification.parallel.verify_many_parallel`: ``--jobs`` shards
+the distinct traces over worker processes, ``--portfolio`` races the dpllt
+and smtlib backends per trace, and ``--cache-dir`` memoises verdicts on disk
+keyed by trace fingerprint::
+
+    mcapi-verify --workload racy_fanin --repeat 8 --jobs 4
+    mcapi-verify --workload figure1 --repeat 4 --portfolio --cache-dir .mcapi-cache
+
 Workloads live in a declarative registry; adding one is a
 :func:`register_workload` call, not another ``elif``.
 """
@@ -162,7 +172,69 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--show-trace", action="store_true", help="print the recorded execution trace"
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="K",
+        help="record and verify K traces (seeds seed..seed+K-1) as one batch",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the batch's distinct traces over N worker processes",
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the dpllt and smtlib backends per trace, first verdict wins",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memoise verdicts on disk, keyed by trace fingerprint",
+    )
     return parser
+
+
+def _run_batch(args: argparse.Namespace, program: Program, options) -> int:
+    """Verify a ``--repeat``/``--jobs``/``--portfolio``/``--cache-dir`` batch."""
+    from repro.program.interpreter import run_program
+    from repro.verification.parallel import verify_many_parallel
+
+    for flag in ("show_trace", "show_smt"):
+        if getattr(args, flag):
+            print(
+                f"warning: --{flag.replace('_', '-')} is ignored in batch mode",
+                file=sys.stderr,
+            )
+    traces = [
+        run_program(program, seed=args.seed + offset).trace
+        for offset in range(max(args.repeat, 1))
+    ]
+    results = verify_many_parallel(
+        traces,
+        jobs=max(args.jobs, 1),
+        backend=None if args.portfolio else args.backend,
+        options=options,
+        portfolio=args.portfolio,
+        cache_dir=args.cache_dir,
+    )
+    for index, result in enumerate(results):
+        origin = "cache" if result.from_cache else (result.backend or "?")
+        print(
+            f"[{index}] seed={args.seed + index} "
+            f"verdict={result.verdict.value} ({origin})"
+        )
+    solved = sum(1 for result in results if not result.from_cache)
+    print(
+        f"batch: {len(results)} traces, {solved} solved, "
+        f"{len(results) - solved} answered from cache/dedup"
+    )
+    return 1 if any(r.verdict is Verdict.VIOLATION for r in results) else 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -181,6 +253,13 @@ def main(argv: Optional[list] = None) -> int:
         enforce_pair_fifo=args.pair_fifo,
     )
     try:
+        if (
+            args.repeat > 1
+            or args.jobs > 1
+            or args.portfolio
+            or args.cache_dir is not None
+        ):
+            return _run_batch(args, program, options)
         session = VerificationSession.from_program(
             program, seed=args.seed, options=options, backend=args.backend
         )

@@ -1,0 +1,364 @@
+"""Sharded parallel batch verification with fingerprint dedup and caching.
+
+:func:`repro.verification.session.verify_many` answers a batch one item at a
+time in one process.  This module is the scale-out layer on top of the same
+session machinery:
+
+* **Sharding** — :class:`ParallelVerifier` distributes the batch over a
+  ``multiprocessing`` pool of worker processes.  Workers never receive live
+  solver objects; they receive picklable
+  :class:`~repro.smt.backend.BackendSpec` descriptions and each builds its
+  own :class:`~repro.verification.session.VerificationSession` per trace,
+  so no solver state ever crosses a process boundary.
+* **Dedup** — before anything is scheduled, every trace is fingerprinted
+  (:func:`repro.trace.fingerprint.trace_fingerprint`) and the batch is
+  collapsed onto distinct ``(fingerprint, properties, options, backend)``
+  keys.  Each distinct question is solved exactly once; duplicates get the
+  representative's verdict with the witness translated onto their own
+  trace's identifiers.
+* **Caching** — an optional :class:`~repro.verification.cache.ResultCache`
+  (in-memory LRU, optionally disk-backed) answers repeats *across* batches
+  without solving at all.
+* **Portfolio** — with ``portfolio=True`` each trace is raced on several
+  backends at once (by default the in-tree ``dpllt`` engine against the
+  external ``smtlib`` process solver) and the first conclusive verdict
+  wins.  Backends that are unavailable on the host are skipped silently,
+  so a portfolio degrades gracefully to whatever is installed.
+
+Results always come back in input order, and every duplicate- or
+cache-answered item is marked ``from_cache=True``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.encoding.encoder import EncoderOptions
+from repro.encoding.properties import Property
+from repro.program.ast import Program
+from repro.program.interpreter import ProgramRun, run_program
+from repro.smt.backend import BackendSpec
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import (
+    BackendUnavailableError,
+    EncodingError,
+    SolverError,
+)
+from repro.verification.cache import (
+    CacheKey,
+    ResultCache,
+    _decode_witness,
+    _encode_witness,
+    make_cache_key,
+)
+from repro.verification.result import Verdict, VerificationResult
+from repro.verification.session import VerificationSession, _recording_run
+
+__all__ = ["ParallelVerifier", "verify_many_parallel", "default_portfolio"]
+
+
+def default_portfolio(max_solver_iterations: int = 200_000) -> List[BackendSpec]:
+    """The backends a portfolio races by default: dpllt vs smtlib."""
+    return [
+        BackendSpec.of("dpllt", max_iterations=max_solver_iterations),
+        BackendSpec.of("smtlib"),
+    ]
+
+
+@dataclass
+class _SolveTask:
+    """One distinct verification question, shipped to a worker process."""
+
+    position: int
+    trace: ExecutionTrace
+    options: Optional[EncoderOptions]
+    properties: Optional[Sequence[Property]]
+    specs: Tuple[BackendSpec, ...]
+    portfolio: bool
+    max_solver_iterations: int
+
+
+def _session_for(
+    task: _SolveTask, spec: BackendSpec, problem=None
+) -> VerificationSession:
+    return VerificationSession(
+        task.trace,
+        options=task.options,
+        properties=task.properties,
+        backend=spec.create(),
+        max_solver_iterations=task.max_solver_iterations,
+        problem=problem,
+    )
+
+
+def _race_portfolio(task: _SolveTask) -> VerificationResult:
+    """Race every available backend; first conclusive verdict wins.
+
+    The in-tree engine is pure Python (GIL-bound) while the external
+    process backend releases the GIL in ``subprocess.run``, so a thread
+    race genuinely overlaps them.  The trace is encoded once and the
+    problem shared by every contender.  UNKNOWN answers only win when
+    every contender is inconclusive.
+
+    Contenders run on daemon threads: the race returns (and the process
+    may exit) as soon as one backend is conclusive, without joining the
+    losers.  A losing in-tree solve burns CPU until its iteration budget;
+    a losing external solve is abandoned to its subprocess timeout.
+    """
+    sessions: List[VerificationSession] = []
+    problem = None
+    for spec in task.specs:
+        try:
+            session = _session_for(task, spec, problem=problem)
+        except BackendUnavailableError:
+            continue
+        sessions.append(session)
+        problem = session.problem  # encode once, share with later contenders
+    if not sessions:
+        raise BackendUnavailableError(
+            "no portfolio backend is available on this host: "
+            + ", ".join(spec.name for spec in task.specs)
+        )
+    if len(sessions) == 1:
+        return sessions[0].verdict()
+
+    outcomes: "queue.Queue[Tuple[Optional[VerificationResult], Optional[Exception]]]" = (
+        queue.Queue()
+    )
+
+    def contend(session: VerificationSession) -> None:
+        try:
+            outcomes.put((session.verdict(), None))
+        except Exception as exc:  # surfaced only if every contender fails
+            outcomes.put((None, exc))
+
+    for session in sessions:
+        threading.Thread(
+            target=contend, args=(session,), daemon=True, name="portfolio-contender"
+        ).start()
+
+    inconclusive: Optional[VerificationResult] = None
+    failure: Optional[Exception] = None
+    for _ in sessions:
+        result, error = outcomes.get()
+        if error is not None:
+            failure = error
+        elif result.verdict is not Verdict.UNKNOWN:
+            return result  # losers keep running unjoined; results discarded
+        else:
+            inconclusive = result
+    if inconclusive is not None:
+        return inconclusive
+    raise failure if failure is not None else SolverError(
+        "portfolio produced no result"
+    )
+
+
+def _solve_task(task: _SolveTask) -> Tuple[int, VerificationResult]:
+    """Worker entry point: solve one distinct question, return its result."""
+    if task.portfolio:
+        return task.position, _race_portfolio(task)
+    return task.position, _session_for(task, task.specs[0]).verdict()
+
+
+def _duplicate_result(
+    source: VerificationResult, trace: ExecutionTrace
+) -> VerificationResult:
+    """Re-express a representative's result on a fingerprint-equal trace."""
+    witness = None
+    if source.witness is not None and source.trace is not None:
+        witness = _decode_witness(trace, _encode_witness(source.trace, source.witness))
+    return VerificationResult(
+        verdict=source.verdict,
+        witness=witness,
+        solve_seconds=0.0,
+        trace=trace,
+        backend=source.backend,
+        from_cache=True,
+    )
+
+
+class ParallelVerifier:
+    """Verify batches by sharding distinct questions over worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` means ``os.cpu_count()``.  ``1``
+        solves in-process (still with dedup and caching).
+    backend:
+        Registry name or :class:`BackendSpec` — **not** a live backend;
+        workers must construct their own solver state.
+    portfolio:
+        Race ``backends`` (default: dpllt vs smtlib) per trace and keep the
+        first conclusive verdict.
+    backends:
+        The portfolio contenders when ``portfolio=True``.
+    cache:
+        ``None`` (no cross-batch cache), a :class:`ResultCache`, or
+        ``"memory"`` for a fresh in-memory LRU owned by this verifier.
+        In-batch fingerprint dedup happens regardless.
+    cache_dir:
+        Convenience: a directory for a disk-backed :class:`ResultCache`
+        (ignored when ``cache`` is an explicit instance).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        backend: Union[str, BackendSpec, None] = None,
+        options: Optional[EncoderOptions] = None,
+        properties: Optional[Sequence[Property]] = None,
+        portfolio: bool = False,
+        backends: Optional[Sequence[BackendSpec]] = None,
+        cache: Union[ResultCache, str, None] = None,
+        cache_dir: Optional[str] = None,
+        seed: int = 0,
+        max_solver_iterations: int = 200_000,
+    ) -> None:
+        self.jobs = os.cpu_count() or 1 if jobs is None else jobs
+        if self.jobs < 1:
+            raise SolverError(f"jobs must be >= 1, got {self.jobs}")
+        self.options = options
+        self.properties = properties
+        self.portfolio = portfolio
+        self.seed = seed
+        self.max_solver_iterations = max_solver_iterations
+        if portfolio:
+            self.specs: Tuple[BackendSpec, ...] = tuple(
+                backends
+                if backends is not None
+                else default_portfolio(max_solver_iterations)
+            )
+            if not self.specs:
+                raise SolverError("portfolio mode needs at least one backend")
+        else:
+            self.specs = (
+                BackendSpec.of(backend, max_iterations=max_solver_iterations),
+            )
+        if isinstance(cache, str):
+            if cache != "memory":
+                raise SolverError(f"unknown cache spec {cache!r}; use 'memory'")
+            cache = ResultCache()
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(directory=cache_dir)
+        self.cache = cache
+
+    # ------------------------------------------------------------------ keys
+
+    @property
+    def backend_key(self) -> str:
+        """The backend component of this verifier's cache keys."""
+        if self.portfolio:
+            return "portfolio(" + "|".join(s.name for s in self.specs) + ")"
+        return self.specs[0].name
+
+    def _key_for(self, trace: ExecutionTrace) -> CacheKey:
+        return make_cache_key(
+            trace,
+            properties=self.properties,
+            options=self.options,
+            backend=self.backend_key,
+        )
+
+    # ------------------------------------------------------------------ batch
+
+    def _normalise(
+        self, items: Iterable[Union[Program, ExecutionTrace]]
+    ) -> List[Tuple[ExecutionTrace, Optional[ProgramRun]]]:
+        normalised: List[Tuple[ExecutionTrace, Optional[ProgramRun]]] = []
+        for item in items:
+            if isinstance(item, Program):
+                run = _recording_run(item, self.seed, None, None)
+                normalised.append((run.trace, run))
+            elif isinstance(item, ExecutionTrace):
+                normalised.append((item, None))
+            else:
+                raise EncodingError(
+                    "verify_many_parallel accepts Programs or ExecutionTraces, "
+                    f"got {item!r}"
+                )
+        return normalised
+
+    def verify_many(
+        self, items: Iterable[Union[Program, ExecutionTrace]]
+    ) -> List[VerificationResult]:
+        """Verify the batch; results come back in input order."""
+        entries = self._normalise(items)
+        results: List[Optional[VerificationResult]] = [None] * len(entries)
+        pending: Dict[CacheKey, List[int]] = {}
+        keys: List[Optional[CacheKey]] = []
+        for index, (trace, run) in enumerate(entries):
+            key = self._key_for(trace)
+            keys.append(key)
+            cached = self.cache.lookup(key, trace) if self.cache is not None else None
+            if cached is not None:
+                cached.program_run = run
+                results[index] = cached
+            else:
+                pending.setdefault(key, []).append(index)
+
+        tasks = [
+            _SolveTask(
+                position=indices[0],
+                trace=entries[indices[0]][0],
+                options=self.options,
+                properties=self.properties,
+                specs=self.specs,
+                portfolio=self.portfolio,
+                max_solver_iterations=self.max_solver_iterations,
+            )
+            for indices in pending.values()
+        ]
+        solved = self._run_tasks(tasks)
+
+        for key, indices in pending.items():
+            representative = solved[indices[0]]
+            if self.cache is not None:
+                self.cache.store(key, representative)
+            for position, index in enumerate(indices):
+                trace, run = entries[index]
+                if position == 0:
+                    result = representative
+                    # Results solved in a worker come back pickled; point
+                    # them at the caller's trace object, not the copy.
+                    result.trace = trace
+                else:
+                    result = _duplicate_result(representative, trace)
+                result.program_run = run
+                results[index] = result
+        return [result for result in results if result is not None]
+
+    def _run_tasks(
+        self, tasks: List[_SolveTask]
+    ) -> Dict[int, VerificationResult]:
+        if not tasks:
+            return {}
+        if self.jobs == 1 or len(tasks) == 1:
+            return dict(_solve_task(task) for task in tasks)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        workers = min(self.jobs, len(tasks))
+        with context.Pool(processes=workers) as pool:
+            return dict(pool.map(_solve_task, tasks, chunksize=1))
+
+
+def verify_many_parallel(
+    items: Iterable[Union[Program, ExecutionTrace]],
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> List[VerificationResult]:
+    """One-shot front door over :class:`ParallelVerifier`.
+
+    ``verify_many_parallel(batch, jobs=4)`` shards the batch's distinct
+    questions over four worker processes; every other keyword is forwarded
+    to :class:`ParallelVerifier`.
+    """
+    return ParallelVerifier(jobs=jobs, **kwargs).verify_many(items)

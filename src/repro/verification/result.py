@@ -33,10 +33,15 @@ class Verdict(Enum):
 
 @dataclass
 class VerificationResult:
-    """The verdict plus everything needed to understand and reproduce it."""
+    """The verdict plus everything needed to understand and reproduce it.
+
+    ``problem`` is ``None`` exactly when the result was answered from a
+    :class:`~repro.verification.cache.ResultCache` (``from_cache=True``):
+    a cache hit never builds an encoding, so there is none to attach.
+    """
 
     verdict: Verdict
-    problem: EncodedProblem
+    problem: Optional[EncodedProblem] = None
     witness: Optional[Witness] = None
     solver_statistics: Dict[str, int] = field(default_factory=dict)
     encode_seconds: float = 0.0
@@ -44,6 +49,7 @@ class VerificationResult:
     trace: Optional[ExecutionTrace] = None
     program_run: Optional[ProgramRun] = None
     backend: Optional[str] = None
+    from_cache: bool = False
 
     @property
     def is_violation(self) -> bool:
@@ -55,13 +61,23 @@ class VerificationResult:
 
     def describe(self) -> str:
         lines = [f"verdict: {self.verdict.value}"]
-        lines.append(f"problem size: {self.problem.size_summary()}")
-        lines.append(
-            f"encode time: {self.encode_seconds * 1000:.1f} ms, "
-            f"solve time: {self.solve_seconds * 1000:.1f} ms"
-        )
+        if self.from_cache:
+            lines.append("answered from cache (no encoding built)")
+        if self.problem is not None:
+            lines.append(f"problem size: {self.problem.size_summary()}")
+            lines.append(
+                f"encode time: {self.encode_seconds * 1000:.1f} ms, "
+                f"solve time: {self.solve_seconds * 1000:.1f} ms"
+            )
         if self.backend is not None:
             lines.append(f"backend: {self.backend}")
         if self.witness is not None:
-            lines.append(self.witness.describe(self.problem))
+            if self.problem is not None:
+                lines.append(self.witness.describe(self.problem))
+            elif self.witness.matching:
+                pairs = ", ".join(
+                    f"recv#{recv_id}<-send#{send_id}"
+                    for recv_id, send_id in sorted(self.witness.matching.items())
+                )
+                lines.append(f"witness matching: {pairs}")
         return "\n".join(lines)

@@ -98,6 +98,10 @@ class VerificationSession:
         results for replay).
     encoder:
         An existing :class:`TraceEncoder` to reuse (overrides ``options``).
+    problem:
+        An already-encoded problem for this trace, to share one encoding
+        between several sessions (e.g. portfolio contenders racing the
+        same trace on different backends).  Skips encoding entirely.
 
     The constructor encodes the problem exactly once; no public method ever
     re-encodes.  The backend is created lazily on the first query so that
@@ -113,13 +117,18 @@ class VerificationSession:
         max_solver_iterations: int = 200_000,
         program_run: Optional[ProgramRun] = None,
         encoder: Optional[TraceEncoder] = None,
+        problem: Optional[EncodedProblem] = None,
     ) -> None:
         self.trace = trace
         self.program_run = program_run
         self._encoder = encoder if encoder is not None else TraceEncoder(options)
-        start = time.perf_counter()
-        self._problem = self._encoder.encode(trace, properties=properties)
-        self.encode_seconds = time.perf_counter() - start
+        if problem is not None:
+            self._problem = problem
+            self.encode_seconds = 0.0
+        else:
+            start = time.perf_counter()
+            self._problem = self._encoder.encode(trace, properties=properties)
+            self.encode_seconds = time.perf_counter() - start
         #: How many times the trace has been encoded.  Stays 1 for the
         #: session's whole lifetime — that is the point of the API.
         self.encode_count = 1
@@ -261,17 +270,34 @@ class VerificationSession:
         Iterative blocking inside one solver scope: solve, yield the model's
         matching, assert a clause forbidding exactly that matching, repeat —
         all against the same incremental backend, so no query starts cold.
-        The scope is popped when the generator is exhausted or closed,
-        leaving the session ready for further queries.
+        The enumeration guard and solver scope are released however the
+        generator ends — exhaustion, ``close()``, garbage collection, or an
+        exception thrown by the consumer — so an abandoned generator can
+        never leave the session stuck refusing further queries.
 
         ``limit`` caps the number of matchings yielded.  If the solver gives
         up (UNKNOWN) the generator raises
         :class:`~repro.utils.errors.IncompleteEnumerationError` instead of
         silently presenting the matchings found so far as exhaustive.
 
-        Only one enumeration may be active per session at a time.
+        Only one enumeration may be active per session at a time; starting a
+        second one fails eagerly, at the call, not at the first ``next()``.
         """
+        # Guard eagerly: generator bodies only run on the first next(), and
+        # a guard that fires that late is easy to mistake for an iteration
+        # bug.  The backend/scope setup stays inside the generator so that
+        # an unconsumed generator object costs nothing.
         if self._enumerating:
+            raise SolverError(
+                "a pairings() enumeration is already active on this session; "
+                "exhaust or close it before starting another"
+            )
+        return self._enumerate(limit)
+
+    def _enumerate(self, limit: Optional[int]) -> Iterator[Dict[int, int]]:
+        if self._enumerating:
+            # A sibling generator won the race between our eager guard and
+            # this body's first execution.
             raise SolverError(
                 "a pairings() enumeration is already active on this session; "
                 "exhaust or close it before starting another"
@@ -322,6 +348,10 @@ def verify_many(
     backend: Union[str, SolverBackend, None] = None,
     seed: int = 0,
     max_solver_iterations: int = 200_000,
+    jobs: int = 1,
+    cache=None,
+    cache_dir: Optional[str] = None,
+    portfolio: bool = False,
 ) -> List[VerificationResult]:
     """Batch front door: verify many programs and/or traces in one call.
 
@@ -330,8 +360,34 @@ def verify_many(
     configuration.  Results come back in input order.  ``backend`` must be a
     registry name (each item gets a fresh backend); sharing one live backend
     instance across items would mix their assertion sets.
+
+    ``jobs``, ``cache``/``cache_dir`` and ``portfolio`` hand the batch to
+    :class:`repro.verification.parallel.ParallelVerifier` — sharding over
+    worker processes, fingerprint-keyed result caching, and backend racing;
+    see that module for semantics.  The default (``jobs=1``, no cache, no
+    portfolio) keeps the simple one-session-per-item serial path below.
     """
     items = list(items)
+    if jobs != 1 or cache is not None or cache_dir is not None or portfolio:
+        from repro.smt.backend import BackendSpec
+        from repro.verification.parallel import ParallelVerifier
+
+        if backend is not None and not isinstance(backend, (str, BackendSpec)):
+            raise SolverError(
+                "verify_many needs a backend registry name, not a live "
+                "backend instance: worker processes build their own solvers"
+            )
+        return ParallelVerifier(
+            jobs=jobs,
+            backend=backend,
+            options=options,
+            properties=properties,
+            portfolio=portfolio,
+            cache=cache,
+            cache_dir=cache_dir,
+            seed=seed,
+            max_solver_iterations=max_solver_iterations,
+        ).verify_many(items)
     if backend is not None and not isinstance(backend, str) and len(items) > 1:
         raise SolverError(
             "verify_many needs a backend registry name, not a live backend "

@@ -15,6 +15,7 @@ from repro.workloads.generators import (
     nonblocking_fanin,
     pipeline,
     racy_fanin,
+    random_program,
     scatter_gather,
     token_ring,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "nonblocking_fanin",
     "pipeline",
     "racy_fanin",
+    "random_program",
     "scatter_gather",
     "token_ring",
 ]

@@ -10,6 +10,7 @@ same phenomena as the Figure 1 example, just bigger.
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional
 
 from repro.program.ast import C, Program, V
@@ -24,6 +25,7 @@ __all__ = [
     "client_server",
     "nonblocking_fanin",
     "branching_consumer",
+    "random_program",
 ]
 
 
@@ -243,3 +245,125 @@ def _send_stmt(destination: str, payload):
     from repro.program.ast import Send
 
     return Send(destination, payload)
+
+
+def random_program(
+    rng: random.Random,
+    max_senders: int = 3,
+    max_receivers: int = 2,
+    max_messages: int = 4,
+    nonblocking_probability: float = 0.25,
+    forward_probability: float = 0.3,
+    name: Optional[str] = None,
+) -> Program:
+    """A seeded random send/recv topology, deadlock-free by construction.
+
+    The generator draws a random fan-in/fan-out shape — ``1..max_senders``
+    pure-sender threads firing ``1..max_messages`` messages (each with a
+    globally distinct payload) at ``1..max_receivers`` receiver threads —
+    and then decorates it:
+
+    * a receiver may use non-blocking ``recv_i`` + ``wait`` instead of
+      blocking receives (exercising the wait-based ``match`` constraints);
+    * a receiver may *forward* a symbolic expression over its first
+      received value to a strictly later receiver (exercising ``PEvents``
+      propagation through sends), acyclically so no deadlock can arise;
+    * a receiver with messages may end with one of three assertion shapes:
+      a **sum** assertion over everything it received (holds in every
+      execution), a **first-message** assertion pinning its first value to
+      one particular send's payload (racy whenever several sends target the
+      endpoint), or an **impossible** assertion (violated in every
+      execution).  It may also assert nothing.
+
+    Programs stay branch-free on purpose: the symbolic analysis is
+    path-constrained, so branch-free inputs are exactly the class on which
+    one recorded trace covers *all* executions and the verdict must agree
+    with exhaustive explicit-state exploration — the contract the
+    randomized differential harness checks.  Every draw comes from ``rng``,
+    so a seeded :class:`random.Random` reproduces the program exactly.
+    """
+    if max_senders < 1 or max_receivers < 1 or max_messages < 1:
+        raise ProgramError("random_program needs positive size bounds")
+    builder = ProgramBuilder(name or "random_program")
+
+    num_receivers = rng.randint(1, max_receivers)
+    num_senders = rng.randint(1, max_senders)
+    num_messages = rng.randint(1, max_messages)
+
+    # Message plan: (sender, receiver, payload); payloads globally distinct
+    # and positive so the "impossible" assertion below is genuinely
+    # unsatisfiable and "first" assertions identify one send unambiguously.
+    plan = [
+        (rng.randrange(num_senders), rng.randrange(num_receivers), 101 + 7 * index)
+        for index in range(num_messages)
+    ]
+
+    # Acyclic forwarding: receiver j may relay a derived value to a strictly
+    # later receiver k > j, which simply expects one extra message.
+    inbound_payloads: List[List[int]] = [
+        [payload for _, receiver, payload in plan if receiver == index]
+        for index in range(num_receivers)
+    ]
+    forwards: List[Optional[int]] = [None] * num_receivers
+    extra_inbound = [0] * num_receivers
+    for index in range(num_receivers - 1):
+        if inbound_payloads[index] and rng.random() < forward_probability:
+            target = rng.randrange(index + 1, num_receivers)
+            forwards[index] = target
+            extra_inbound[target] += 1
+
+    for index in range(num_receivers):
+        thread = builder.thread(f"recv{index}")
+        expected = len(inbound_payloads[index]) + extra_inbound[index]
+        if expected == 0:
+            thread.skip("no inbound messages")
+            continue
+        variables = [f"m{index}_{slot}" for slot in range(expected)]
+        if rng.random() < nonblocking_probability:
+            for slot, variable in enumerate(variables):
+                thread.recv_i(variable, handle=f"h{index}_{slot}")
+            for slot in range(expected):
+                thread.wait(f"h{index}_{slot}")
+        else:
+            for variable in variables:
+                thread.recv(variable)
+        if forwards[index] is not None:
+            thread.send(f"recv{forwards[index]}", V(variables[0]) + 1)
+
+        # Assertions only range over the directly sent payloads when the
+        # receiver also collects forwarded (symbolic) values: the sum of a
+        # forwarded value is execution-dependent, so "sum" and "impossible"
+        # claims are restricted to receivers with purely constant inbound
+        # traffic to keep their truth value analysable by construction.
+        kind = rng.choice(["none", "first", "sum", "impossible"])
+        if kind == "first":
+            anchor = rng.choice(
+                inbound_payloads[index]
+            ) if inbound_payloads[index] else None
+            if anchor is not None and extra_inbound[index] == 0:
+                thread.assertion(
+                    V(variables[0]).eq(C(anchor)), label=f"recv{index}-first"
+                )
+        elif kind == "sum" and extra_inbound[index] == 0:
+            total = V(variables[0])
+            for variable in variables[1:]:
+                total = total + V(variable)
+            thread.assertion(
+                total.eq(C(sum(inbound_payloads[index]))),
+                label=f"recv{index}-sum",
+            )
+        elif kind == "impossible" and extra_inbound[index] == 0:
+            thread.assertion(
+                V(variables[0]).eq(C(-1)), label=f"recv{index}-impossible"
+            )
+
+    for index in range(num_senders):
+        thread = builder.thread(f"send{index}")
+        sent = False
+        for sender, receiver, payload in plan:
+            if sender == index:
+                thread.send(f"recv{receiver}", C(payload))
+                sent = True
+        if not sent:
+            thread.skip("drew no messages")
+    return builder.build()

@@ -423,6 +423,82 @@ class TestSmtLibProcessBackend:
         with pytest.raises(SolverError):
             _parse_sexprs(")")
 
+    def test_stub_solver_resolved_from_path(self, tmp_path, monkeypatch):
+        """The solver command may be a bare binary name found on PATH, the
+        way a real z3/cvc5 deployment configures it."""
+        _stub_solver(tmp_path, "unsat")
+        monkeypatch.setenv(
+            "PATH", f"{tmp_path}{os.pathsep}{os.environ.get('PATH', '')}"
+        )
+        monkeypatch.setenv("REPRO_SMT_SOLVER", "fake-solver")
+        assert SmtLibProcessBackend.is_available()
+        backend = SmtLibProcessBackend()
+        backend.add(Lt(x, x))
+        assert backend.check() is CheckResult.UNSAT
+
+    def test_nonzero_exit_without_verdict_raises_cleanly(self, tmp_path):
+        script = tmp_path / "crashing-solver"
+        script.write_text(
+            f"#!{sys.executable}\nimport sys\n"
+            "print('boom', file=sys.stderr)\nsys.exit(3)\n"
+        )
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        backend = SmtLibProcessBackend(command=str(script))
+        backend.add(Ge(x, IntVal(0)))
+        with pytest.raises(SolverError) as excinfo:
+            backend.check()
+        message = str(excinfo.value)
+        assert "status 3" in message
+        assert "boom" in message
+
+    def test_nonzero_exit_with_verdict_is_tolerated(self, tmp_path):
+        """Some solvers exit nonzero after printing a perfectly good
+        verdict; the verdict wins over the exit status."""
+        script = tmp_path / "grumpy-solver"
+        script.write_text(
+            f"#!{sys.executable}\nimport sys\nprint('unsat')\nsys.exit(1)\n"
+        )
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        backend = SmtLibProcessBackend(command=str(script))
+        backend.add(Lt(x, x))
+        assert backend.check() is CheckResult.UNSAT
+
+    def test_silent_failure_raises_cleanly(self, tmp_path):
+        script = tmp_path / "mute-solver"
+        script.write_text(f"#!{sys.executable}\nimport sys\nsys.exit(127)\n")
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        backend = SmtLibProcessBackend(command=str(script))
+        backend.add(Ge(x, IntVal(0)))
+        with pytest.raises(SolverError) as excinfo:
+            backend.check()
+        assert "no output" in str(excinfo.value)
+
+    def test_timeout_raises_solver_error(self, tmp_path):
+        script = tmp_path / "sleepy-solver"
+        script.write_text(
+            f"#!{sys.executable}\nimport time\ntime.sleep(30)\nprint('sat')\n"
+        )
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        backend = SmtLibProcessBackend(command=str(script), timeout=0.2)
+        backend.add(Ge(x, IntVal(0)))
+        with pytest.raises(SolverError) as excinfo:
+            backend.check()
+        assert "timed out" in str(excinfo.value)
+
+    def test_end_to_end_session_over_stub_unsat_solver(self, tmp_path):
+        """A session on the smtlib backend reaches the external process and
+        turns its UNSAT into a SAFE verdict."""
+        from repro.verification import Verdict, VerificationSession
+        from repro.workloads import pipeline
+
+        command = _stub_solver(tmp_path, "unsat")
+        session = VerificationSession.from_program(
+            pipeline(3), seed=0, backend=SmtLibProcessBackend(command=command)
+        )
+        result = session.verdict()
+        assert result.verdict is Verdict.SAFE
+        assert result.backend == "smtlib"
+
 
 @pytest.mark.skipif(
     not SmtLibProcessBackend.is_available(),

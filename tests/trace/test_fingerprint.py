@@ -1,0 +1,149 @@
+"""Tests for the canonical trace fingerprint: the stability guarantees its
+docstring promises, and the non-guarantees (semantic changes must change it)."""
+
+import random
+
+import pytest
+
+from repro.program import ProgramBuilder, run_program
+from repro.program.ast import C, V
+from repro.trace import canonical_form, trace_fingerprint
+from repro.workloads import (
+    branching_consumer,
+    figure1_program,
+    nonblocking_fanin,
+    racy_fanin,
+    random_program,
+    scatter_gather,
+)
+
+HEX_DIGEST_LENGTH = 64
+
+
+def _trace(program, seed=0):
+    return run_program(program, seed=seed).trace
+
+
+class TestStability:
+    def test_deterministic_across_calls(self):
+        trace = _trace(figure1_program(assert_a_is_y=True))
+        assert trace_fingerprint(trace) == trace_fingerprint(trace)
+        assert len(trace_fingerprint(trace)) == HEX_DIGEST_LENGTH
+
+    def test_interleaving_independent(self):
+        """Recordings under different seeds reorder events globally and
+        renumber every send/recv/symbol — the fingerprint must not move."""
+        for program in (
+            racy_fanin(3),
+            nonblocking_fanin(2),
+            scatter_gather(2, assert_order=True),
+        ):
+            digests = {trace_fingerprint(_trace(program, seed=s)) for s in range(5)}
+            assert len(digests) == 1, program.name
+
+    def test_identical_rerecording_matches(self):
+        program = figure1_program(assert_a_is_y=True)
+        assert trace_fingerprint(_trace(program)) == trace_fingerprint(_trace(program))
+
+    def test_random_programs_interleaving_independent(self):
+        rng = random.Random(7)
+        for index in range(10):
+            program = random_program(rng, name=f"fp{index}")
+            digests = {
+                trace_fingerprint(_trace(program, seed=s)) for s in range(3)
+            }
+            assert len(digests) == 1, program.name
+
+
+class TestSensitivity:
+    def test_different_programs_differ(self):
+        digests = {
+            trace_fingerprint(_trace(program))
+            for program in (
+                figure1_program(),
+                figure1_program(assert_a_is_y=True),
+                racy_fanin(2),
+                racy_fanin(3),
+                scatter_gather(2),
+            )
+        }
+        assert len(digests) == 5
+
+    def test_payload_change_differs(self):
+        def build(payload):
+            builder = ProgramBuilder("payload")
+            builder.thread("r").recv("x")
+            builder.thread("s").send("r", C(payload))
+            return builder.build()
+
+        assert trace_fingerprint(_trace(build(1))) != trace_fingerprint(
+            _trace(build(2))
+        )
+
+    def test_assertion_condition_included(self):
+        def build(expected):
+            builder = ProgramBuilder("asserted")
+            receiver = builder.thread("r")
+            receiver.recv("x")
+            receiver.assertion(V("x").eq(C(expected)), label="same-label")
+            builder.thread("s").send("r", C(5))
+            return builder.build()
+
+        assert trace_fingerprint(_trace(build(5))) != trace_fingerprint(
+            _trace(build(6))
+        )
+
+    def test_branch_outcome_included(self):
+        """The analysis is path-constrained: a recording that took the other
+        branch is a different verification question."""
+        program = branching_consumer(threshold=150)
+        digests = set()
+        for seed in range(8):
+            run = run_program(program, seed=seed)
+            outcomes = tuple(event.outcome for event in run.trace.branches())
+            digests.add((outcomes, trace_fingerprint(run.trace)))
+        by_outcome = {}
+        for outcomes, digest in digests:
+            by_outcome.setdefault(outcomes, set()).add(digest)
+        for outcomes, fingerprint_set in by_outcome.items():
+            assert len(fingerprint_set) == 1
+        if len(by_outcome) > 1:
+            all_digests = {d for _, d in digests}
+            assert len(all_digests) == len(by_outcome)
+
+    def test_blocking_mode_included(self):
+        blocking = ProgramBuilder("mode")
+        blocking.thread("r").recv("x")
+        blocking.thread("s").send("r", C(1))
+        nonblocking = ProgramBuilder("mode")
+        nonblocking.thread("r").recv_i("x", handle="h").wait("h")
+        nonblocking.thread("s").send("r", C(1))
+        assert trace_fingerprint(_trace(blocking.build())) != trace_fingerprint(
+            _trace(nonblocking.build())
+        )
+
+    def test_observed_values_excluded(self):
+        """Observed matchings/values are reporting artefacts: recordings of
+        the same racy program observing different winners hash the same
+        (covered by interleaving independence), and the canonical form
+        never mentions the concrete observations."""
+        trace = _trace(racy_fanin(3))
+        rendering = repr(canonical_form(trace))
+        assert "observed" not in rendering
+        recv_rows = [
+            row
+            for rows in canonical_form(trace)
+            for row in rows
+            if row[0] == "recv"
+        ]
+        # A recv row names the endpoint and canonical symbol, nothing else.
+        assert all(len(row) == 3 for row in recv_rows)
+
+
+class TestCanonicalForm:
+    def test_threads_sorted_and_complete(self):
+        trace = _trace(figure1_program())
+        form = canonical_form(trace)
+        names = [rows[0][1] for rows in form]
+        assert names == sorted(names)
+        assert sum(len(rows) - 1 for rows in form) == len(trace)

@@ -60,3 +60,34 @@ class TestMain:
     def test_pair_fifo_flag(self, capsys):
         code = main(["--workload", "figure1", "--property", "a-is-y", "--pair-fifo"])
         assert code == 1
+
+
+class TestBatchMode:
+    def test_repeat_with_jobs_dedups_and_reports(self, capsys):
+        code = main(["--workload", "racy_fanin", "--repeat", "4", "--jobs", "2"])
+        captured = capsys.readouterr().out
+        assert code == 1  # the racy assertion is violable
+        assert "batch: 4 traces, 1 solved" in captured
+        assert captured.count("verdict=violation") == 4
+
+    def test_safe_batch_exit_code(self, capsys):
+        code = main(["--workload", "pipeline", "--repeat", "3", "--jobs", "2"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert captured.count("verdict=safe") == 3
+
+    def test_cache_dir_answers_second_run_without_solving(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "verdicts")
+        args = ["--workload", "pipeline", "--repeat", "2", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        captured = capsys.readouterr().out
+        assert "2 traces, 0 solved" in captured
+
+    def test_portfolio_flag_without_external_solver(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SMT_SOLVER", raising=False)
+        code = main(["--workload", "pipeline", "--portfolio"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "verdict=safe" in captured

@@ -1,0 +1,335 @@
+"""Tests for the parallel batch-verification subsystem: process sharding,
+fingerprint dedup, the result cache (memory + disk), portfolio racing, and
+worker-safe backend specs."""
+
+import os
+import stat
+import sys
+
+import pytest
+
+from repro.encoding.encoder import EncoderOptions
+from repro.program import run_program
+from repro.smt.backend import BackendSpec, DpllTBackend
+from repro.trace import trace_fingerprint
+from repro.utils.errors import EncodingError, SolverError
+from repro.verification import (
+    ParallelVerifier,
+    ResultCache,
+    Verdict,
+    make_cache_key,
+    verify_many,
+    verify_many_parallel,
+)
+from repro.workloads import (
+    figure1_program,
+    pipeline,
+    racy_fanin,
+    scatter_gather,
+)
+
+
+def _mixed_batch(copies=2):
+    """A batch with known verdicts and in-batch duplicates (varying seeds)."""
+    programs = [
+        figure1_program(assert_a_is_y=True),  # violation
+        pipeline(3),  # safe
+        racy_fanin(2, assert_first_from_sender0=True),  # violation
+        scatter_gather(2),  # safe
+    ]
+    traces = [
+        run_program(program, seed=seed).trace
+        for seed in range(copies)
+        for program in programs
+    ]
+    expected = [
+        Verdict.VIOLATION,
+        Verdict.SAFE,
+        Verdict.VIOLATION,
+        Verdict.SAFE,
+    ] * copies
+    return traces, expected
+
+
+class TestBackendSpec:
+    def test_normalisation(self):
+        assert BackendSpec.of(None).name == "dpllt"
+        assert BackendSpec.of("smtlib").name == "smtlib"
+        spec = BackendSpec.of("dpllt", max_iterations=7)
+        assert spec.kwargs == (("max_iterations", 7),)
+        assert BackendSpec.of(spec) is spec
+
+    def test_of_merges_kwargs(self):
+        base = BackendSpec.of("dpllt", max_iterations=7)
+        merged = BackendSpec.of(base, max_iterations=9)
+        assert merged.kwargs == (("max_iterations", 9),)
+
+    def test_live_backend_rejected(self):
+        with pytest.raises(SolverError):
+            BackendSpec.of(DpllTBackend())
+
+    def test_create_builds_fresh_instances(self):
+        spec = BackendSpec.of("dpllt", max_iterations=123)
+        first, second = spec.create(), spec.create()
+        assert first is not second
+        assert isinstance(first, DpllTBackend)
+
+    def test_spec_is_picklable_and_hashable(self):
+        import pickle
+
+        spec = BackendSpec.of("dpllt", max_iterations=5)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert {spec: 1}[spec] == 1
+
+    def test_create_backend_accepts_spec(self):
+        from repro.smt.backend import create_backend
+
+        backend = create_backend(BackendSpec.of("dpllt", max_iterations=0))
+        assert isinstance(backend, DpllTBackend)
+
+
+class TestParallelVerifyMany:
+    def test_matches_serial_in_order(self):
+        traces, expected = _mixed_batch()
+        serial = verify_many(traces)
+        parallel = verify_many_parallel(traces, jobs=2)
+        assert [r.verdict for r in serial] == expected
+        assert [r.verdict for r in parallel] == expected
+        for s, p in zip(serial, parallel):
+            if s.witness is not None:
+                assert p.witness is not None
+
+    def test_single_job_path(self):
+        traces, expected = _mixed_batch(copies=1)
+        results = verify_many_parallel(traces, jobs=1)
+        assert [r.verdict for r in results] == expected
+
+    def test_programs_accepted_and_runs_attached(self):
+        results = verify_many_parallel(
+            [figure1_program(assert_a_is_y=True), pipeline(3)], jobs=2
+        )
+        assert [r.verdict for r in results] == [Verdict.VIOLATION, Verdict.SAFE]
+        assert all(r.program_run is not None for r in results)
+
+    def test_in_batch_dedup_marks_duplicates(self):
+        """Fingerprint-equal traces are solved once; duplicates are answered
+        without solving and their witnesses translated onto their own ids."""
+        traces = [run_program(racy_fanin(2, assert_first_from_sender0=True), seed=s).trace
+                  for s in range(4)]
+        assert len({trace_fingerprint(t) for t in traces}) == 1
+        results = verify_many_parallel(traces, jobs=2)
+        assert [r.verdict for r in results] == [Verdict.VIOLATION] * 4
+        assert sum(1 for r in results if r.from_cache) == 3
+        for result, trace in zip(results, traces):
+            assert result.witness is not None
+            recv_ids = {op.recv_id for op in trace.receive_operations()}
+            send_ids = {event.send_id for event in trace.sends()}
+            assert set(result.witness.matching) <= recv_ids
+            assert set(result.witness.matching.values()) <= send_ids
+
+    def test_rejects_foreign_items(self):
+        with pytest.raises(EncodingError):
+            verify_many_parallel(["nope"], jobs=1)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(SolverError):
+            ParallelVerifier(jobs=0)
+
+    def test_empty_batch(self):
+        assert verify_many_parallel([], jobs=4) == []
+
+    def test_verify_many_delegates_jobs_and_cache(self):
+        traces, expected = _mixed_batch(copies=1)
+        cache = ResultCache()
+        results = verify_many(traces, jobs=2, cache=cache)
+        assert [r.verdict for r in results] == expected
+        assert cache.stores == len(traces)
+        again = verify_many(traces, jobs=2, cache=cache)
+        assert all(r.from_cache for r in again)
+        assert [r.verdict for r in again] == expected
+
+    def test_verify_many_rejects_live_backend_with_jobs(self):
+        with pytest.raises(SolverError):
+            verify_many([pipeline(2)], jobs=2, backend=DpllTBackend())
+
+
+class TestResultCache:
+    def test_memory_roundtrip_translates_witness(self):
+        program = racy_fanin(2, assert_first_from_sender0=True)
+        first = run_program(program, seed=0).trace
+        second = run_program(program, seed=3).trace
+        cache = ResultCache()
+        results = verify_many_parallel([first], cache=cache, jobs=1)
+        assert cache.stores == 1
+        key = make_cache_key(second)
+        hit = cache.lookup(key, second)
+        assert hit is not None and hit.from_cache
+        assert hit.verdict is Verdict.VIOLATION
+        assert hit.problem is None
+        recv_ids = {op.recv_id for op in second.receive_operations()}
+        assert set(hit.witness.matching) <= recv_ids
+        assert "cache" in hit.describe()
+
+    def test_unknown_never_cached(self):
+        trace = run_program(figure1_program(assert_a_is_y=True), seed=0).trace
+        cache = ResultCache()
+        results = verify_many_parallel(
+            [trace], cache=cache, jobs=1, max_solver_iterations=0
+        )
+        assert results[0].verdict is Verdict.UNKNOWN
+        assert cache.stores == 0
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ResultCache(maxsize=2)
+        traces = [
+            run_program(program, seed=0).trace
+            for program in (pipeline(2), pipeline(3), pipeline(4))
+        ]
+        verify_many_parallel(traces, cache=cache, jobs=1)
+        assert len(cache) == 2  # oldest entry evicted
+
+    def test_disk_store_survives_processes(self, tmp_path):
+        traces, expected = _mixed_batch(copies=1)
+        directory = str(tmp_path / "cache")
+        verify_many_parallel(traces, jobs=1, cache_dir=directory)
+        assert any(name.endswith(".json") for name in os.listdir(directory))
+        fresh = ResultCache(directory=directory)  # empty memory layer
+        results = verify_many_parallel(traces, jobs=1, cache=fresh)
+        assert [r.verdict for r in results] == expected
+        assert all(r.from_cache for r in results)
+        assert fresh.misses == 0
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        directory = str(tmp_path)
+        trace = run_program(pipeline(2), seed=0).trace
+        cache = ResultCache(directory=directory)
+        verify_many_parallel([trace], jobs=1, cache=cache)
+        (path,) = [
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        ]
+        with open(path, "w") as handle:
+            handle.write("{torn")
+        fresh = ResultCache(directory=directory)
+        assert fresh.lookup(make_cache_key(trace), trace) is None
+        assert fresh.misses == 1
+
+    def test_explicit_properties_never_shared_across_renumbered_traces(self):
+        """Regression: fingerprint-equal traces can bind the same recv_id to
+        different logical receives (ids follow the interleaving).  An
+        explicit property naming a trace-local id must therefore never hit
+        an entry written by a differently-numbered trace — the batch verdict
+        has to match the per-trace sessions exactly."""
+        from repro.encoding.properties import ReceiveValueProperty
+        from repro.smt import Eq, IntVal
+        from repro.verification import VerificationSession
+
+        def recv_bindings(trace):
+            return {
+                op.recv_id: trace[op.issue_event_id].thread
+                for op in trace.receive_operations()
+            }
+
+        program = scatter_gather(2)
+        first = run_program(program, seed=0).trace
+        second = next(
+            trace
+            for seed in range(1, 20)
+            for trace in [run_program(program, seed=seed).trace]
+            if recv_bindings(trace) != recv_bindings(first)
+        )
+        assert trace_fingerprint(first) == trace_fingerprint(second)
+        properties = [ReceiveValueProperty(1, lambda v: Eq(v, IntVal(1)))]
+        expected = [
+            VerificationSession(t, properties=properties).verdict().verdict
+            for t in (first, second)
+        ]
+        batch = verify_many_parallel(
+            [first, second], jobs=1, properties=properties, cache=ResultCache()
+        )
+        assert [r.verdict for r in batch] == expected
+        assert make_cache_key(first, properties=properties) != make_cache_key(
+            second, properties=properties
+        )
+
+    def test_key_components_invalidate(self):
+        trace = run_program(pipeline(2), seed=0).trace
+        base = make_cache_key(trace)
+        assert make_cache_key(trace, backend="smtlib") != base
+        assert (
+            make_cache_key(trace, options=EncoderOptions(enforce_pair_fifo=True))
+            != base
+        )
+        assert base.digest() != make_cache_key(trace, backend="smtlib").digest()
+
+    def test_statistics_shape(self):
+        cache = ResultCache()
+        trace = run_program(pipeline(2), seed=0).trace
+        cache.lookup(make_cache_key(trace), trace)
+        stats = cache.statistics()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+
+def _stub_solver(tmp_path, body: str) -> str:
+    script = tmp_path / "portfolio-stub"
+    script.write_text(f"#!{sys.executable}\n{body}\n")
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return str(script)
+
+
+class TestPortfolio:
+    def test_portfolio_without_external_solver_degrades(self, monkeypatch):
+        """With smtlib unavailable the portfolio is dpllt alone."""
+        monkeypatch.delenv("REPRO_SMT_SOLVER", raising=False)
+        traces, expected = _mixed_batch(copies=1)
+        results = verify_many_parallel(traces, jobs=1, portfolio=True)
+        assert [r.verdict for r in results] == expected
+        assert all(r.backend == "dpllt" for r in results)
+
+    def test_portfolio_backend_key_separates_cache_entries(self):
+        trace = run_program(pipeline(2), seed=0).trace
+        verifier = ParallelVerifier(jobs=1, portfolio=True)
+        assert verifier.backend_key.startswith("portfolio(")
+        plain = ParallelVerifier(jobs=1)
+        assert plain._key_for(trace) != verifier._key_for(trace)
+
+    def test_portfolio_races_stub_external_solver(self, tmp_path, monkeypatch):
+        """A conclusive answer from either contender wins; a slow stub never
+        blocks the dpllt engine's verdict."""
+        slow = _stub_solver(
+            tmp_path, "import time\ntime.sleep(8)\nprint('unknown')"
+        )
+        monkeypatch.setenv("REPRO_SMT_SOLVER", slow)
+        trace = run_program(pipeline(2), seed=0).trace
+        import time
+
+        start = time.perf_counter()
+        results = verify_many_parallel([trace], jobs=1, portfolio=True)
+        # The dpllt verdict must come back without joining the slow loser.
+        assert time.perf_counter() - start < 6
+        assert results[0].verdict is Verdict.SAFE
+        assert results[0].backend == "dpllt"
+
+    def test_portfolio_survives_garbage_external_solver(
+        self, tmp_path, monkeypatch
+    ):
+        noisy = _stub_solver(tmp_path, "print('flagrant nonsense')")
+        monkeypatch.setenv("REPRO_SMT_SOLVER", noisy)
+        trace = run_program(pipeline(2), seed=0).trace
+        results = verify_many_parallel([trace], jobs=1, portfolio=True)
+        assert results[0].verdict is Verdict.SAFE
+        assert results[0].backend == "dpllt"
+
+    def test_portfolio_with_no_backends_rejected(self):
+        with pytest.raises(SolverError):
+            ParallelVerifier(portfolio=True, backends=[])
+
+    def test_unknown_cache_spec_rejected(self):
+        with pytest.raises(SolverError):
+            ParallelVerifier(cache="redis")

@@ -91,6 +91,63 @@ class TestSessionQueries:
         # Full enumeration afterwards still sees all 6 matchings.
         assert len(session.enumerate_pairings()) == 6
 
+    def test_abandoned_generator_unwinds_on_gc(self):
+        """Regression: a pairings() generator dropped without close() must
+        release the enumeration guard and solver scope when collected, not
+        leave every later query raising 'enumeration is active'."""
+        import gc
+
+        session = VerificationSession.from_program(racy_fanin(3), seed=0)
+        gen = session.pairings()
+        next(gen)
+        del gen
+        gc.collect()
+        assert session.feasibility()
+        assert len(session.enumerate_pairings()) == 6
+
+    def test_consumer_exception_unwinds_enumeration(self):
+        """Regression: an exception raised *by the consumer* mid-iteration
+        abandons the generator; the session must recover."""
+        import gc
+
+        session = VerificationSession.from_program(racy_fanin(2), seed=0)
+        with pytest.raises(RuntimeError):
+            for _ in session.pairings():
+                raise RuntimeError("consumer failure")
+        gc.collect()
+        assert session.verdict() is not None
+        assert len(session.enumerate_pairings()) == 2
+
+    def test_close_before_first_next_is_harmless(self):
+        session = VerificationSession.from_program(racy_fanin(2), seed=0)
+        gen = session.pairings()
+        gen.close()  # never started: no scope was pushed, nothing to unwind
+        assert session.feasibility()
+        assert len(session.enumerate_pairings()) == 2
+
+    def test_second_enumeration_rejected_eagerly(self):
+        """The guard fires at the pairings() call itself, not at the first
+        next(), so misuse cannot hide inside an unconsumed generator."""
+        session = VerificationSession.from_program(racy_fanin(2), seed=0)
+        gen = session.pairings()
+        next(gen)
+        with pytest.raises(SolverError):
+            session.pairings()
+        gen.close()
+        assert len(session.enumerate_pairings()) == 2
+
+    def test_unknown_enumeration_unwinds_guard(self):
+        """IncompleteEnumerationError must leave the session usable with a
+        bigger budget, not stuck in the enumeration guard."""
+        session = VerificationSession.from_program(
+            racy_fanin(2), seed=0, max_solver_iterations=0
+        )
+        with pytest.raises(IncompleteEnumerationError):
+            session.enumerate_pairings()
+        session._max_iterations = 200_000  # simulate a budget bump
+        session._backend = None  # rebuild lazily with the new budget
+        assert len(session.enumerate_pairings()) == 2
+
     def test_pairings_limit(self):
         session = VerificationSession.from_program(racy_fanin(3), seed=0)
         assert len(session.enumerate_pairings(limit=2)) == 2

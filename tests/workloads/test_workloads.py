@@ -17,6 +17,7 @@ from repro.workloads import (
     nonblocking_fanin,
     pipeline,
     racy_fanin,
+    random_program,
     scatter_gather,
     token_ring,
 )
@@ -114,3 +115,82 @@ class TestGeneratorSemantics:
         run = run_program(racy_fanin(3, messages_per_sender=2), seed=0)
         payloads = [s.payload_value for s in run.trace.sends()]
         assert len(payloads) == len(set(payloads))
+
+
+class TestRandomProgram:
+    @staticmethod
+    def _shape(program):
+        return [(t.name, [str(s) for s in t.body]) for t in program.threads]
+
+    def test_deterministic_given_seed(self):
+        import random
+
+        first = random_program(random.Random(99))
+        second = random_program(random.Random(99))
+        assert self._shape(first) == self._shape(second)
+
+    def test_different_seeds_vary_topology(self):
+        import random
+
+        dumps = {
+            str(self._shape(random_program(random.Random(seed), name="r")))
+            for seed in range(12)
+        }
+        assert len(dumps) > 1
+
+    def test_never_deadlocks(self):
+        import random
+
+        rng = random.Random(1)
+        for index in range(40):
+            program = random_program(rng, name=f"dl{index}")
+            program.validate()
+            for seed in (0, 1):
+                run = run_program(program, seed=seed)
+                assert not run.deadlocked, program.name
+
+    def test_direct_payloads_globally_distinct(self):
+        import random
+
+        rng = random.Random(5)
+        for index in range(20):
+            program = random_program(rng, forward_probability=0.0)
+            run = run_program(program, seed=0)
+            payloads = [s.payload_value for s in run.trace.sends()]
+            assert len(payloads) == len(set(payloads))
+
+    def test_size_bounds_respected(self):
+        import random
+
+        rng = random.Random(3)
+        for index in range(30):
+            program = random_program(
+                rng, max_senders=2, max_receivers=2, max_messages=2
+            )
+            run = run_program(program, seed=0)
+            assert len(run.trace.sends()) <= 2 + 1  # direct + 1 forward
+            assert len(program.threads) <= 4
+
+    def test_rejects_bad_bounds(self):
+        import random
+
+        with pytest.raises(ProgramError):
+            random_program(random.Random(0), max_messages=0)
+
+    def test_draws_all_assertion_shapes(self):
+        """Over a modest sample the generator produces safe, racy and
+        impossible assertions as well as assertion-free programs."""
+        import random
+
+        rng = random.Random(11)
+        labels = set()
+        bare = 0
+        for index in range(60):
+            program = random_program(rng)
+            run = run_program(program, seed=0)
+            trace_labels = {a.label or "" for a in run.trace.assertions()}
+            if not trace_labels:
+                bare += 1
+            labels |= {label.rsplit("-", 1)[-1] for label in trace_labels}
+        assert {"first", "sum", "impossible"} <= labels
+        assert bare > 0
