@@ -45,7 +45,9 @@ from repro.verification.result import Verdict, VerificationResult
 from repro.verification.session import VerificationSession, verify_many
 from repro.verification.verifier import SymbolicVerifier
 from repro.encoding.encoder import EncoderOptions, MatchPairStrategy, TraceEncoder
+from repro.encoding.properties import DeadlockProperty, OrphanMessageProperty
 from repro.program.interpreter import run_program
+from repro.program.statictrace import static_trace
 from repro.smt.backend import (
     DpllTBackend,
     SmtLibProcessBackend,
@@ -71,7 +73,10 @@ __all__ = [
     "EncoderOptions",
     "MatchPairStrategy",
     "TraceEncoder",
+    "DeadlockProperty",
+    "OrphanMessageProperty",
     "run_program",
+    "static_trace",
     "SolverBackend",
     "DpllTBackend",
     "SmtLibProcessBackend",

@@ -120,6 +120,7 @@ class SleepSetExplorer:
         if world.all_done():
             result.complete_runs += 1
             result.matchings.add(world.matching())
+            result.orphan_messages.update(world.orphaned_sends())
             for label in world.assertion_failures():
                 result.assertion_failures.add(label)
             return

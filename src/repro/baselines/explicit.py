@@ -81,6 +81,11 @@ class ExplorationResult:
     complete_runs: int = 0
     truncated: bool = False
     transitions_explored: int = 0
+    #: Sends (canonical ``(thread, thread_index)`` keys) that went unreceived
+    #: in at least one *complete* run — the ground truth the symbolic
+    #: :class:`repro.encoding.properties.OrphanMessageProperty` is checked
+    #: against by the deadlock differential harness.
+    orphan_messages: Set[OperationKey] = field(default_factory=set)
 
     @property
     def found_violation(self) -> bool:
@@ -95,6 +100,7 @@ class ExplorationResult:
             "distinct_matchings": len(self.matchings),
             "assertion_failures": sorted(self.assertion_failures),
             "deadlocks": self.deadlocks,
+            "orphan_messages": sorted(self.orphan_messages),
             "transitions": self.transitions_explored,
             "truncated": self.truncated,
         }
@@ -176,6 +182,20 @@ class _World:
                 labels.append(failure.label or f"{failure.thread}@{failure.event_id}")
         return labels
 
+    def orphaned_sends(self) -> Set[OperationKey]:
+        """Canonical keys of sends no receive consumed in this run."""
+        trace = self.builder.trace
+        consumed = {
+            op.observed_send_id
+            for op in trace.receive_operations()
+            if op.observed_send_id is not None
+        }
+        return {
+            (event.thread, event.thread_index)
+            for event in trace.sends()
+            if event.send_id not in consumed
+        }
+
 
 class ExplicitStateExplorer:
     """Depth-first exhaustive exploration of scheduler choices."""
@@ -218,6 +238,7 @@ class ExplicitStateExplorer:
         if world.all_done():
             result.complete_runs += 1
             result.matchings.add(world.matching())
+            result.orphan_messages.update(world.orphaned_sends())
             for label in world.assertion_failures():
                 result.assertion_failures.add(label)
             return

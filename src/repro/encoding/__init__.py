@@ -13,8 +13,16 @@ from repro.encoding.order import (
     program_order_constraints,
 )
 from repro.encoding.events import assignment_constraints, branch_constraints, event_constraints
+from repro.encoding.partial import (
+    blocking_constraints,
+    consumed_term,
+    executed_guard,
+    partial_match_constraints,
+)
 from repro.encoding.properties import (
+    DeadlockProperty,
     MatchProperty,
+    OrphanMessageProperty,
     Property,
     ReceiveValueProperty,
     TermProperty,
@@ -29,6 +37,8 @@ from repro.encoding.variables import (
     match_var,
     recv_value_name,
     recv_value_var,
+    unmatched_name,
+    unmatched_var,
 )
 from repro.encoding.witness import Witness, decode_witness
 
@@ -45,12 +55,18 @@ __all__ = [
     "assignment_constraints",
     "branch_constraints",
     "event_constraints",
+    "DeadlockProperty",
     "MatchProperty",
+    "OrphanMessageProperty",
     "Property",
     "ReceiveValueProperty",
     "TermProperty",
     "TraceAssertionsProperty",
     "negated_properties",
+    "blocking_constraints",
+    "consumed_term",
+    "executed_guard",
+    "partial_match_constraints",
     "uniqueness_constraints",
     "uniqueness_constraints_pruned",
     "clock_name",
@@ -59,6 +75,8 @@ __all__ = [
     "match_var",
     "recv_value_name",
     "recv_value_var",
+    "unmatched_name",
+    "unmatched_var",
     "Witness",
     "decode_witness",
 ]

@@ -5,6 +5,12 @@ match pairs and a set of correctness properties, produce an SMT problem whose
 models are exactly the property-violating executions that follow the trace's
 branch outcomes — including executions in which messages from different
 threads to a common endpoint are reordered by transmission delays.
+
+With ``EncoderOptions(partial_matches=True)`` the ``PMatchPairs`` conjunct
+is replaced by the partial-match extension (``PMatchPartial ∧ PBlocking``,
+:mod:`repro.encoding.partial`), whose models additionally include the
+blocked-prefix executions needed to express deadlocks and orphaned
+messages.
 """
 
 from __future__ import annotations
@@ -20,9 +26,14 @@ from repro.encoding.order import (
     pair_fifo_constraints,
     program_order_constraints,
 )
+from repro.encoding.partial import (
+    _GuardIndex,
+    blocking_constraints,
+    partial_match_constraints,
+)
 from repro.encoding.properties import Property, TraceAssertionsProperty, negated_properties
 from repro.encoding.unique import uniqueness_constraints, uniqueness_constraints_pruned
-from repro.encoding.variables import clock_name, match_name
+from repro.encoding.variables import clock_name, match_name, unmatched_name
 from repro.matching.matchpairs import MatchPairs
 from repro.matching.overapprox import endpoint_match_pairs
 from repro.matching.precise import precise_match_pairs
@@ -61,6 +72,12 @@ class EncoderOptions:
         Add MCAPI's per-pair FIFO guarantee (extension beyond the paper).
     include_assignment_definitions:
         Emit defining equations for assignment events that carry symbols.
+    partial_matches:
+        Use the partial-match extension (:mod:`repro.encoding.partial`):
+        every receive gets an ``unmatched`` indicator, the models include
+        partial (blocked-prefix) executions, and deadlock / orphan-message
+        properties become expressible.  Off by default — the base encoding
+        is the paper's, and is what safety verdicts use.
     """
 
     match_strategy: MatchPairStrategy = MatchPairStrategy.ENDPOINT
@@ -68,6 +85,7 @@ class EncoderOptions:
     include_clock_bounds: bool = True
     enforce_pair_fifo: bool = False
     include_assignment_definitions: bool = True
+    partial_matches: bool = False
 
 
 @dataclass
@@ -82,6 +100,11 @@ class EncodedProblem:
     events: List[Term] = field(default_factory=list)
     negated_property: Optional[Term] = None
     extras: List[Term] = field(default_factory=list)
+    #: Blocking-semantics constraints (partial-match mode only).
+    blocking: List[Term] = field(default_factory=list)
+    #: True when the problem was built with the partial-match extension;
+    #: the witness decoder needs this to interpret sentinel match values.
+    partial_matches: bool = False
 
     # -- assembly ----------------------------------------------------------------
 
@@ -92,6 +115,7 @@ class EncodedProblem:
         out.extend(self.match)
         out.extend(self.unique)
         out.extend(self.events)
+        out.extend(self.blocking)
         out.extend(self.extras)
         if include_property and self.negated_property is not None:
             out.append(self.negated_property)
@@ -109,6 +133,7 @@ class EncodedProblem:
             "match_constraints": len(self.match),
             "unique_constraints": len(self.unique),
             "event_constraints": len(self.events),
+            "blocking_constraints": len(self.blocking),
             "extra_constraints": len(self.extras),
             "candidate_pairs": self.match_pairs.pair_count(),
             "events": len(self.trace),
@@ -124,14 +149,24 @@ class EncodedProblem:
             self.match_pairs.receive(r).value_symbol
             for r in self.match_pairs.receive_ids()
         ]
-        return {"clocks": clocks, "matches": matches, "values": values}
+        names = {"clocks": clocks, "matches": matches, "values": values}
+        if self.partial_matches:
+            names["unmatched"] = [
+                unmatched_name(r) for r in self.match_pairs.receive_ids()
+            ]
+        return names
 
     def to_smtlib(self, include_property: bool = True) -> str:
         """Render the problem as an SMT-LIB v2 script (the paper used Yices)."""
+        formula = (
+            "P = POrder & PMatchPartial & PUnique & PBlocking & ~PProp & PEvents"
+            if self.partial_matches
+            else "P = POrder & PMatchPairs & PUnique & ~PProp & PEvents"
+        )
         comments = [
             f"trace: {self.trace.name}",
             f"receives: {len(self.match_pairs)}  sends: {len(self.trace.sends())}",
-            "P = POrder & PMatchPairs & PUnique & ~PProp & PEvents",
+            formula,
         ]
         return to_smtlib(self.assertions(include_property=include_property), comments=comments)
 
@@ -172,12 +207,26 @@ class TraceEncoder:
             match_pairs.validate(trace)
         if properties is None:
             properties = [TraceAssertionsProperty()]
+        partial = self.options.partial_matches
+        for prop in properties:
+            if getattr(prop, "needs_partial_encoding", False) and not partial:
+                raise EncodingError(
+                    f"property {prop.name!r} needs the partial-match encoding; "
+                    "set EncoderOptions(partial_matches=True)"
+                )
 
-        problem = EncodedProblem(trace=trace, match_pairs=match_pairs)
+        problem = EncodedProblem(
+            trace=trace, match_pairs=match_pairs, partial_matches=partial
+        )
         problem.order = program_order_constraints(trace)
         if self.options.include_clock_bounds:
             problem.order.extend(clock_bounds(trace))
-        problem.match = match_pair_constraints(trace, match_pairs)
+        if partial:
+            index = _GuardIndex(trace)
+            problem.match = partial_match_constraints(trace, match_pairs, index=index)
+            problem.blocking = blocking_constraints(trace, match_pairs, index=index)
+        else:
+            problem.match = match_pair_constraints(trace, match_pairs)
         if self.options.prune_uniqueness:
             problem.unique = uniqueness_constraints_pruned(match_pairs)
         else:
@@ -188,5 +237,5 @@ class TraceEncoder:
             problem.events = branch_constraints(trace)
         if self.options.enforce_pair_fifo:
             problem.extras = pair_fifo_constraints(trace)
-        problem.negated_property = negated_properties(trace, properties)
+        problem.negated_property = negated_properties(trace, properties, partial=partial)
         return problem

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.encoding.variables import clock_var, match_var
-from repro.smt.terms import And, Eq, Implies, IntVal, Lt, Term
+from repro.smt.terms import And, Eq, FALSE, Implies, IntVal, Lt, Or, Term
 from repro.trace.trace import ExecutionTrace
 
 __all__ = ["program_order_constraints", "pair_fifo_constraints", "clock_bounds"]
@@ -51,13 +51,21 @@ def pair_fifo_constraints(trace: ExecutionTrace) -> List[Term]:
     """Optional MCAPI per-pair FIFO ordering (extension, not in the paper).
 
     If two sends ``s1 -> s2`` go from the same source endpoint to the same
-    destination endpoint in that program order, and two receives ``r1``,
-    ``r2`` match them respectively, then ``r1`` must complete before ``r2``.
+    destination endpoint in that program order, then a receive may match
+    ``s2`` only if some *other* receive matched ``s1`` and completed
+    earlier: the runtime queues same-pair messages in order, so the older
+    message is always taken first.
+
+    (This per-receive form subsumes the weaker "if ``r1`` matches ``s1``
+    and ``r2`` matches ``s2`` then ``r1`` completes first" pairing rule —
+    by ``PUnique`` the consumer of ``s1`` is unique — and unlike it stays
+    faithful when ``s1`` can go *unconsumed*: with fewer receives than
+    sends, or under the partial-match extension, matching the younger
+    same-pair send while the older one is still queued must be ruled out.)
     """
     constraints: List[Term] = []
     sends = trace.sends()
     receives = trace.receive_operations()
-    order_index = {event.event_id: i for i, event in enumerate(trace.events)}
 
     for s1 in sends:
         for s2 in sends:
@@ -68,19 +76,24 @@ def pair_fifo_constraints(trace: ExecutionTrace) -> List[Term]:
                 continue
             if s1.thread != s2.thread or s1.thread_index >= s2.thread_index:
                 continue
-            for r1 in receives:
-                for r2 in receives:
-                    if r1.recv_id == r2.recv_id:
-                        continue
-                    if r1.endpoint != s1.destination or r2.endpoint != s2.destination:
-                        continue
-                    matched = And(
+            for r2 in receives:
+                if r2.endpoint != s2.destination:
+                    continue
+                earlier_consumers = [
+                    And(
                         Eq(match_var(r1), IntVal(s1.send_id)),
+                        Lt(
+                            clock_var(r1.completion_event_id),
+                            clock_var(r2.completion_event_id),
+                        ),
+                    )
+                    for r1 in receives
+                    if r1.recv_id != r2.recv_id and r1.endpoint == s1.destination
+                ]
+                constraints.append(
+                    Implies(
                         Eq(match_var(r2), IntVal(s2.send_id)),
+                        Or(earlier_consumers) if earlier_consumers else FALSE,
                     )
-                    ordered = Lt(
-                        clock_var(r1.completion_event_id),
-                        clock_var(r2.completion_event_id),
-                    )
-                    constraints.append(Implies(matched, ordered))
+                )
     return constraints

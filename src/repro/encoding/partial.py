@@ -1,0 +1,250 @@
+"""``PMatchPartial``: the partial-match extension of the paper's encoding.
+
+The base encoding (Figure 2) asserts that *every* receive finds a matching
+send, which is exactly why it cannot express the one bug class the
+explicit-state explorers detect and the symbolic verifier historically could
+not: deadlocks and orphaned messages.  This module relaxes that assumption
+the way the paper's future-work section gestures at: every receive ``r``
+gets a Boolean *unmatched* indicator ``u_r`` and the models of the problem
+become the **partial** executions of the trace — per-thread prefixes cut at
+blocked communication operations — in addition to the complete ones.
+
+Three constraint families replace/extend ``PMatchPairs``:
+
+1. **Partial match disjunction** (one per receive): either ``u_r`` holds and
+   the match variable is pinned to a per-receive negative sentinel (so
+   ``PUnique`` keeps working verbatim), or ``¬u_r`` and one of the usual
+   ``match(r, s)`` disjuncts holds — now strengthened with *executed*
+   guards on both sides (a message can only flow between operations that
+   were actually reached).
+
+2. **Executed guards**: an event is executed iff every receive operation
+   whose *completion* precedes it in program order was matched.  (Sends in
+   this model never block; receives and waits are the only blocking points,
+   so the executed prefix of a thread is exactly "everything before its
+   first unmatched blocking point".)
+
+3. **Blocking semantics** (one per receive — the heart of the extension): a
+   *reached* receive may be unmatched only if it is genuinely blocked, i.e.
+   every candidate send that was executed has been consumed by some *other*
+   receive.  Without this family, models could declare arbitrary receives
+   "unmatched" and every trace would trivially "deadlock".
+
+A deadlock is then simply a satisfying assignment with some ``u_r`` true
+(:class:`repro.encoding.properties.DeadlockProperty`), and an orphaned
+message is an executed send no receive consumed
+(:class:`repro.encoding.properties.OrphanMessageProperty`).
+
+Scope note: for branch-free traces (the class on which one recorded trace
+covers all executions) the extension is exact — validated against the
+exhaustive and DPOR explorers by the deadlock differential harness.  For
+traces with branches the answer is relative to the recorded branch
+outcomes, and branch conditions over values of never-completed receives may
+over-constrain partial executions; see ``docs/paper-map.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.encoding.matchenc import match_predicate
+from repro.encoding.variables import (
+    match_var,
+    unmatched_sentinel,
+    unmatched_var,
+)
+from repro.matching.matchpairs import MatchPairs
+from repro.smt.terms import And, Eq, FALSE, Implies, IntVal, Not, Or, TRUE, Term
+from repro.trace.events import SendEvent, TraceEvent
+from repro.trace.trace import ExecutionTrace, ReceiveOperation
+
+__all__ = [
+    "blocking_predecessors",
+    "executed_guard",
+    "consumed_term",
+    "partial_match_constraints",
+    "blocking_constraints",
+]
+
+
+class _GuardIndex:
+    """Precomputed per-thread blocking structure of one trace.
+
+    The constraint builders query ``executed(event)`` once per candidate
+    pair; recomputing the receive-operation projection for every query is
+    quadratic in practice (the encoding-overhead benchmark gates this), so
+    the completion positions are indexed once per trace.
+    """
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        self.trace = trace
+        self.operations = trace.receive_operations()
+        #: thread -> [(completion thread_index, recv_id)], in program order.
+        self._completions: Dict[str, List[tuple]] = {}
+        for op in self.operations:
+            position = trace[op.completion_event_id].thread_index
+            self._completions.setdefault(op.thread, []).append((position, op.recv_id))
+        for positions in self._completions.values():
+            positions.sort()
+        self._memo: Dict[tuple, Term] = {}
+
+    def predecessors(self, event: TraceEvent) -> List[int]:
+        """recv_ids whose completion precedes ``event`` in its thread."""
+        return [
+            recv_id
+            for position, recv_id in self._completions.get(event.thread, [])
+            if position < event.thread_index
+        ]
+
+    def guard(self, event: TraceEvent | int) -> Term:
+        """``executed(event)``: no blocking predecessor is unmatched."""
+        if isinstance(event, int):
+            event = self.trace[event]
+        key = (event.thread, event.thread_index)
+        cached = self._memo.get(key)
+        if cached is None:
+            predecessors = self.predecessors(event)
+            cached = (
+                And([Not(unmatched_var(recv_id)) for recv_id in predecessors])
+                if predecessors
+                else TRUE
+            )
+            self._memo[key] = cached
+        return cached
+
+
+def blocking_predecessors(
+    trace: ExecutionTrace, event: TraceEvent | int
+) -> List[ReceiveOperation]:
+    """Receive operations whose completion precedes ``event`` in its thread.
+
+    These are the operations that can cut the thread's executed prefix
+    before ``event``: a blocking receive blocks at its (single) event, a
+    non-blocking receive blocks at its ``wait``.  Sends never block in the
+    modelled MCAPI semantics, so receives/waits are the only cut points.
+    """
+    if isinstance(event, int):
+        event = trace[event]
+    return [
+        op
+        for op in trace.receive_operations()
+        if op.thread == event.thread
+        and trace[op.completion_event_id].thread_index < event.thread_index
+    ]
+
+
+def executed_guard(trace: ExecutionTrace, event: TraceEvent | int) -> Term:
+    """``executed(event)``: no blocking predecessor of the event is unmatched."""
+    predecessors = blocking_predecessors(trace, event)
+    if not predecessors:
+        return TRUE
+    return And([Not(unmatched_var(op.recv_id)) for op in predecessors])
+
+
+def consumed_term(
+    trace: ExecutionTrace,
+    send: SendEvent,
+    exclude_recv: Optional[int] = None,
+) -> Term:
+    """``consumed(send)``: some receive's match variable names this send.
+
+    Only receives listening on the send's destination endpoint can consume
+    it, so the disjunction ranges over exactly those; ``exclude_recv``
+    drops one receive (used by the blocking constraints, which ask whether
+    a send was consumed by some *other* receive).
+    """
+    disjuncts = [
+        Eq(match_var(op.recv_id), IntVal(send.send_id))
+        for op in trace.receive_operations()
+        if op.endpoint == send.destination and op.recv_id != exclude_recv
+    ]
+    return Or(disjuncts) if disjuncts else FALSE
+
+
+def partial_match_constraints(
+    trace: ExecutionTrace,
+    match_pairs: MatchPairs,
+    index: Optional[_GuardIndex] = None,
+) -> List[Term]:
+    """The partial-match generalisation of Figure 2's per-receive disjunction.
+
+    For each receive ``r``::
+
+        (u_r ∧ match_r = sentinel(r))
+        ∨ (¬u_r ∧ ⋁_{s ∈ getSends(r)} match(r, s) ∧ executed(s) ∧ executed(issue_r))
+
+    With every ``u_r`` false this collapses to the base ``PMatchPairs``
+    (the executed guards become vacuous), so the partial problem's complete
+    executions are exactly the base problem's models.  Unlike the base
+    encoding, a receive with no candidate sends is *satisfiable* here — as
+    permanently unmatched, which is precisely the lost-message scenario.
+    """
+    index = index if index is not None else _GuardIndex(trace)
+    constraints: List[Term] = []
+    for recv_id in match_pairs.receive_ids():
+        recv = match_pairs.receive(recv_id)
+        issue_executed = index.guard(recv.issue_event_id)
+        disjuncts: List[Term] = []
+        for send_id in match_pairs.get_sends(recv_id):
+            send = match_pairs.send(send_id)
+            disjuncts.append(
+                And(
+                    Not(unmatched_var(recv_id)),
+                    match_predicate(recv, send),
+                    index.guard(send),
+                    issue_executed,
+                )
+            )
+        unmatched_case = And(
+            unmatched_var(recv_id),
+            Eq(match_var(recv_id), IntVal(unmatched_sentinel(recv_id))),
+        )
+        constraints.append(Or([unmatched_case] + disjuncts))
+    return constraints
+
+
+def blocking_constraints(
+    trace: ExecutionTrace,
+    match_pairs: MatchPairs,
+    index: Optional[_GuardIndex] = None,
+) -> List[Term]:
+    """A reached receive may be unmatched only if it is genuinely blocked.
+
+    For each receive ``r``::
+
+        (u_r ∧ executed(issue_r)) → ⋀_{s ∈ getSends(r)} (¬executed(s) ∨ consumed_by_other(s, r))
+
+    i.e. every candidate send that was actually executed must have been
+    consumed by a *different* receive — otherwise a message is sitting at
+    (or in flight towards) ``r``'s endpoint and the runtime would complete
+    ``r``.  Receives whose issue was never reached (their thread blocked
+    earlier) are exempt: they were never posted, so they consume nothing
+    and block nothing.
+    """
+    index = index if index is not None else _GuardIndex(trace)
+    by_endpoint: Dict[object, List[ReceiveOperation]] = {}
+    for op in index.operations:
+        by_endpoint.setdefault(op.endpoint, []).append(op)
+    constraints: List[Term] = []
+    for recv_id in match_pairs.receive_ids():
+        recv = match_pairs.receive(recv_id)
+        reached_unmatched = And(
+            unmatched_var(recv_id), index.guard(recv.issue_event_id)
+        )
+        blocked: List[Term] = []
+        for send_id in match_pairs.get_sends(recv_id):
+            send = match_pairs.send(send_id)
+            consumers = [
+                Eq(match_var(op.recv_id), IntVal(send.send_id))
+                for op in by_endpoint.get(send.destination, [])
+                if op.recv_id != recv_id
+            ]
+            blocked.append(
+                Or(
+                    [Not(index.guard(send))]
+                    + consumers
+                )
+            )
+        if blocked:
+            constraints.append(Implies(reached_unmatched, And(blocked)))
+    return constraints

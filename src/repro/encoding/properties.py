@@ -5,13 +5,16 @@ problem.  Following the paper, the encoder conjoins the negation of all
 properties (``¬PProp``) so that a satisfiable problem is a witness of a
 property violation.
 
-Three kinds of properties cover the paper's usage and the benchmarks:
+Five kinds of properties cover the paper's usage and the benchmarks:
 
 * :class:`TraceAssertionsProperty` — the assertions the program itself
   executed (the default definition of "a correct system");
 * :class:`ReceiveValueProperty` — a predicate over the value obtained by a
   specific receive operation (e.g. *recv(A) obtained Y*), which is how the
   Figure 4 behaviours are phrased as properties;
+* :class:`DeadlockProperty` / :class:`OrphanMessageProperty` — liveness-ish
+  properties over the partial-match extension: "every receive completes"
+  and "every executed send is consumed";
 * :class:`TermProperty` — an arbitrary SMT term over the encoding's
   variables, for advanced users.
 """
@@ -22,8 +25,9 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.encoding.variables import match_var, recv_value_var
-from repro.smt.terms import And, Eq, IntVal, Not, Or, Term, TRUE
+from repro.encoding.partial import consumed_term, executed_guard
+from repro.encoding.variables import match_var, recv_value_var, unmatched_var
+from repro.smt.terms import And, Eq, Implies, IntVal, Not, Or, Term, TRUE
 from repro.trace.trace import ExecutionTrace
 from repro.utils.errors import EncodingError
 
@@ -32,6 +36,8 @@ __all__ = [
     "TraceAssertionsProperty",
     "ReceiveValueProperty",
     "MatchProperty",
+    "DeadlockProperty",
+    "OrphanMessageProperty",
     "TermProperty",
     "negated_properties",
 ]
@@ -42,9 +48,31 @@ class Property(ABC):
 
     name: str = "property"
 
+    #: Properties over the unmatched indicators are only meaningful when the
+    #: encoder was configured with ``partial_matches=True``; the encoder
+    #: rejects the combination eagerly instead of producing a vacuous answer.
+    needs_partial_encoding: bool = False
+
+    #: Trace-global properties — fully determined by the trace's semantic
+    #: core, referencing no trace-local identifiers — set this to a fixed
+    #: tag so :mod:`repro.verification.cache` can share entries between
+    #: fingerprint-equal traces.  ``None`` (default) means the property is
+    #: rendered against the concrete trace and entries only ever hit on the
+    #: identical numbering.
+    cache_signature = None
+
     @abstractmethod
     def term(self, trace: ExecutionTrace) -> Term:
         """The property as an SMT term (must hold in every execution)."""
+
+    def partial_term(self, trace: ExecutionTrace) -> Term:
+        """The property under the partial-match encoding.
+
+        Defaults to :meth:`term`; properties whose meaning changes when
+        executions may be partial (e.g. orphan detection, which must not
+        flag never-executed sends) override this.
+        """
+        return self.term(trace)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -62,6 +90,20 @@ class TraceAssertionsProperty(Property):
             if event.condition is None:
                 raise EncodingError(f"assertion event {event.event_id} has no condition")
             conditions.append(event.condition)
+        return And(conditions) if conditions else TRUE
+
+    def partial_term(self, trace: ExecutionTrace) -> Term:
+        """Under partial executions only *executed* assertions are claimed.
+
+        An assertion downstream of a blocked receive never runs, and its
+        condition ranges over value symbols the model leaves unconstrained
+        — asserting it unguarded would manufacture spurious violations.
+        """
+        conditions: List[Term] = []
+        for event in trace.assertions():
+            if event.condition is None:
+                raise EncodingError(f"assertion event {event.event_id} has no condition")
+            conditions.append(Implies(executed_guard(trace, event), event.condition))
         return And(conditions) if conditions else TRUE
 
 
@@ -85,6 +127,11 @@ class ReceiveValueProperty(Property):
             raise EncodingError(f"trace has no receive with id {self.recv_id}")
         return self.predicate(recv_value_var(operations[self.recv_id]))
 
+    def partial_term(self, trace: ExecutionTrace) -> Term:
+        # Only claimed when the receive actually completes: an unmatched
+        # receive's value symbol is unconstrained noise.
+        return Implies(Not(unmatched_var(self.recv_id)), self.term(trace))
+
 
 @dataclass
 class MatchProperty(Property):
@@ -104,6 +151,69 @@ class MatchProperty(Property):
             raise EncodingError("MatchProperty needs at least one allowed send")
         return Or(options)
 
+    def partial_term(self, trace: ExecutionTrace) -> Term:
+        # The restriction applies only when the receive matches at all.
+        return Implies(Not(unmatched_var(self.recv_id)), self.term(trace))
+
+
+@dataclass
+class DeadlockProperty(Property):
+    """Deadlock freedom: every receive operation of the trace completes.
+
+    The property is the conjunction ``⋀_r ¬u_r`` over the partial-match
+    encoding's unmatched indicators, so its negation — what the encoder
+    asserts — is *some receive never completes*.  Together with the
+    blocking-semantics constraints of :mod:`repro.encoding.partial` a
+    satisfying model is a genuine partial execution in which at least one
+    thread is stuck forever: a deadlock (fan-in starvation, circular wait,
+    or a receive whose message is never sent).
+
+    Requires ``EncoderOptions(partial_matches=True)``; the encoder raises
+    :class:`~repro.utils.errors.EncodingError` otherwise, because under the
+    base encoding every receive is matched by construction and the property
+    would be vacuously true.
+    """
+
+    name: str = "deadlock-free"
+    needs_partial_encoding: bool = True
+    cache_signature = "deadlock-free"
+
+    def term(self, trace: ExecutionTrace) -> Term:
+        indicators = [
+            Not(unmatched_var(op.recv_id)) for op in trace.receive_operations()
+        ]
+        return And(indicators) if indicators else TRUE
+
+
+@dataclass
+class OrphanMessageProperty(Property):
+    """No orphaned messages: every (executed) send is consumed by a receive.
+
+    Under the base encoding — where every execution is complete — the
+    property is ``⋀_s consumed(s)``: some receive's match variable names
+    each send.  A send towards an endpoint nobody ever receives on yields
+    the constant ``false``: it is orphaned in every execution.
+
+    Under the partial-match encoding the property weakens per send to
+    ``executed(s) → consumed(s)``: a send that was never reached (its
+    thread blocked earlier) is not a lost message, merely an unexecuted
+    one.
+    """
+
+    name: str = "no-orphan-messages"
+    cache_signature = "no-orphan-messages"
+
+    def term(self, trace: ExecutionTrace) -> Term:
+        clauses = [consumed_term(trace, send) for send in trace.sends()]
+        return And(clauses) if clauses else TRUE
+
+    def partial_term(self, trace: ExecutionTrace) -> Term:
+        clauses = [
+            Implies(executed_guard(trace, send), consumed_term(trace, send))
+            for send in trace.sends()
+        ]
+        return And(clauses) if clauses else TRUE
+
 
 @dataclass
 class TermProperty(Property):
@@ -117,15 +227,21 @@ class TermProperty(Property):
 
 
 def negated_properties(
-    trace: ExecutionTrace, properties: Sequence[Property]
+    trace: ExecutionTrace, properties: Sequence[Property], partial: bool = False
 ) -> Optional[Term]:
     """``¬PProp``: the negated conjunction of all properties.
 
-    Returns ``None`` when there are no properties *with content* (an empty
-    property set would make the problem trivially unsatisfiable, which is not
-    what a caller asking "is this trace feasible at all?" wants).
+    With ``partial=True`` each property contributes its
+    :meth:`Property.partial_term` rendering (the partial-match encoding is
+    in effect).  Returns ``None`` when there are no properties *with
+    content* (an empty property set would make the problem trivially
+    unsatisfiable, which is not what a caller asking "is this trace
+    feasible at all?" wants).
     """
-    terms = [prop.term(trace) for prop in properties]
+    terms = [
+        prop.partial_term(trace) if partial else prop.term(trace)
+        for prop in properties
+    ]
     terms = [t for t in terms if not t.is_true]
     if not terms:
         return None

@@ -2,13 +2,15 @@
 
 Every trace event gets an integer *clock* variable; every receive operation
 gets an integer *match identifier* variable and (from the trace itself) a
-*value symbol*.  Keeping the naming in one place lets the witness decoder,
-the properties DSL and the tests all agree on how to find things in a model.
+*value symbol*.  The partial-match extension additionally gives every
+receive a Boolean *unmatched* indicator.  Keeping the naming in one place
+lets the witness decoder, the properties DSL and the tests all agree on how
+to find things in a model.
 """
 
 from __future__ import annotations
 
-from repro.smt.terms import IntVar, Term
+from repro.smt.terms import BoolVar, IntVar, Term
 from repro.trace.events import TraceEvent
 from repro.trace.trace import ReceiveOperation
 
@@ -19,6 +21,9 @@ __all__ = [
     "match_var",
     "recv_value_name",
     "recv_value_var",
+    "unmatched_name",
+    "unmatched_var",
+    "unmatched_sentinel",
 ]
 
 
@@ -54,3 +59,29 @@ def recv_value_var(recv: ReceiveOperation | int) -> Term:
     if isinstance(recv, int):
         return IntVar(recv_value_name(recv))
     return IntVar(recv.value_symbol)
+
+
+def unmatched_name(recv_id: int) -> str:
+    """Name of the Boolean unmatched indicator of receive ``recv_id``.
+
+    Only allocated by the partial-match encoding
+    (``EncoderOptions.partial_matches=True``); the base encoding has no such
+    variable because it assumes every receive completes.
+    """
+    return f"unmatched_{recv_id}"
+
+
+def unmatched_var(recv: ReceiveOperation | int) -> Term:
+    """The unmatched indicator of a receive operation (or raw id)."""
+    recv_id = recv if isinstance(recv, int) else recv.recv_id
+    return BoolVar(unmatched_name(recv_id))
+
+
+def unmatched_sentinel(recv_id: int) -> int:
+    """The match-variable value an unmatched receive is pinned to.
+
+    Sentinels are negative (send ids are non-negative) and distinct per
+    receive, so the ``PUnique`` pairwise disequalities remain valid verbatim
+    when several receives are unmatched in the same partial execution.
+    """
+    return -1 - recv_id

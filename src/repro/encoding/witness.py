@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.encoding.encoder import EncodedProblem
-from repro.encoding.variables import clock_name, match_name
+from repro.encoding.partial import blocking_predecessors
+from repro.encoding.variables import clock_name, match_name, unmatched_name
 from repro.smt.models import Model
 from repro.trace.events import SendEvent, TraceEvent
 from repro.trace.trace import ReceiveOperation
@@ -31,7 +32,8 @@ class Witness:
     ----------
     matching:
         ``recv_id -> send_id``: which send every receive obtained its message
-        from in the violating execution.
+        from in the violating execution.  Unmatched receives (partial-match
+        mode only) do not appear here.
     receive_values:
         ``recv_id -> int``: the value each receive obtained.
     event_order:
@@ -39,12 +41,20 @@ class Witness:
         that realises the violation.
     clocks:
         The raw clock assignment.
+    unmatched_receives:
+        Partial-match mode: the receives that never complete in the
+        witnessed execution (stuck or downstream of a stuck operation).
+    orphan_sends:
+        Partial-match mode: the executed sends no receive ever consumes.
+        (In base mode this is simply every send absent from ``matching``.)
     """
 
     matching: Dict[int, int] = field(default_factory=dict)
     receive_values: Dict[int, int] = field(default_factory=dict)
     event_order: List[int] = field(default_factory=list)
     clocks: Dict[int, int] = field(default_factory=dict)
+    unmatched_receives: List[int] = field(default_factory=list)
+    orphan_sends: List[int] = field(default_factory=list)
 
     def pairing_description(self, problem: EncodedProblem) -> Dict[str, str]:
         """A human-readable recv -> send description of the matching.
@@ -83,11 +93,49 @@ class Witness:
                 f"  recv#{recv_id} (thread {recv.thread}) <- send#{self.matching[recv_id]}"
                 f"  value={self.receive_values.get(recv_id)}"
             )
+        if problem.partial_matches:
+            lines.append(self.deadlock_description(problem))
+        elif self.orphan_sends:
+            # Base-mode slack, not a deadlock: just state the plain fact.
+            pairs = ", ".join(f"send#{send_id}" for send_id in sorted(self.orphan_sends))
+            lines.append(f"sends never received in this execution: {pairs}")
+        return "\n".join(lines)
+
+    def deadlock_description(self, problem: EncodedProblem) -> str:
+        """Name the stuck endpoints and unmatched sends of a partial witness."""
+        trace = problem.trace
+        receives = {op.recv_id: op for op in trace.receive_operations()}
+        sends = {event.send_id: event for event in trace.sends()}
+        lines = ["stuck endpoints:"]
+        if not self.unmatched_receives:
+            lines.append("  (none — every receive completes)")
+        for recv_id in sorted(self.unmatched_receives):
+            recv = receives[recv_id]
+            lines.append(
+                f"  recv#{recv_id} on {recv.endpoint} (thread {recv.thread}) "
+                "never completes"
+            )
+        lines.append("unmatched sends:")
+        if not self.orphan_sends:
+            lines.append("  (none — every executed send is consumed)")
+        for send_id in sorted(self.orphan_sends):
+            send = sends[send_id]
+            lines.append(
+                f"  send#{send_id} (thread {send.thread}, "
+                f"value {send.payload_value}) -> {send.destination} "
+                "is never received"
+            )
         return "\n".join(lines)
 
 
 def decode_witness(problem: EncodedProblem, model: Model) -> Witness:
-    """Extract matching, values and interleaving from a satisfying model."""
+    """Extract matching, values and interleaving from a satisfying model.
+
+    For partial-match problems the unmatched indicators are read alongside
+    the match variables: an unmatched receive contributes to
+    ``unmatched_receives`` instead of ``matching``, and the executed sends
+    nobody consumed are collected into ``orphan_sends``.
+    """
     witness = Witness()
 
     for event in problem.trace.events:
@@ -99,6 +147,9 @@ def decode_witness(problem: EncodedProblem, model: Model) -> Witness:
 
     for recv_id in problem.match_pairs.receive_ids():
         recv: ReceiveOperation = problem.match_pairs.receive(recv_id)
+        if problem.partial_matches and bool(model.value_of(unmatched_name(recv_id))):
+            witness.unmatched_receives.append(recv_id)
+            continue
         match_value = model.value_of(match_name(recv_id))
         if match_value is None:
             raise EncodingError(
@@ -114,10 +165,43 @@ def decode_witness(problem: EncodedProblem, model: Model) -> Witness:
         value = model.value_of(recv.value_symbol)
         witness.receive_values[recv_id] = int(value) if value is not None else 0
 
+    # Orphaned messages: executed sends no receive consumed.  In base mode
+    # every send is executed; in partial mode a send is executed iff no
+    # blocking predecessor in its thread is unmatched.
+    unmatched = set(witness.unmatched_receives)
+    consumed = set(witness.matching.values())
+    for send in problem.trace.sends():
+        executed = not problem.partial_matches or all(
+            op.recv_id not in unmatched
+            for op in blocking_predecessors(problem.trace, send)
+        )
+        if executed and send.send_id not in consumed:
+            witness.orphan_sends.append(send.send_id)
+
     # Stable interleaving: sort by clock, break ties by original event id so
-    # the order is deterministic.
+    # the order is deterministic.  In partial-match mode the interleaving
+    # contains only the *executed* prefix — events downstream of a blocked
+    # operation (and the completion points of unmatched receives themselves)
+    # never happen in the witnessed execution and must not be displayed or
+    # replayed as if they did.
+    unmatched_completions = {
+        op.completion_event_id
+        for op in problem.trace.receive_operations()
+        if op.recv_id in unmatched
+    }
+
+    def _executed(event) -> bool:
+        if not problem.partial_matches:
+            return True
+        if event.event_id in unmatched_completions:
+            return False
+        return all(
+            op.recv_id not in unmatched
+            for op in blocking_predecessors(problem.trace, event)
+        )
+
     witness.event_order = sorted(
-        (e.event_id for e in problem.trace.events),
+        (e.event_id for e in problem.trace.events if _executed(e)),
         key=lambda eid: (witness.clocks[eid], eid),
     )
     return witness

@@ -1,0 +1,190 @@
+"""Static symbolic traces for branch-free programs.
+
+The paper's pipeline starts from a *recorded* execution trace, and the
+recording run must complete — a blocked receive never emits its trace event,
+so a deadlocked recording yields a truncated trace that misses exactly the
+operations a deadlock analysis needs to reason about.  That makes the
+recorder useless for programs that deadlock on every schedule (circular
+waits, starved fan-ins): there is nothing complete to record.
+
+For **branch-free** programs the recording step is unnecessary: every
+execution performs the same per-thread statement sequence, so the full
+trace can be built statically by symbolic unrolling — each receive binds a
+fresh value symbol, assignments and send payloads are evaluated over the
+symbolic environment, and no scheduler or network is involved.  The result
+is indistinguishable from a complete recording up to identifier renaming:
+its :func:`repro.trace.fingerprint.trace_fingerprint` equals that of any
+complete recorded run of the same program (a property the test suite pins).
+
+Programs containing ``if``/``while`` are rejected: branch outcomes are
+execution-dependent, and the paper's analysis is path-constrained — a trace
+without recorded outcomes would not determine the encoded problem.
+
+This is the trace source behind deadlock-mode verification
+(:meth:`repro.verification.session.VerificationSession.deadlocks`) whenever
+the recording run blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mcapi.endpoint import EndpointId
+from repro.program.ast import (
+    Assertion,
+    Assign,
+    If,
+    Program,
+    Receive,
+    ReceiveNonblocking,
+    Send,
+    Skip,
+    Statement,
+    Wait,
+    While,
+)
+from repro.smt.terms import IntVar, Term
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import ProgramError
+
+__all__ = ["static_trace"]
+
+
+def _endpoint_map(program: Program) -> Dict[str, EndpointId]:
+    """The thread/extra-endpoint address layout, mirroring ProgramRunner."""
+    endpoints: Dict[str, EndpointId] = {}
+    for index, thread in enumerate(program.threads):
+        endpoints[thread.name] = EndpointId(node=index, port=0)
+    next_port: Dict[str, int] = {t.name: 1 for t in program.threads}
+    thread_index = {t.name: i for i, t in enumerate(program.threads)}
+    for endpoint_name, owner in program.extra_endpoints.items():
+        port = next_port[owner]
+        next_port[owner] += 1
+        endpoints[endpoint_name] = EndpointId(node=thread_index[owner], port=port)
+    return endpoints
+
+
+def _try_concrete(expression) -> Optional[int]:
+    """Evaluate an expression concretely when it involves no received value."""
+    try:
+        return int(expression.evaluate({}))
+    except Exception:
+        return None
+
+
+def static_trace(program: Program, name: Optional[str] = None) -> ExecutionTrace:
+    """Build the complete symbolic trace of a branch-free ``program``.
+
+    Threads are unrolled one after the other (the global interleaving of a
+    trace is irrelevant to the encoding — only per-thread program order
+    matters, which is what the fingerprint invariance formalises).  Raises
+    :class:`~repro.utils.errors.ProgramError` on ``if``/``while``
+    statements.
+    """
+    program.validate()
+    endpoints = _endpoint_map(program)
+    builder = TraceBuilder(name=name or f"{program.name}-static")
+
+    for thread in program.threads:
+        symbolic_env: Dict[str, Term] = {}
+        handles: Dict[str, int] = {}
+        handle_variables: Dict[str, str] = {}
+        own_endpoint = endpoints[thread.name]
+        for statement in thread.body:
+            _unroll(
+                statement,
+                thread.name,
+                own_endpoint,
+                endpoints,
+                symbolic_env,
+                handles,
+                handle_variables,
+                builder,
+            )
+    return builder.build(validate=True)
+
+
+def _unroll(
+    statement: Statement,
+    thread: str,
+    own_endpoint: EndpointId,
+    endpoints: Dict[str, EndpointId],
+    symbolic_env: Dict[str, Term],
+    handles: Dict[str, int],
+    handle_variables: Dict[str, str],
+    builder: TraceBuilder,
+) -> None:
+    if isinstance(statement, Assign):
+        symbolic = statement.expression.to_smt(symbolic_env)
+        symbolic_env[statement.variable] = symbolic
+        builder.assign(
+            thread,
+            statement.variable,
+            symbolic,
+            observed_value=_try_concrete(statement.expression),
+        )
+    elif isinstance(statement, Send):
+        if statement.destination not in endpoints:
+            raise ProgramError(f"unknown endpoint {statement.destination!r}")
+        builder.send(
+            thread=thread,
+            source=own_endpoint,
+            destination=endpoints[statement.destination],
+            payload_value=_try_concrete(statement.expression),
+            payload_expr=statement.expression.to_smt(symbolic_env),
+            blocking=statement.blocking,
+        )
+    elif isinstance(statement, Receive):
+        endpoint = (
+            endpoints[statement.endpoint]
+            if statement.endpoint is not None
+            else own_endpoint
+        )
+        event = builder.receive(
+            thread=thread, endpoint=endpoint, target_variable=statement.variable
+        )
+        symbolic_env[statement.variable] = IntVar(event.value_symbol)
+    elif isinstance(statement, ReceiveNonblocking):
+        endpoint = (
+            endpoints[statement.endpoint]
+            if statement.endpoint is not None
+            else own_endpoint
+        )
+        event = builder.receive_init(
+            thread=thread, endpoint=endpoint, target_variable=statement.variable
+        )
+        if statement.handle in handles:
+            raise ProgramError(
+                f"handle {statement.handle!r} reused before wait in {thread!r}"
+            )
+        handles[statement.handle] = event.recv_id
+        handle_variables[statement.handle] = statement.variable
+    elif isinstance(statement, Wait):
+        recv_id = handles.pop(statement.handle, None)
+        if recv_id is None:
+            raise ProgramError(
+                f"thread {thread!r} waits on unknown handle {statement.handle!r}"
+            )
+        builder.wait(thread=thread, recv_id=recv_id)
+        variable = handle_variables.pop(statement.handle)
+        symbolic_env[variable] = IntVar(builder.fresh_recv_symbol(recv_id))
+    elif isinstance(statement, Assertion):
+        # The observed outcome is a recording artefact (excluded from the
+        # fingerprint and the encoding); record the optimistic value.
+        builder.assertion(
+            thread,
+            statement.condition.to_smt(symbolic_env),
+            observed_outcome=True,
+            label=statement.label,
+        )
+    elif isinstance(statement, Skip):
+        builder.local(thread, statement.note or "skip")
+    elif isinstance(statement, (If, While)):
+        raise ProgramError(
+            "static_trace needs a branch-free program: branch outcomes are "
+            f"execution-dependent (thread {thread!r} contains "
+            f"{type(statement).__name__})"
+        )
+    else:  # pragma: no cover - defensive
+        raise ProgramError(f"unknown statement {statement!r}")

@@ -67,3 +67,12 @@ class PropertyError(ReproError):
 
 class MatchPairError(ReproError):
     """Raised when match-pair generation fails or is given a bad trace."""
+
+
+class CacheSchemaError(ReproError):
+    """Raised when an on-disk result store uses an incompatible key layout.
+
+    The cache refuses such a store outright (rather than silently serving
+    stale or mis-keyed answers, or crashing mid-lookup): the fix is to
+    point the cache at a fresh directory or delete the old one.
+    """

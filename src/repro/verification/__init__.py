@@ -10,10 +10,26 @@ sharding, fingerprint dedup, portfolio racing) with answers memoised in a
 """
 
 from repro.verification.result import Verdict, VerificationResult
-from repro.verification.session import VerificationSession, verify_many
+from repro.verification.session import (
+    VERIFICATION_MODES,
+    VerificationSession,
+    resolve_mode,
+    verify_many,
+)
 from repro.verification.verifier import SymbolicVerifier
-from repro.verification.replay import ReplayOutcome, replay_witness, witness_schedule
-from repro.verification.cache import CacheKey, ResultCache, make_cache_key
+from repro.verification.replay import (
+    ReplayOutcome,
+    deadlock_witness_schedule,
+    replay_deadlock_witness,
+    replay_witness,
+    witness_schedule,
+)
+from repro.verification.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheKey,
+    ResultCache,
+    make_cache_key,
+)
 from repro.verification.parallel import (
     ParallelVerifier,
     default_portfolio,
@@ -21,11 +37,14 @@ from repro.verification.parallel import (
 )
 
 __all__ = [
+    "VERIFICATION_MODES",
     "VerificationSession",
+    "resolve_mode",
     "verify_many",
     "verify_many_parallel",
     "ParallelVerifier",
     "default_portfolio",
+    "CACHE_SCHEMA_VERSION",
     "ResultCache",
     "CacheKey",
     "make_cache_key",
@@ -33,6 +52,8 @@ __all__ = [
     "Verdict",
     "VerificationResult",
     "ReplayOutcome",
+    "deadlock_witness_schedule",
+    "replay_deadlock_witness",
     "replay_witness",
     "witness_schedule",
 ]

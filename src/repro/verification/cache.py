@@ -4,8 +4,8 @@ Batch traffic is full of repeats: the same workload recorded under different
 seeds, the same trace verified twice, a nightly batch re-running yesterday's
 corpus.  Because :func:`repro.trace.fingerprint.trace_fingerprint` is
 invariant under global interleaving, all of those collapse onto one cache
-key — ``(fingerprint, property-set, encoder options, backend)`` — and a
-:class:`ResultCache` answers them without touching a solver.
+key — ``(fingerprint, property-set, encoder options, backend, mode)`` — and
+a :class:`ResultCache` answers them without touching a solver.
 
 Two storage layers compose:
 
@@ -25,9 +25,18 @@ send/recv identifiers via the canonical ``(thread, thread_index)`` naming.
 
 **Invalidation.** Keys embed everything that can change an answer: the
 trace's semantic content (fingerprint), the property set, the encoder
-options and the backend family.  There is nothing to invalidate manually —
-a different question is a different key.  Deleting the cache directory (or
-:meth:`ResultCache.clear`) simply forces re-solving.
+options, the backend family and the verification mode (safety answers must
+never collide with deadlock or orphan answers for the same trace).  There
+is nothing to invalidate manually — a different question is a different
+key.  Deleting the cache directory (or :meth:`ResultCache.clear`) simply
+forces re-solving.
+
+**Schema.** The key layout is versioned (:data:`CACHE_SCHEMA_VERSION`).  A
+disk-backed cache stamps its directory with a ``_schema.json`` marker on
+first use and *refuses* — with :class:`~repro.utils.errors.CacheSchemaError`
+at construction, never a crash mid-lookup — to open a store written under a
+different layout; individual entry files also carry the version and
+mismatches load as misses.
 """
 
 from __future__ import annotations
@@ -45,9 +54,15 @@ from repro.encoding.properties import Property
 from repro.encoding.witness import Witness
 from repro.trace.fingerprint import trace_fingerprint
 from repro.trace.trace import ExecutionTrace
+from repro.utils.errors import CacheSchemaError
 from repro.verification.result import Verdict, VerificationResult
 
-__all__ = ["CacheKey", "ResultCache", "make_cache_key"]
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheKey", "ResultCache", "make_cache_key"]
+
+#: Version of the cache key layout + entry format.  Bump whenever the key
+#: composition changes (as the deadlock mode did when it joined the key):
+#: stores written under another version are refused, not misread.
+CACHE_SCHEMA_VERSION = 2
 
 #: Canonical (thread, thread_index) naming of one operation.
 _OpKey = Tuple[str, int]
@@ -61,11 +76,12 @@ class CacheKey:
     properties: str
     options: str
     backend: str
+    mode: str = "safety"
 
     def digest(self) -> str:
         """A filesystem-safe digest naming this key on disk."""
         joined = "\x1f".join(
-            (self.fingerprint, self.properties, self.options, self.backend)
+            (self.fingerprint, self.properties, self.options, self.backend, self.mode)
         )
         return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
@@ -85,18 +101,28 @@ def _properties_signature(
 ) -> str:
     """Identify the property set.
 
-    The default (``None`` — the trace's own assertions) is fully captured by
-    the fingerprint itself, so it gets a fixed tag.  Explicit properties are
-    rendered against *this* trace's identifiers: that is deliberately
-    conservative — properties referencing trace-local recv/send ids are not
-    portable between traces, even fingerprint-equal ones, so such entries
-    only ever hit on the identical numbering.
+    The default (``None`` — the trace's own assertions) is fully captured
+    by the fingerprint itself, so it gets a fixed tag, and *trace-global*
+    properties (``Property.cache_signature`` set — deadlock freedom, orphan
+    freedom) likewise contribute fixed tags so fingerprint-equal traces
+    recorded under different interleavings share their entries.  All other
+    explicit properties are rendered against *this* trace's identifiers:
+    that is deliberately conservative — properties referencing trace-local
+    recv/send ids are not portable between traces, even fingerprint-equal
+    ones, so such entries only ever hit on the identical numbering.
     """
     if properties is None:
         return "trace-assertions"
-    rendered = sorted(
-        f"{type(prop).__name__}:{prop.term(trace)}" for prop in properties
-    )
+    tagged: List[str] = []
+    rendered: List[str] = []
+    for prop in properties:
+        tag = getattr(prop, "cache_signature", None)
+        if tag is not None:
+            tagged.append(f"{type(prop).__name__}:{tag}")
+        else:
+            rendered.append(f"{type(prop).__name__}:{prop.term(trace)}")
+    if not rendered:
+        return "|".join(sorted(tagged))
     # Two fingerprint-equal traces can bind the same recv/send id to
     # *different* logical operations (ids are assigned in interleaving
     # order), so a term like "recv_val_1 == 1" renders identically while
@@ -110,7 +136,9 @@ def _properties_signature(
         f"s{event.send_id}@{event.thread}:{event.thread_index}"
         for event in trace.sends()
     )
-    payload = "\n".join(rendered) + "\x1f" + ";".join(bindings)
+    payload = (
+        "\n".join(sorted(tagged) + sorted(rendered)) + "\x1f" + ";".join(bindings)
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -119,13 +147,22 @@ def make_cache_key(
     properties: Optional[Sequence[Property]] = None,
     options: Optional[EncoderOptions] = None,
     backend: str = "dpllt",
+    mode: str = "safety",
 ) -> CacheKey:
-    """Build the cache key for one verification question."""
+    """Build the cache key for one verification question.
+
+    ``mode`` is carried explicitly even though a mode also reshapes
+    ``properties``/``options`` (see
+    :func:`repro.verification.session.resolve_mode`): belt-and-braces
+    against any future property whose rendering coincides across modes —
+    safety-mode and deadlock-mode answers must never share an entry.
+    """
     return CacheKey(
         fingerprint=trace_fingerprint(trace),
         properties=_properties_signature(trace, properties),
         options=_options_signature(options),
         backend=backend,
+        mode=mode,
     )
 
 
@@ -159,7 +196,16 @@ def _encode_witness(trace: ExecutionTrace, witness: Witness) -> Dict[str, object
         for recv_id, value in sorted(witness.receive_values.items())
         if recv_id in recv_keys
     ]
-    return {"matching": matching, "receive_values": values}
+    unmatched = [
+        list(recv_keys[recv_id]) for recv_id in sorted(witness.unmatched_receives)
+    ]
+    orphans = [list(send_keys[send_id]) for send_id in sorted(witness.orphan_sends)]
+    return {
+        "matching": matching,
+        "receive_values": values,
+        "unmatched_receives": unmatched,
+        "orphan_sends": orphans,
+    }
 
 
 def _decode_witness(trace: ExecutionTrace, payload: Dict[str, object]) -> Witness:
@@ -174,7 +220,16 @@ def _decode_witness(trace: ExecutionTrace, payload: Dict[str, object]) -> Witnes
         recv_by_key[tuple(recv)]: value
         for recv, value in payload.get("receive_values", [])
     }
-    return Witness(matching=matching, receive_values=values)
+    unmatched = [
+        recv_by_key[tuple(recv)] for recv in payload.get("unmatched_receives", [])
+    ]
+    orphans = [send_by_key[tuple(send)] for send in payload.get("orphan_sends", [])]
+    return Witness(
+        matching=matching,
+        receive_values=values,
+        unmatched_receives=unmatched,
+        orphan_sends=orphans,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +251,46 @@ class ResultCache:
         self.stores = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+            self._check_store_schema()
+
+    # -- schema ------------------------------------------------------------------
+
+    def _schema_marker_path(self) -> str:
+        return os.path.join(self.directory, "_schema.json")
+
+    def _check_store_schema(self) -> None:
+        """Stamp a fresh store / refuse one written under another layout."""
+        path = self._schema_marker_path()
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    recorded = json.load(handle).get("schema")
+            except (OSError, ValueError):
+                recorded = None
+            if recorded != CACHE_SCHEMA_VERSION:
+                raise CacheSchemaError(
+                    f"result store {self.directory!r} was written with cache "
+                    f"schema {recorded!r}, but this build uses schema "
+                    f"{CACHE_SCHEMA_VERSION} (the key layout changed); point "
+                    "the cache at a fresh directory or delete the old store"
+                )
+            return
+        marker = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key_fields": [f.name for f in fields(CacheKey)],
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                json.dump(marker, handle)
+            os.replace(handle.name, path)
+        except OSError:  # pragma: no cover - marker write is best effort
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -225,9 +320,14 @@ class ResultCache:
             return None
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                entry = json.load(handle)
         except (OSError, ValueError):
             return None  # a torn/corrupt file is a miss, never an error
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            # An entry copied in from an older store (pre-marker caches had
+            # no version stamp at all): never misread it, treat as a miss.
+            return None
+        return entry
 
     def _write_to_disk(self, key: CacheKey, entry: Dict[str, object]) -> None:
         path = self._disk_path(key)
@@ -295,6 +395,7 @@ class ResultCache:
         if result.trace is None:
             return False
         entry: Dict[str, object] = {
+            "schema": CACHE_SCHEMA_VERSION,
             "verdict": result.verdict.value,
             "backend": result.backend,
             "solve_seconds": result.solve_seconds,

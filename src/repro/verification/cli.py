@@ -8,6 +8,13 @@ verdict together with a counterexample (when one exists)::
     mcapi-verify --workload racy_fanin --senders 3 --seed 2 --show-smt
     mcapi-verify --list-workloads
     mcapi-verify --workload figure1 --backend smtlib   # external solver
+    mcapi-verify --workload circular_wait --check-deadlock
+
+``--check-deadlock`` switches the question from the safety properties to
+symbolic deadlock detection (the partial-match encoding): exit code 1 then
+means *a reachable deadlock exists*, and the counterexample names the stuck
+endpoints and unmatched sends.  Workloads that deadlock during the
+recording run are analysed via their static symbolic trace.
 
 Batch mode — ``--repeat`` records the workload several times (consecutive
 seeds) and verifies the whole batch through
@@ -35,15 +42,17 @@ from repro.program.ast import Program
 from repro.smt.backend import available_backends
 from repro.utils.errors import BackendUnavailableError, SolverError
 from repro.verification.result import Verdict
-from repro.verification.session import VerificationSession
+from repro.verification.session import VerificationSession, resolve_mode
 from repro.workloads import (
     branching_consumer,
+    circular_wait,
     client_server,
     figure1_program,
     nonblocking_fanin,
     pipeline,
     racy_fanin,
     scatter_gather,
+    starved_fanin,
     token_ring,
 )
 
@@ -114,6 +123,16 @@ def _client_server(args: argparse.Namespace) -> Program:
 @register_workload("branching_consumer", "consumer branching on received values")
 def _branching_consumer(args: argparse.Namespace) -> Program:
     return branching_consumer()
+
+
+@register_workload("circular_wait", "a receive-before-send ring (deadlocks)")
+def _circular_wait(args: argparse.Namespace) -> Program:
+    return circular_wait(max(args.senders, 2))
+
+
+@register_workload("starved_fanin", "fan-in expecting one message too many")
+def _starved_fanin(args: argparse.Namespace) -> Program:
+    return starved_fanin(args.senders, extra_receives=1)
 
 
 def _list_workloads() -> str:
@@ -197,12 +216,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="memoise verdicts on disk, keyed by trace fingerprint",
     )
+    parser.add_argument(
+        "--check-deadlock",
+        action="store_true",
+        help="check for reachable deadlocks (partial-match encoding) "
+        "instead of the safety properties",
+    )
     return parser
 
 
-def _run_batch(args: argparse.Namespace, program: Program, options) -> int:
+def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -> int:
     """Verify a ``--repeat``/``--jobs``/``--portfolio``/``--cache-dir`` batch."""
     from repro.program.interpreter import run_program
+    from repro.program.statictrace import static_trace
     from repro.verification.parallel import verify_many_parallel
 
     for flag in ("show_trace", "show_smt"):
@@ -211,10 +237,20 @@ def _run_batch(args: argparse.Namespace, program: Program, options) -> int:
                 f"warning: --{flag.replace('_', '-')} is ignored in batch mode",
                 file=sys.stderr,
             )
-    traces = [
-        run_program(program, seed=args.seed + offset).trace
-        for offset in range(max(args.repeat, 1))
-    ]
+    traces = []
+    for offset in range(max(args.repeat, 1)):
+        run = run_program(program, seed=args.seed + offset)
+        if run.deadlocked:
+            if mode != "deadlock":
+                print(
+                    f"recording run (seed {args.seed + offset}) deadlocked; "
+                    "rerun with --check-deadlock to analyse it",
+                    file=sys.stderr,
+                )
+                return 2
+            traces.append(static_trace(program))
+        else:
+            traces.append(run.trace)
     results = verify_many_parallel(
         traces,
         jobs=max(args.jobs, 1),
@@ -222,6 +258,7 @@ def _run_batch(args: argparse.Namespace, program: Program, options) -> int:
         options=options,
         portfolio=args.portfolio,
         cache_dir=args.cache_dir,
+        mode=mode,
     )
     for index, result in enumerate(results):
         origin = "cache" if result.from_cache else (result.backend or "?")
@@ -252,6 +289,7 @@ def main(argv: Optional[list] = None) -> int:
         ),
         enforce_pair_fifo=args.pair_fifo,
     )
+    mode = "deadlock" if args.check_deadlock else "safety"
     try:
         if (
             args.repeat > 1
@@ -259,9 +297,17 @@ def main(argv: Optional[list] = None) -> int:
             or args.portfolio
             or args.cache_dir is not None
         ):
-            return _run_batch(args, program, options)
+            return _run_batch(args, program, options, mode)
+        # Resolve the mode up front so the session is built in the right
+        # configuration directly (one encoding), exactly like the batch lane.
+        resolved_options, properties = resolve_mode(mode, options, None)
         session = VerificationSession.from_program(
-            program, seed=args.seed, options=options, backend=args.backend
+            program,
+            seed=args.seed,
+            options=resolved_options,
+            properties=properties,
+            backend=args.backend,
+            on_deadlock="static" if mode == "deadlock" else "raise",
         )
         result = session.verdict()
     except BackendUnavailableError as exc:

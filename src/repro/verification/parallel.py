@@ -25,8 +25,23 @@ session machinery:
   wins.  Backends that are unavailable on the host are skipped silently,
   so a portfolio degrades gracefully to whatever is installed.
 
-Results always come back in input order, and every duplicate- or
-cache-answered item is marked ``from_cache=True``.
+**Invariants.**
+
+* Results come back in **input order**, one per item, whatever mix of
+  solving, dedup and cache hits produced them; every duplicate- or
+  cache-answered item is marked ``from_cache=True``.
+* **No solver state crosses a process boundary** — workers receive only
+  picklable specs and traces, so a parallel run can never observe another
+  item's learned clauses, scopes or assumptions.
+* Two items share an answer **only if their full question key matches**:
+  fingerprint × properties × encoder options × backend × verification
+  mode.  Witnesses shared that way are re-expressed in each item's own
+  trace identifiers via the canonical ``(thread, thread_index)`` naming —
+  never copied verbatim.
+* ``UNKNOWN`` never propagates: it is not cached, not deduplicated across
+  batches, and in portfolio mode only wins when *every* contender is
+  inconclusive — so a budget artefact on one path cannot mask a
+  conclusive answer from another.
 """
 
 from __future__ import annotations
@@ -42,6 +57,7 @@ from repro.encoding.encoder import EncoderOptions
 from repro.encoding.properties import Property
 from repro.program.ast import Program
 from repro.program.interpreter import ProgramRun, run_program
+from repro.program.statictrace import static_trace
 from repro.smt.backend import BackendSpec
 from repro.trace.trace import ExecutionTrace
 from repro.utils.errors import (
@@ -57,7 +73,11 @@ from repro.verification.cache import (
     make_cache_key,
 )
 from repro.verification.result import Verdict, VerificationResult
-from repro.verification.session import VerificationSession, _recording_run
+from repro.verification.session import (
+    VerificationSession,
+    _recording_run,
+    resolve_mode,
+)
 
 __all__ = ["ParallelVerifier", "verify_many_parallel", "default_portfolio"]
 
@@ -206,6 +226,14 @@ class ParallelVerifier:
     cache_dir:
         Convenience: a directory for a disk-backed :class:`ResultCache`
         (ignored when ``cache`` is an explicit instance).
+    mode:
+        The question asked of every trace: ``"safety"`` (default),
+        ``"deadlock"`` or ``"orphan"`` — resolved into encoder options and
+        a property set up front (see
+        :func:`repro.verification.session.resolve_mode`), and embedded in
+        the cache key so answers from different modes never collide.  In
+        deadlock mode, programs whose recording run blocks are normalised
+        via their static symbolic trace.
     """
 
     def __init__(
@@ -220,10 +248,13 @@ class ParallelVerifier:
         cache_dir: Optional[str] = None,
         seed: int = 0,
         max_solver_iterations: int = 200_000,
+        mode: str = "safety",
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else jobs
         if self.jobs < 1:
             raise SolverError(f"jobs must be >= 1, got {self.jobs}")
+        self.mode = mode
+        options, properties = resolve_mode(mode, options, properties)
         self.options = options
         self.properties = properties
         self.portfolio = portfolio
@@ -264,6 +295,7 @@ class ParallelVerifier:
             properties=self.properties,
             options=self.options,
             backend=self.backend_key,
+            mode=self.mode,
         )
 
     # ------------------------------------------------------------------ batch
@@ -274,6 +306,15 @@ class ParallelVerifier:
         normalised: List[Tuple[ExecutionTrace, Optional[ProgramRun]]] = []
         for item in items:
             if isinstance(item, Program):
+                if self.mode == "deadlock":
+                    run = run_program(item, seed=self.seed)
+                    if run.deadlocked:
+                        # No complete recording exists; the static symbolic
+                        # trace covers branch-free programs exactly.
+                        normalised.append((static_trace(item), None))
+                    else:
+                        normalised.append((run.trace, run))
+                    continue
                 run = _recording_run(item, self.seed, None, None)
                 normalised.append((run.trace, run))
             elif isinstance(item, ExecutionTrace):

@@ -38,7 +38,13 @@ from repro.trace.events import (
 )
 from repro.utils.errors import EncodingError
 
-__all__ = ["ReplayOutcome", "witness_schedule", "replay_witness"]
+__all__ = [
+    "ReplayOutcome",
+    "witness_schedule",
+    "replay_witness",
+    "deadlock_witness_schedule",
+    "replay_deadlock_witness",
+]
 
 
 @dataclass
@@ -110,6 +116,96 @@ def witness_schedule(problem: EncodedProblem, witness: Witness) -> List[Action]:
         else:
             actions.append(Action(kind="run", task_name=event.thread))
     return actions
+
+
+def deadlock_witness_schedule(
+    problem: EncodedProblem, witness: Witness
+) -> List[Action]:
+    """Convert a deadlock witness (partial execution) into an action script.
+
+    Only the *executed* prefix of each thread is scheduled: a thread stops
+    just before the completion point of its first unmatched receive.
+    Matched messages are delivered immediately before their receives (as in
+    :func:`witness_schedule`); executed sends nobody consumed are delivered
+    at the end, so that when the script runs out the network is drained and
+    the only possible scheduler outcome is the claimed deadlock.
+    """
+    trace = problem.trace
+    if any(not op.blocking for op in trace.receive_operations()):
+        raise EncodingError(
+            "witness replay supports blocking receives only (see DESIGN.md)"
+        )
+    unmatched = set(witness.unmatched_receives)
+    if not unmatched:
+        raise EncodingError("not a deadlock witness: every receive is matched")
+
+    # Per-thread cutoff: the first unmatched receive's completion position.
+    cutoff: Dict[str, int] = {}
+    for op in trace.receive_operations():
+        if op.recv_id in unmatched:
+            position = trace[op.completion_event_id].thread_index
+            cutoff[op.thread] = min(cutoff.get(op.thread, position), position)
+
+    def executed(event) -> bool:
+        return event.thread_index < cutoff.get(event.thread, float("inf"))
+
+    # Replay message ids are assigned in submission order, i.e. the order
+    # executed send events appear in the witness interleaving.
+    send_message_ids: Dict[int, int] = {}
+    next_message_id = 0
+    for event_id in witness.event_order:
+        event = trace[event_id]
+        if isinstance(event, SendEvent) and executed(event):
+            send_message_ids[event.send_id] = next_message_id
+            next_message_id += 1
+
+    actions: List[Action] = []
+    for event_id in witness.event_order:
+        event = trace[event_id]
+        if not executed(event):
+            continue
+        if isinstance(event, ReceiveEvent):
+            matched_send = witness.matching.get(event.recv_id)
+            if matched_send is None:
+                raise EncodingError(
+                    f"witness has no match for executed receive {event.recv_id}"
+                )
+            if matched_send not in send_message_ids:
+                raise EncodingError(
+                    f"send {matched_send} matched by receive {event.recv_id} "
+                    "is not executed in the witness"
+                )
+            actions.append(
+                Action(kind="deliver", message_id=send_message_ids[matched_send])
+            )
+        actions.append(Action(kind="run", task_name=event.thread))
+
+    # Drain the network: deliver every executed-but-unconsumed message so
+    # the post-script state has no enabled actions left.
+    consumed = set(witness.matching.values())
+    for send_id in sorted(
+        send_id for send_id in send_message_ids if send_id not in consumed
+    ):
+        actions.append(Action(kind="deliver", message_id=send_message_ids[send_id]))
+    return actions
+
+
+def replay_deadlock_witness(
+    program: Program, problem: EncodedProblem, witness: Witness
+) -> ProgramRun:
+    """Re-execute ``program`` along a deadlock witness; the run must block.
+
+    Returns the replayed :class:`ProgramRun`; callers assert
+    ``run.deadlocked`` (the differential harness does) — if the run
+    completes instead, the witness was an encoding artefact.
+    """
+    schedule = deadlock_witness_schedule(problem, witness)
+    runner = ProgramRunner(
+        program,
+        strategy=ReplayStrategy(schedule),
+        trace_name=f"{problem.trace.name}-deadlock-replay",
+    )
+    return runner.run()
 
 
 def replay_witness(

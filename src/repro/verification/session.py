@@ -3,7 +3,8 @@
 The paper's headline observation is that *one* SMT encoding of a recorded
 trace answers many different questions — is a property violated, is the
 model feasible at all, can a particular send/receive pairing happen, what is
-the full set of admissible matchings.  :class:`VerificationSession` turns
+the full set of admissible matchings, can the program deadlock or lose a
+message.  :class:`VerificationSession` turns
 that observation into the API: the problem ``P = POrder ∧ PMatchPairs ∧
 PUnique ∧ PEvents`` is encoded exactly once and loaded into one incremental
 :class:`~repro.smt.backend.SolverBackend`; every query after that is an
@@ -35,16 +36,22 @@ shim over sessions.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.encoding.encoder import EncodedProblem, EncoderOptions, TraceEncoder
-from repro.encoding.properties import Property
+from repro.encoding.properties import (
+    DeadlockProperty,
+    OrphanMessageProperty,
+    Property,
+)
 from repro.encoding.variables import match_var
 from repro.encoding.witness import Witness, decode_witness
 from repro.mcapi.network import DeliveryPolicy
 from repro.mcapi.scheduler import SchedulingStrategy
 from repro.program.ast import Program
 from repro.program.interpreter import ProgramRun, run_program
+from repro.program.statictrace import static_trace
 from repro.smt.backend import SolverBackend, create_backend
 from repro.smt.dpllt import CheckResult
 from repro.smt.terms import And, Eq, IntVal, Not
@@ -56,7 +63,44 @@ from repro.utils.errors import (
 )
 from repro.verification.result import Verdict, VerificationResult
 
-__all__ = ["VerificationSession", "verify_many"]
+__all__ = ["VerificationSession", "verify_many", "VERIFICATION_MODES", "resolve_mode"]
+
+#: The questions the stack can ask of one trace.  ``safety`` is the paper's
+#: assertion check on the base encoding; ``deadlock`` and ``orphan`` are the
+#: partial-match/liveness extensions.
+VERIFICATION_MODES = ("safety", "deadlock", "orphan")
+
+
+def resolve_mode(
+    mode: str,
+    options: Optional[EncoderOptions],
+    properties: Optional[Sequence[Property]],
+) -> Tuple[Optional[EncoderOptions], Optional[Sequence[Property]]]:
+    """Translate a verification ``mode`` into encoder options + properties.
+
+    ``mode`` is pure sugar over the two real knobs, which is what lets the
+    whole downstream stack (sessions, workers, cache keys) stay
+    mode-agnostic: a deadlock question is simply the partial-match encoding
+    plus :class:`DeadlockProperty`, an orphan question is
+    :class:`OrphanMessageProperty` on the base encoding.  Explicit
+    ``properties`` are mutually exclusive with a non-safety mode — the mode
+    *is* a property selection.
+    """
+    if mode not in VERIFICATION_MODES:
+        raise EncodingError(
+            f"unknown verification mode {mode!r}; pick one of {VERIFICATION_MODES}"
+        )
+    if mode == "safety":
+        return options, properties
+    if properties is not None:
+        raise EncodingError(
+            f"mode={mode!r} selects its own property set; pass mode='safety' "
+            "to verify explicit properties"
+        )
+    if mode == "deadlock":
+        options = replace(options or EncoderOptions(), partial_matches=True)
+        return options, [DeadlockProperty()]
+    return options, [OrphanMessageProperty()]
 
 
 def _recording_run(
@@ -122,6 +166,7 @@ class VerificationSession:
         self.trace = trace
         self.program_run = program_run
         self._encoder = encoder if encoder is not None else TraceEncoder(options)
+        self._properties = properties
         if problem is not None:
             self._problem = problem
             self.encode_seconds = 0.0
@@ -136,6 +181,8 @@ class VerificationSession:
         self._max_iterations = max_solver_iterations
         self._backend: Optional[SolverBackend] = None
         self._verdict: Optional[VerificationResult] = None
+        self._orphan_verdict: Optional[VerificationResult] = None
+        self._deadlock_session: Optional["VerificationSession"] = None
         self._enumerating = False
 
     # ------------------------------------------------------------------ creation
@@ -147,9 +194,31 @@ class VerificationSession:
         seed: int = 0,
         policy: Optional[DeliveryPolicy] = None,
         strategy: Optional[SchedulingStrategy] = None,
+        on_deadlock: str = "raise",
         **kwargs,
     ) -> "VerificationSession":
-        """Record ``program`` once (any scheduling works) and open a session."""
+        """Record ``program`` once (any scheduling works) and open a session.
+
+        ``on_deadlock`` controls what happens when the recording run blocks:
+
+        * ``"raise"`` (default) — fail with :class:`EncodingError`, the
+          historical behaviour; a blocked recording is truncated and would
+          silently under-approximate a safety analysis.
+        * ``"static"`` — fall back to the statically unrolled symbolic
+          trace (:func:`repro.program.statictrace.static_trace`); only
+          possible for branch-free programs.  This is what deadlock-mode
+          verification uses: programs that deadlock on *every* schedule
+          have no complete recording to offer.
+        """
+        if on_deadlock not in ("raise", "static"):
+            raise EncodingError(
+                f"on_deadlock must be 'raise' or 'static', got {on_deadlock!r}"
+            )
+        if on_deadlock == "static":
+            run = run_program(program, seed=seed, policy=policy, strategy=strategy)
+            if run.deadlocked:
+                return cls(static_trace(program), **kwargs)
+            return cls(run.trace, program_run=run, **kwargs)
         run = _recording_run(program, seed, policy, strategy)
         return cls(run.trace, program_run=run, **kwargs)
 
@@ -186,13 +255,24 @@ class VerificationSession:
 
     # ------------------------------------------------------------------ queries
 
-    def verdict(self) -> VerificationResult:
+    def verdict(self, mode: str = "safety") -> VerificationResult:
         """Check whether any modelled execution violates the properties.
 
-        The negated property is passed as a *check assumption*, so the
-        persistent assertion set — shared with every other query — is never
-        polluted.  The result is cached; repeated calls are free.
+        ``mode="safety"`` (default) checks the session's own property set;
+        ``mode="deadlock"`` and ``mode="orphan"`` dispatch to
+        :meth:`deadlocks` / :meth:`orphans`.  The negated property is
+        passed as a *check assumption*, so the persistent assertion set —
+        shared with every other query — is never polluted.  Results are
+        cached per mode; repeated calls are free.
         """
+        if mode == "deadlock":
+            return self.deadlocks()
+        if mode == "orphan":
+            return self.orphans()
+        if mode != "safety":
+            raise EncodingError(
+                f"unknown verification mode {mode!r}; pick one of {VERIFICATION_MODES}"
+            )
         if self._verdict is not None:
             return self._verdict
         self._require_not_enumerating("verdict")
@@ -263,6 +343,98 @@ class VerificationSession:
             for recv_id, send_id in pairing.items()
         ]
         return self.backend.check(*constraints) is CheckResult.SAT
+
+    def deadlocks(self) -> VerificationResult:
+        """Can any modelled (partial) execution deadlock?
+
+        ``VIOLATION`` means a reachable deadlock exists; the witness names
+        the stuck endpoints (:attr:`Witness.unmatched_receives`) and the
+        unmatched sends (:attr:`Witness.orphan_sends`) — see
+        :meth:`Witness.deadlock_description`.  ``SAFE`` means every
+        execution completes every receive.
+
+        The check needs the partial-match encoding, which has a different
+        base assertion set than the safety lane, so the session lazily opens
+        one *deadlock sub-session* (same trace, same backend family,
+        ``partial_matches=True`` + :class:`DeadlockProperty`) and keeps it
+        warm for repeated calls.  A session already configured that way
+        answers from its own backend directly.
+        """
+        if self._is_deadlock_configured():
+            return self.verdict()
+        if self._deadlock_session is None:
+            options = replace(self._encoder.options, partial_matches=True)
+            self._deadlock_session = VerificationSession(
+                self.trace,
+                options=options,
+                properties=[DeadlockProperty()],
+                backend=self._lane_backend_spec(),
+                max_solver_iterations=self._max_iterations,
+                program_run=self.program_run,
+            )
+        return self._deadlock_session.verdict()
+
+    def orphans(self) -> VerificationResult:
+        """Can a message be sent and never received (an orphan/lost message)?
+
+        Answered on this session's own encoding and backend via an assumed
+        negated :class:`OrphanMessageProperty`: on a base-encoding session
+        the question is over *complete* executions; on a partial-match
+        session it also covers messages stranded by a deadlock (sends that
+        executed before their would-be receiver blocked forever).
+        """
+        if self._orphan_verdict is not None:
+            return self._orphan_verdict
+        self._require_not_enumerating("orphans")
+        prop = OrphanMessageProperty()
+        term = (
+            prop.partial_term(self.trace)
+            if self._problem.partial_matches
+            else prop.term(self.trace)
+        )
+        backend = self.backend
+        start = time.perf_counter()
+        if term.is_true:
+            outcome = CheckResult.UNSAT  # no sends: nothing can be orphaned
+        else:
+            outcome = backend.check(Not(term))
+        solve_seconds = time.perf_counter() - start
+        witness: Optional[Witness] = None
+        if outcome is CheckResult.SAT:
+            verdict = Verdict.VIOLATION
+            witness = decode_witness(self._problem, backend.model())
+        elif outcome is CheckResult.UNSAT:
+            verdict = Verdict.SAFE
+        else:
+            verdict = Verdict.UNKNOWN
+        self._orphan_verdict = VerificationResult(
+            verdict=verdict,
+            problem=self._problem,
+            witness=witness,
+            solver_statistics=backend.statistics(),
+            encode_seconds=self.encode_seconds,
+            solve_seconds=solve_seconds,
+            trace=self.trace,
+            program_run=self.program_run,
+            backend=self.backend_name,
+        )
+        return self._orphan_verdict
+
+    def _is_deadlock_configured(self) -> bool:
+        """True when this session itself already encodes the deadlock question."""
+        return (
+            self._problem.partial_matches
+            and self._properties is not None
+            and len(self._properties) == 1
+            and isinstance(self._properties[0], DeadlockProperty)
+        )
+
+    def _lane_backend_spec(self) -> Union[str, None]:
+        """A backend spec a sub-session can use (never a live instance)."""
+        if isinstance(self._backend_spec, str) or self._backend_spec is None:
+            return self._backend_spec
+        name = getattr(self._backend_spec, "name", None)
+        return name if isinstance(name, str) else None
 
     def pairings(self, limit: Optional[int] = None) -> Iterator[Dict[int, int]]:
         """Yield every complete matching the SMT model admits.
@@ -352,6 +524,7 @@ def verify_many(
     cache=None,
     cache_dir: Optional[str] = None,
     portfolio: bool = False,
+    mode: str = "safety",
 ) -> List[VerificationResult]:
     """Batch front door: verify many programs and/or traces in one call.
 
@@ -360,6 +533,12 @@ def verify_many(
     configuration.  Results come back in input order.  ``backend`` must be a
     registry name (each item gets a fresh backend); sharing one live backend
     instance across items would mix their assertion sets.
+
+    ``mode`` selects the question asked of every item: ``"safety"`` (the
+    default property check), ``"deadlock"`` (partial-match encoding +
+    :class:`DeadlockProperty`; programs whose recording run blocks fall
+    back to the static symbolic trace), or ``"orphan"`` (lost-message
+    check).  Mode and explicit ``properties`` are mutually exclusive.
 
     ``jobs``, ``cache``/``cache_dir`` and ``portfolio`` hand the batch to
     :class:`repro.verification.parallel.ParallelVerifier` — sharding over
@@ -387,19 +566,29 @@ def verify_many(
             cache_dir=cache_dir,
             seed=seed,
             max_solver_iterations=max_solver_iterations,
+            mode=mode,
         ).verify_many(items)
     if backend is not None and not isinstance(backend, str) and len(items) > 1:
         raise SolverError(
             "verify_many needs a backend registry name, not a live backend "
             "instance: each item must get its own solver state"
         )
+    options, properties = resolve_mode(mode, options, properties)
     encoder = TraceEncoder(options)
     results: List[VerificationResult] = []
     for item in items:
         if isinstance(item, Program):
-            run = _recording_run(item, seed, None, None)
+            if mode == "deadlock":
+                run = run_program(item, seed=seed)
+                if run.deadlocked:
+                    trace, run = static_trace(item), None
+                else:
+                    trace = run.trace
+            else:
+                run = _recording_run(item, seed, None, None)
+                trace = run.trace
             session = VerificationSession(
-                run.trace,
+                trace,
                 properties=properties,
                 backend=backend,
                 max_solver_iterations=max_solver_iterations,

@@ -11,12 +11,14 @@ from repro.workloads.figure1 import (
 )
 from repro.workloads.generators import (
     branching_consumer,
+    circular_wait,
     client_server,
     nonblocking_fanin,
     pipeline,
     racy_fanin,
     random_program,
     scatter_gather,
+    starved_fanin,
     token_ring,
 )
 
@@ -29,11 +31,13 @@ __all__ = [
     "figure4a_pairing",
     "figure4b_pairing",
     "branching_consumer",
+    "circular_wait",
     "client_server",
     "nonblocking_fanin",
     "pipeline",
     "racy_fanin",
     "random_program",
     "scatter_gather",
+    "starved_fanin",
     "token_ring",
 ]

@@ -25,6 +25,8 @@ __all__ = [
     "client_server",
     "nonblocking_fanin",
     "branching_consumer",
+    "circular_wait",
+    "starved_fanin",
     "random_program",
 ]
 
@@ -247,6 +249,51 @@ def _send_stmt(destination: str, payload):
     return Send(destination, payload)
 
 
+def circular_wait(size: int = 2, kickstart: bool = False) -> Program:
+    """A ring of threads that each receive before sending onwards.
+
+    Without a kick-starter every thread blocks on its first receive forever
+    — the classic circular-wait deadlock, in every schedule.  With
+    ``kickstart=True`` an extra thread injects one message into node 0 and
+    the ring drains deadlock-free, so the pair makes a minimal positive /
+    negative example for deadlock verification.
+    """
+    if size < 2:
+        raise ProgramError("circular_wait needs at least two threads")
+    builder = ProgramBuilder(f"circular_wait_{size}{'_kick' if kickstart else ''}")
+    for index in range(size):
+        thread = builder.thread(f"node{index}")
+        thread.recv("tok")
+        if not (kickstart and index == size - 1):
+            thread.send(f"node{(index + 1) % size}", V("tok") + 1)
+    if kickstart:
+        starter = builder.thread("starter")
+        starter.send("node0", C(1))
+    return builder.build()
+
+
+def starved_fanin(num_senders: int, extra_receives: int = 1) -> Program:
+    """A fan-in whose receiver expects more messages than are ever sent.
+
+    The first ``num_senders`` receives complete in some order; the last
+    ``extra_receives`` block forever — fan-in starvation.  With
+    ``extra_receives=0`` this is exactly :func:`racy_fanin` and is
+    deadlock-free.
+    """
+    if num_senders < 1:
+        raise ProgramError("starved_fanin needs at least one sender")
+    if extra_receives < 0:
+        raise ProgramError("extra_receives must be >= 0")
+    builder = ProgramBuilder(f"starved_fanin_{num_senders}+{extra_receives}")
+    receiver = builder.thread("recv")
+    for index in range(num_senders + extra_receives):
+        receiver.recv(f"m{index}")
+    for sender in range(num_senders):
+        thread = builder.thread(f"send{sender}")
+        thread.send("recv", C(_payload(sender, 0)))
+    return builder.build()
+
+
 def random_program(
     rng: random.Random,
     max_senders: int = 3,
@@ -254,9 +301,11 @@ def random_program(
     max_messages: int = 4,
     nonblocking_probability: float = 0.25,
     forward_probability: float = 0.3,
+    allow_deadlock: bool = False,
     name: Optional[str] = None,
 ) -> Program:
-    """A seeded random send/recv topology, deadlock-free by construction.
+    """A seeded random send/recv topology, deadlock-free by construction
+    unless ``allow_deadlock`` lifts the restriction.
 
     The generator draws a random fan-in/fan-out shape — ``1..max_senders``
     pure-sender threads firing ``1..max_messages`` messages (each with a
@@ -275,12 +324,28 @@ def random_program(
       endpoint), or an **impossible** assertion (violated in every
       execution).  It may also assert nothing.
 
+    With ``allow_deadlock=True`` one randomly drawn fault is injected on
+    top (possibly none, so the corpus stays a mix):
+
+    * **starvation** — one receiver expects 1–2 more messages than it can
+      ever obtain (fan-in starvation: deadlock in every schedule);
+    * **lost message** — one receiver performs fewer receives than the
+      messages sent to it (orphaned messages, no deadlock);
+    * **circular wait** — two receivers each expect one extra "ring"
+      message that the other only sends after completing all of its own
+      receives (a cyclic wait: deadlock in every schedule).
+
+    Faulted receivers carry no assertions — the questions asked of this
+    corpus are the deadlock/orphan verdicts, whose ground truth the
+    explicit-state explorers provide.
+
     Programs stay branch-free on purpose: the symbolic analysis is
     path-constrained, so branch-free inputs are exactly the class on which
     one recorded trace covers *all* executions and the verdict must agree
     with exhaustive explicit-state exploration — the contract the
-    randomized differential harness checks.  Every draw comes from ``rng``,
-    so a seeded :class:`random.Random` reproduces the program exactly.
+    randomized differential harnesses check.  Every draw comes from
+    ``rng``, so a seeded :class:`random.Random` reproduces the program
+    exactly.
     """
     if max_senders < 1 or max_receivers < 1 or max_messages < 1:
         raise ProgramError("random_program needs positive size bounds")
@@ -312,10 +377,54 @@ def random_program(
             forwards[index] = target
             extra_inbound[target] += 1
 
+    # Fault injection (allow_deadlock only).  All bookkeeping is in terms
+    # of how many receives each receiver performs versus how many messages
+    # can ever reach its endpoint.
+    starve_extra = [0] * num_receivers
+    dropped = [0] * num_receivers
+    ring_pair: Optional[tuple] = None
+    faulted: set = set()
+    fault = rng.choice(["none", "starve", "orphan", "circular"]) if allow_deadlock else "none"
+    if fault == "starve":
+        victim = rng.randrange(num_receivers)
+        starve_extra[victim] = rng.randint(1, 2)
+        faulted.add(victim)
+    elif fault == "orphan":
+        candidates = [i for i in range(num_receivers) if inbound_payloads[i]]
+        if candidates:
+            victim = rng.choice(candidates)
+            drop = rng.randint(1, len(inbound_payloads[victim]))
+            dropped[victim] = drop
+            faulted.add(victim)
+            remaining = (
+                len(inbound_payloads[victim]) + extra_inbound[victim] - drop
+            )
+            if remaining <= 0 and forwards[victim] is not None:
+                # Nothing received, nothing to forward: cancel the relay and
+                # the extra receive its target budgeted for.
+                extra_inbound[forwards[victim]] -= 1
+                faulted.add(forwards[victim])
+                forwards[victim] = None
+    elif fault == "circular":
+        if num_receivers >= 2:
+            first, second = rng.sample(range(num_receivers), 2)
+            ring_pair = (min(first, second), max(first, second))
+            faulted.update(ring_pair)
+        else:
+            starve_extra[0] = 1  # degenerate ring: starve instead
+            faulted.add(0)
+
     for index in range(num_receivers):
         thread = builder.thread(f"recv{index}")
-        expected = len(inbound_payloads[index]) + extra_inbound[index]
-        if expected == 0:
+        expected = (
+            len(inbound_payloads[index])
+            + extra_inbound[index]
+            + starve_extra[index]
+            - dropped[index]
+        )
+        if ring_pair is not None and index in ring_pair:
+            expected += 1  # the ring message the partner (never) sends
+        if expected <= 0:
             thread.skip("no inbound messages")
             continue
         variables = [f"m{index}_{slot}" for slot in range(expected)]
@@ -329,12 +438,18 @@ def random_program(
                 thread.recv(variable)
         if forwards[index] is not None:
             thread.send(f"recv{forwards[index]}", V(variables[0]) + 1)
+        if ring_pair is not None and index in ring_pair:
+            partner = ring_pair[1] if index == ring_pair[0] else ring_pair[0]
+            thread.send(f"recv{partner}", V(variables[0]) + 2)
 
         # Assertions only range over the directly sent payloads when the
         # receiver also collects forwarded (symbolic) values: the sum of a
         # forwarded value is execution-dependent, so "sum" and "impossible"
         # claims are restricted to receivers with purely constant inbound
         # traffic to keep their truth value analysable by construction.
+        # Faulted receivers never assert: their receives may not complete.
+        if index in faulted:
+            continue
         kind = rng.choice(["none", "first", "sum", "impossible"])
         if kind == "first":
             anchor = rng.choice(

@@ -1,0 +1,146 @@
+"""Unit tests of the partial-match extension (``repro.encoding.partial``)."""
+
+import pytest
+
+from repro.encoding import (
+    DeadlockProperty,
+    EncoderOptions,
+    OrphanMessageProperty,
+    TraceEncoder,
+    unmatched_name,
+)
+from repro.encoding.variables import unmatched_sentinel
+from repro.encoding.witness import decode_witness
+from repro.program.builder import ProgramBuilder
+from repro.program.ast import C, V
+from repro.program.statictrace import static_trace
+from repro.smt.backend import create_backend
+from repro.smt.dpllt import CheckResult
+from repro.utils.errors import EncodingError
+from repro.workloads import circular_wait, figure1_program, starved_fanin
+
+PARTIAL = EncoderOptions(partial_matches=True, enforce_pair_fifo=True)
+
+
+def _check(program, prop, options=PARTIAL):
+    trace = static_trace(program)
+    problem = TraceEncoder(options).encode(trace, properties=[prop])
+    backend = create_backend(None)
+    backend.add_all(problem.assertions())
+    outcome = backend.check()
+    witness = (
+        decode_witness(problem, backend.model())
+        if outcome is CheckResult.SAT
+        else None
+    )
+    return outcome, witness, problem
+
+
+class TestDeadlockDetection:
+    def test_figure1_is_deadlock_free(self):
+        outcome, _, _ = _check(figure1_program(), DeadlockProperty())
+        assert outcome is CheckResult.UNSAT
+
+    def test_starved_fanin_deadlocks(self):
+        outcome, witness, _ = _check(starved_fanin(2, extra_receives=1), DeadlockProperty())
+        assert outcome is CheckResult.SAT
+        # Exactly one of the three receives starves; both sends are consumed.
+        assert len(witness.unmatched_receives) == 1
+        assert len(witness.matching) == 2
+        assert witness.orphan_sends == []
+
+    def test_circular_wait_deadlocks_with_every_receive_stuck(self):
+        outcome, witness, _ = _check(circular_wait(2), DeadlockProperty())
+        assert outcome is CheckResult.SAT
+        assert sorted(witness.unmatched_receives) == [0, 1]
+        # Neither ring send executes: they sit after the stuck receives.
+        assert witness.orphan_sends == []
+        assert witness.matching == {}
+
+    def test_kickstarted_ring_is_deadlock_free(self):
+        outcome, _, _ = _check(circular_wait(2, kickstart=True), DeadlockProperty())
+        assert outcome is CheckResult.UNSAT
+
+    def test_lost_message_is_not_a_deadlock(self):
+        # Two sends race to one receive: the loser is orphaned, but the
+        # receiver always completes — no deadlock.
+        builder = ProgramBuilder("lost")
+        builder.thread("recv").recv("a")
+        builder.thread("s0").send("recv", C(1))
+        builder.thread("s1").send("recv", C(2))
+        outcome, _, _ = _check(builder.build(), DeadlockProperty())
+        assert outcome is CheckResult.UNSAT
+
+    def test_deadlock_witness_names_stuck_endpoint(self):
+        outcome, witness, problem = _check(
+            starved_fanin(1, extra_receives=1), DeadlockProperty()
+        )
+        assert outcome is CheckResult.SAT
+        text = witness.deadlock_description(problem)
+        assert "never completes" in text
+        assert "thread recv" in text
+
+
+class TestOrphanDetection:
+    def test_lost_message_orphan_found_in_base_mode(self):
+        builder = ProgramBuilder("lost")
+        builder.thread("recv").recv("a")
+        builder.thread("s0").send("recv", C(1))
+        builder.thread("s1").send("recv", C(2))
+        outcome, witness, _ = _check(
+            builder.build(), OrphanMessageProperty(), options=EncoderOptions()
+        )
+        assert outcome is CheckResult.SAT
+        assert len(witness.orphan_sends) == 1
+
+    def test_balanced_fanin_has_no_orphans(self):
+        outcome, _, _ = _check(
+            figure1_program(), OrphanMessageProperty(), options=EncoderOptions()
+        )
+        assert outcome is CheckResult.UNSAT
+
+    def test_partial_mode_does_not_flag_unexecuted_sends(self):
+        # The ring sends of circular_wait never execute, so they are not
+        # orphans — and the deadlocked partial executions have no executed
+        # send left unconsumed either.
+        outcome, _, _ = _check(circular_wait(2), OrphanMessageProperty())
+        assert outcome is CheckResult.UNSAT
+
+
+class TestEncoderPlumbing:
+    def test_deadlock_property_requires_partial_mode(self):
+        trace = static_trace(figure1_program())
+        with pytest.raises(EncodingError, match="partial"):
+            TraceEncoder(EncoderOptions()).encode(
+                trace, properties=[DeadlockProperty()]
+            )
+
+    def test_partial_problem_reports_blocking_constraints_and_variables(self):
+        trace = static_trace(starved_fanin(2, extra_receives=1))
+        problem = TraceEncoder(PARTIAL).encode(trace, properties=[DeadlockProperty()])
+        assert problem.partial_matches
+        assert problem.size_summary()["blocking_constraints"] == 3
+        names = problem.variable_names()
+        assert names["unmatched"] == [unmatched_name(r) for r in range(3)]
+        assert "PMatchPartial" in problem.to_smtlib()
+
+    def test_base_problem_is_unchanged(self):
+        trace = static_trace(figure1_program())
+        problem = TraceEncoder(EncoderOptions()).encode(trace)
+        assert not problem.partial_matches
+        assert problem.blocking == []
+        assert "PMatchPairs" in problem.to_smtlib()
+
+    def test_sentinels_are_distinct_and_negative(self):
+        values = {unmatched_sentinel(r) for r in range(10)}
+        assert len(values) == 10
+        assert all(v < 0 for v in values)
+
+    def test_partial_mode_admits_complete_executions(self):
+        # With no property asserted, the partial problem must stay feasible
+        # and in particular admit the all-matched (complete) executions.
+        trace = static_trace(figure1_program())
+        problem = TraceEncoder(PARTIAL).encode(trace, properties=[])
+        backend = create_backend(None)
+        backend.add_all(problem.assertions())
+        assert backend.check() is CheckResult.SAT

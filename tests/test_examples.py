@@ -25,10 +25,26 @@ def _run_example(name: str) -> str:
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "tool_comparison.py", "racy_scatter_gather.py", "nonblocking_and_smtlib.py"],
+    [
+        "quickstart.py",
+        "tool_comparison.py",
+        "racy_scatter_gather.py",
+        "nonblocking_and_smtlib.py",
+        "deadlock_detection.py",
+    ],
 )
 def test_example_exists(script):
     assert (EXAMPLES_DIR / script).is_file()
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+)
+def test_every_example_runs_clean(script):
+    """Docs code must not rot: every script under examples/ — including any
+    added after this test was written — runs in a subprocess and exits 0."""
+    _run_example(script)  # check=True raises on a nonzero exit
 
 
 def test_quickstart_output():
@@ -59,3 +75,24 @@ def test_nonblocking_and_smtlib_output():
     assert "verdict: safe" in out
     assert "verdict: violation" in out
     assert "(set-logic" in out
+
+
+def test_deadlock_detection_output():
+    out = _run_example("deadlock_detection.py")
+    assert "never completes" in out
+    assert "replayed witness deadlocked : True" in out
+    assert "is never received" in out
+
+
+def test_docs_links_and_references_resolve():
+    """README and docs/ must not contain dangling relative links or
+    references to nonexistent modules (the CI docs job runs this same
+    checker standalone)."""
+    repo_root = Path(__file__).resolve().parent.parent
+    result = subprocess.run(
+        [sys.executable, str(repo_root / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,308 @@
+"""Deadlock/orphan verification through the session, batch, cache and CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.encoding import EncoderOptions
+from repro.program.builder import ProgramBuilder
+from repro.program.ast import C
+from repro.program.statictrace import static_trace
+from repro.program.interpreter import run_program
+from repro.utils.errors import CacheSchemaError, EncodingError, ProgramError
+from repro.verification import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    Verdict,
+    VerificationSession,
+    make_cache_key,
+    resolve_mode,
+    verify_many,
+)
+from repro.verification.cli import main
+from repro.verification.replay import replay_deadlock_witness
+from repro.workloads import (
+    circular_wait,
+    figure1_program,
+    pipeline,
+    starved_fanin,
+)
+
+
+class TestSessionModes:
+    def test_deadlocks_on_safe_program(self):
+        session = VerificationSession.from_program(figure1_program())
+        result = session.deadlocks()
+        assert result.verdict is Verdict.SAFE
+        # Cached lane: repeated calls return the same object.
+        assert session.deadlocks() is result
+
+    def test_deadlocks_on_circular_wait(self):
+        session = VerificationSession.from_program(
+            circular_wait(2), on_deadlock="static"
+        )
+        result = session.deadlocks()
+        assert result.verdict is Verdict.VIOLATION
+        assert result.witness.unmatched_receives
+        assert "never completes" in result.describe()
+
+    def test_verdict_mode_dispatch(self):
+        session = VerificationSession.from_program(
+            circular_wait(2), on_deadlock="static"
+        )
+        assert session.verdict(mode="deadlock").verdict is Verdict.VIOLATION
+        assert session.verdict(mode="orphan").verdict is Verdict.SAFE
+        with pytest.raises(EncodingError, match="mode"):
+            session.verdict(mode="liveness")
+
+    def test_orphans_query_shares_the_session_backend(self):
+        builder = ProgramBuilder("lost")
+        builder.thread("recv").recv("a")
+        builder.thread("s0").send("recv", C(1))
+        builder.thread("s1").send("recv", C(2))
+        session = VerificationSession.from_program(builder.build())
+        result = session.orphans()
+        assert result.verdict is Verdict.VIOLATION
+        assert len(result.witness.orphan_sends) == 1
+        assert session.orphans() is result
+        # The safety verdict is unaffected by the assumed orphan query.
+        assert session.verdict().verdict is Verdict.SAFE
+
+    def test_from_program_deadlock_fallbacks(self):
+        with pytest.raises(EncodingError, match="deadlocked"):
+            VerificationSession.from_program(circular_wait(2))
+        session = VerificationSession.from_program(
+            circular_wait(2), on_deadlock="static"
+        )
+        assert len(session.trace) == 4  # 2 receives + 2 (never-run) sends
+        with pytest.raises(EncodingError, match="on_deadlock"):
+            VerificationSession.from_program(circular_wait(2), on_deadlock="oops")
+
+    def test_deadlock_witness_replays_to_a_blocked_run(self):
+        program = starved_fanin(2, extra_receives=1)
+        session = VerificationSession.from_program(
+            program,
+            options=EncoderOptions(enforce_pair_fifo=True),
+            on_deadlock="static",
+        )
+        result = session.deadlocks()
+        assert result.verdict is Verdict.VIOLATION
+        run = replay_deadlock_witness(program, result.problem, result.witness)
+        assert run.deadlocked
+        assert run.result.blocked_tasks == ["recv"]
+
+
+class TestPartialModeSafetyGuards:
+    def test_unexecuted_assertions_cannot_violate(self):
+        # A receive nobody sends to, followed by an always-false assertion:
+        # the assertion never runs in any execution, so even under the
+        # partial-match encoding the safety verdict must stay SAFE (the
+        # deadlock is reported by the deadlock property, not the assertion).
+        from repro.program.ast import V
+
+        builder = ProgramBuilder("stuck_assert")
+        thread = builder.thread("recv")
+        thread.recv("x")
+        thread.assertion(V("x") < C(0), label="never-runs")
+        trace = static_trace(builder.build())
+        session = VerificationSession(
+            trace, options=EncoderOptions(partial_matches=True)
+        )
+        assert session.verdict().verdict is Verdict.SAFE
+        assert session.deadlocks().verdict is Verdict.VIOLATION
+
+    def test_partial_witness_interleaving_is_the_executed_prefix(self):
+        session = VerificationSession.from_program(
+            circular_wait(2), on_deadlock="static"
+        )
+        witness = session.deadlocks().witness
+        # Nothing executes in a pure circular wait: the receives are the
+        # blocking frontier (never completing) and the sends sit after them.
+        assert witness.event_order == []
+        text = session.deadlocks().describe()
+        assert "SendEvent" not in text
+
+    def test_base_mode_safety_witness_has_no_deadlock_section(self):
+        from repro.program.ast import V
+
+        builder = ProgramBuilder("surplus")
+        thread = builder.thread("recv")
+        thread.recv("a")
+        thread.assertion(V("a").eq(C(1)), label="racy")
+        builder.thread("s0").send("recv", C(1))
+        builder.thread("s1").send("recv", C(2))
+        session = VerificationSession.from_program(builder.build())
+        result = session.verdict()
+        assert result.verdict is Verdict.VIOLATION
+        text = result.describe()
+        assert "stuck endpoints" not in text
+        assert "sends never received in this execution" in text
+
+
+class TestResolveMode:
+    def test_safety_mode_is_passthrough(self):
+        options = EncoderOptions(enforce_pair_fifo=True)
+        assert resolve_mode("safety", options, None) == (options, None)
+
+    def test_deadlock_mode_enables_partial_matches(self):
+        options, properties = resolve_mode("deadlock", None, None)
+        assert options.partial_matches
+        (prop,) = properties
+        assert prop.name == "deadlock-free"
+
+    def test_mode_and_properties_are_mutually_exclusive(self):
+        with pytest.raises(EncodingError, match="property set"):
+            resolve_mode("deadlock", None, [])
+
+    def test_unknown_mode(self):
+        with pytest.raises(EncodingError, match="unknown verification mode"):
+            resolve_mode("liveness", None, None)
+
+
+class TestBatchModes:
+    PROGRAMS = [circular_wait(2), pipeline(3), starved_fanin(2, extra_receives=1)]
+    EXPECTED = [Verdict.VIOLATION, Verdict.SAFE, Verdict.VIOLATION]
+
+    def test_serial_deadlock_batch(self):
+        results = verify_many(self.PROGRAMS, mode="deadlock")
+        assert [r.verdict for r in results] == self.EXPECTED
+
+    def test_parallel_deadlock_batch_agrees_with_serial(self):
+        results = verify_many(self.PROGRAMS, mode="deadlock", jobs=2)
+        assert [r.verdict for r in results] == self.EXPECTED
+
+    def test_orphan_batch(self):
+        builder = ProgramBuilder("lost")
+        builder.thread("recv").recv("a")
+        builder.thread("s0").send("recv", C(1))
+        builder.thread("s1").send("recv", C(2))
+        results = verify_many([builder.build(), pipeline(3)], mode="orphan")
+        assert [r.verdict for r in results] == [Verdict.VIOLATION, Verdict.SAFE]
+
+
+class TestCacheModeSeparation:
+    def test_safety_and_deadlock_answers_never_collide(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        program = figure1_program(assert_a_is_y=True)
+        safety = verify_many([program], cache=cache, mode="safety")
+        deadlock = verify_many([program], cache=cache, mode="deadlock")
+        assert safety[0].verdict is Verdict.VIOLATION
+        assert deadlock[0].verdict is Verdict.SAFE
+        assert len(cache) == 2
+        # Replays of both questions hit their own entries.
+        assert verify_many([program], cache=cache, mode="safety")[0].from_cache
+        assert verify_many([program], cache=cache, mode="deadlock")[0].from_cache
+
+    def test_cached_deadlock_witness_translates_across_interleavings(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        program = starved_fanin(2, extra_receives=1)
+        trace = static_trace(program)
+        first = verify_many([trace], cache=cache, mode="deadlock")
+        assert first[0].verdict is Verdict.VIOLATION
+        # A different-but-fingerprint-equal numbering must hit and carry the
+        # unmatched-receive information across the renaming.
+        hit = verify_many([static_trace(program)], cache=cache, mode="deadlock")
+        assert hit[0].from_cache
+        assert hit[0].witness.unmatched_receives == first[0].witness.unmatched_receives
+
+    def test_key_embeds_mode(self):
+        trace = static_trace(pipeline(3))
+        safety_key = make_cache_key(trace, mode="safety")
+        deadlock_key = make_cache_key(trace, mode="deadlock")
+        assert safety_key != deadlock_key
+        assert safety_key.digest() != deadlock_key.digest()
+
+    def test_deadlock_entries_dedup_across_interleavings(self, tmp_path):
+        # DeadlockProperty is trace-global (fixed cache signature): two
+        # recordings of the same program under different seeds — which
+        # renumber every recv/send id — must share one deadlock entry.
+        cache = ResultCache(directory=str(tmp_path))
+        program = figure1_program()
+        first = run_program(program, seed=0).trace
+        second = run_program(program, seed=3).trace
+        assert verify_many([first], cache=cache, mode="deadlock")[0].verdict is (
+            Verdict.SAFE
+        )
+        hit = verify_many([second], cache=cache, mode="deadlock")[0]
+        assert hit.from_cache
+        assert len(cache) == 1
+
+
+class TestCacheSchema:
+    def test_fresh_store_is_stamped(self, tmp_path):
+        ResultCache(directory=str(tmp_path))
+        with open(tmp_path / "_schema.json") as handle:
+            marker = json.load(handle)
+        assert marker["schema"] == CACHE_SCHEMA_VERSION
+        assert "mode" in marker["key_fields"]
+
+    def test_same_schema_store_reopens(self, tmp_path):
+        ResultCache(directory=str(tmp_path))
+        ResultCache(directory=str(tmp_path))  # no error
+
+    def test_foreign_schema_store_is_refused(self, tmp_path):
+        with open(tmp_path / "_schema.json", "w") as handle:
+            json.dump({"schema": 1, "key_fields": ["fingerprint"]}, handle)
+        with pytest.raises(CacheSchemaError, match="schema 1"):
+            ResultCache(directory=str(tmp_path))
+
+    def test_unversioned_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        trace = run_program(pipeline(2), seed=0).trace
+        verify_many([trace], cache=cache)
+        (entry_path,) = [
+            tmp_path / name
+            for name in os.listdir(tmp_path)
+            if name.endswith(".json") and not name.startswith("_")
+        ]
+        entry = json.loads(entry_path.read_text())
+        del entry["schema"]  # simulate a pre-versioning store entry
+        entry_path.write_text(json.dumps(entry))
+        fresh = ResultCache(directory=str(tmp_path))
+        assert fresh.lookup(make_cache_key(trace), trace) is None
+
+
+class TestStaticTrace:
+    def test_rejects_branchy_programs(self):
+        builder = ProgramBuilder("branchy")
+        thread = builder.thread("t")
+        thread.recv("x")
+        thread.if_(C(1).eq(C(1)), then=[], orelse=[])
+        with pytest.raises(ProgramError, match="branch-free"):
+            static_trace(builder.build())
+
+    def test_fingerprint_equals_recorded_run(self):
+        from repro.trace.fingerprint import trace_fingerprint
+
+        for program in (figure1_program(assert_a_is_y=True), pipeline(4)):
+            recorded = run_program(program, seed=5).trace
+            assert trace_fingerprint(static_trace(program)) == trace_fingerprint(
+                recorded
+            )
+
+
+class TestCli:
+    def test_check_deadlock_on_deadlocking_workload(self, capsys):
+        code = main(["--workload", "circular_wait", "--check-deadlock"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "never completes" in out
+
+    def test_check_deadlock_on_safe_workload(self, capsys):
+        code = main(["--workload", "pipeline", "--check-deadlock"])
+        assert code == 0
+        assert "verdict: safe" in capsys.readouterr().out
+
+    def test_batch_check_deadlock(self, capsys):
+        code = main(
+            ["--workload", "starved_fanin", "--check-deadlock", "--repeat", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verdict=violation" in out
+
+    def test_batch_without_flag_refuses_deadlocked_recording(self, capsys):
+        code = main(["--workload", "circular_wait", "--repeat", "2"])
+        assert code == 2
+        assert "--check-deadlock" in capsys.readouterr().err

@@ -208,7 +208,7 @@ class TestResultCache:
         (path,) = [
             os.path.join(directory, name)
             for name in os.listdir(directory)
-            if name.endswith(".json")
+            if name.endswith(".json") and not name.startswith("_")
         ]
         with open(path, "w") as handle:
             handle.write("{torn")

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Documentation link and reference checker (stdlib only).
+
+Scans ``README.md`` and every Markdown file under ``docs/`` for
+
+* **relative links** — ``[text](path)`` targets that are not URLs or
+  in-page anchors must exist on disk (anchors on existing files are
+  accepted without checking the heading), and
+* **module references** — every ``repro.foo.bar[.Baz]`` dotted path
+  mentioned in prose, tables or code blocks must resolve: the longest
+  importable module prefix is imported and any remaining components are
+  looked up with ``getattr``.
+
+Exits non-zero listing every dangling link or unresolvable reference, so
+CI fails when documentation rots.  Run from the repository root::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — target captured; images share the syntax.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Dotted repro paths: modules and optionally a trailing Class/attr chain.
+REFERENCE_PATTERN = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def markdown_files():
+    yield os.path.join(REPO_ROOT, "README.md")
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def check_links(path: str, text: str, problems: list) -> None:
+    base = os.path.dirname(path)
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]  # in-page anchor on another file
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            problems.append(
+                f"{os.path.relpath(path, REPO_ROOT)}: dangling link -> {match.group(1)}"
+            )
+
+
+def resolve_reference(reference: str) -> bool:
+    """Import the longest module prefix, getattr the rest."""
+    parts = reference.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_references(path: str, text: str, problems: list) -> None:
+    for reference in sorted(set(REFERENCE_PATTERN.findall(text))):
+        if not resolve_reference(reference):
+            problems.append(
+                f"{os.path.relpath(path, REPO_ROOT)}: unresolvable reference "
+                f"-> {reference}"
+            )
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    problems: list = []
+    checked = 0
+    for path in markdown_files():
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        check_links(path, text, problems)
+        check_references(path, text, problems)
+        checked += 1
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) in {checked} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"check_docs: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
