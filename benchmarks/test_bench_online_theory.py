@@ -1,0 +1,133 @@
+"""Benchmark: online DPLL(T) versus the offline lazy loop.
+
+The offline loop pays two bills per theory conflict that the online engine
+does not: a complete propositional model must be produced before the theory
+ever looks at it, and the theory solvers are rebuilt from scratch on every
+candidate (translate + assert every assigned atom, then solve).  On a
+theory-conflict-heavy problem — the Figure 4 class of questions, "which
+delivery orderings does the model admit?" — those bills dominate.
+
+The gated workload makes the ordering question sharp: ``n`` racing sends
+must occupy a delivery window of only ``n - 1`` logical slots (every pair
+ordered one way or the other, all clocks within bounds) while a deliberately
+large satisfiable delivery chain rides along, so every offline iteration
+re-translates and re-checks the whole chain just to rediscover one small
+ordering cycle.  The online engine catches each cycle on the partial
+assignment that creates it and never re-pays for the chain.
+
+Gate: **online >= 2x faster than offline** (the tentpole claim of the
+online-theory refactor), with identical verdicts.  A secondary comparison
+runs the paper-shaped admissible-pairing enumeration on a racy fan-in and
+must show online at least modestly ahead there too.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.program.interpreter import run_program
+from repro.smt.dpllt import CheckResult, DpllTEngine
+from repro.smt.terms import IntVal, IntVar, Le, Lt, Or
+from repro.verification.session import VerificationSession
+from repro.workloads.generators import racy_fanin
+
+
+def _delivery_window_workload(num_sends: int, chain_length: int):
+    """``num_sends`` totally-ordered clocks in ``num_sends - 1`` slots (UNSAT)
+    plus a long satisfiable delivery chain as per-iteration ballast."""
+    clocks = [IntVar(f"clk{i}") for i in range(num_sends)]
+    terms = []
+    for i, j in itertools.combinations(range(num_sends), 2):
+        terms.append(Or(Lt(clocks[i], clocks[j]), Lt(clocks[j], clocks[i])))
+    for clock in clocks:
+        terms.append(Le(IntVal(0), clock))
+        terms.append(Le(clock, IntVal(num_sends - 2)))
+    chain = [IntVar(f"hop{i}") for i in range(chain_length)]
+    for earlier, later in zip(chain, chain[1:]):
+        terms.append(Lt(earlier, later))
+    for hop in chain:
+        terms.append(Le(IntVal(0), hop))
+        terms.append(Le(hop, IntVal(3 * chain_length)))
+    return terms
+
+
+def _time_check(terms, theory_mode):
+    engine = DpllTEngine(terms, theory_mode=theory_mode)
+    start = time.perf_counter()
+    result = engine.check()
+    return time.perf_counter() - start, result, engine.stats
+
+
+@pytest.mark.benchmark(group="online-theory")
+def test_online_beats_offline_2x_on_theory_conflicts(benchmark, table_printer):
+    terms = _delivery_window_workload(num_sends=6, chain_length=40)
+
+    online_seconds, online_result, online_stats = _time_check(terms, "online")
+    offline_seconds, offline_result, offline_stats = _time_check(terms, "offline")
+    # pytest-benchmark timing on the gated configuration (online).
+    benchmark(lambda: DpllTEngine(terms, theory_mode="online").check())
+
+    assert online_result is CheckResult.UNSAT
+    assert offline_result is CheckResult.UNSAT
+    speedup = offline_seconds / online_seconds
+
+    table_printer(
+        "Online DPLL(T) vs offline lazy loop (delivery-window ordering)",
+        ["mode", "seconds", "theory conflicts", "partial conflicts", "verdict"],
+        [
+            [
+                "online",
+                f"{online_seconds:.3f}",
+                online_stats.theory_conflicts,
+                online_stats.theory_partial_conflicts,
+                online_result.value,
+            ],
+            [
+                "offline",
+                f"{offline_seconds:.3f}",
+                offline_stats.theory_conflicts,
+                offline_stats.theory_partial_conflicts,
+                offline_result.value,
+            ],
+            ["speedup", f"{speedup:.2f}x", "", "", ""],
+        ],
+    )
+
+    # The refactor's headline claim: conflicts caught on partial assignments
+    # instead of full models, no per-conflict theory rebuild.
+    assert online_stats.theory_partial_conflicts > 0
+    assert offline_stats.theory_partial_conflicts == 0
+    assert speedup >= 2.0, (
+        f"online engine only {speedup:.2f}x faster than offline "
+        f"({online_seconds:.3f}s vs {offline_seconds:.3f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="online-theory")
+def test_online_ahead_on_pairing_enumeration(table_printer):
+    """Paper-shaped secondary check: enumerating every admissible matching
+    of a racy fan-in (the Figure 4 question at scale) must not regress
+    under the online engine, and should be measurably ahead."""
+    trace = run_program(racy_fanin(4), seed=0).trace
+
+    timings = {}
+    counts = {}
+    for mode in ("online", "offline"):
+        session = VerificationSession(trace, theory_mode=mode)
+        start = time.perf_counter()
+        counts[mode] = sum(1 for _ in session.pairings())
+        timings[mode] = time.perf_counter() - start
+
+    assert counts["online"] == counts["offline"] == 24
+    ratio = timings["offline"] / timings["online"]
+    table_printer(
+        "Admissible-pairing enumeration (racy_fanin(4), 24 matchings)",
+        ["mode", "seconds"],
+        [
+            ["online", f"{timings['online']:.3f}"],
+            ["offline", f"{timings['offline']:.3f}"],
+            ["ratio", f"{ratio:.2f}x"],
+        ],
+    )
+    assert ratio >= 1.2, f"online enumeration only {ratio:.2f}x ahead"

@@ -47,6 +47,7 @@ from repro.smt.terms import (
     Var,
     Xor,
 )
+from repro.smt.dpllt import THEORY_MODES
 from repro.smt.models import Model
 from repro.smt.backend import (
     DpllTBackend,
@@ -94,6 +95,7 @@ __all__ = [
     "Xor",
     "Model",
     "CheckResult",
+    "THEORY_MODES",
     "Solver",
     "SolverBackend",
     "DpllTBackend",

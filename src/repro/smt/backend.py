@@ -155,8 +155,12 @@ class DpllTBackend:
 
     name = "dpllt"
 
-    def __init__(self, max_iterations: int = 200_000) -> None:
-        self._engine = IncrementalDpllTEngine(max_iterations=max_iterations)
+    def __init__(
+        self, max_iterations: int = 200_000, theory_mode: str = "online"
+    ) -> None:
+        self._engine = IncrementalDpllTEngine(
+            max_iterations=max_iterations, theory_mode=theory_mode
+        )
 
     @property
     def engine(self) -> IncrementalDpllTEngine:
@@ -187,6 +191,7 @@ class DpllTBackend:
             return {}
         stats = self._engine.stats.as_dict()
         stats["checks"] = self._engine.total_checks
+        stats["theory_mode"] = self._engine.theory_mode
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -273,6 +278,7 @@ class SmtLibProcessBackend:
         command: Union[str, Sequence[str], None] = None,
         timeout: float = 60.0,
         max_iterations: Optional[int] = None,  # accepted for factory parity
+        theory_mode: Optional[str] = None,  # accepted for factory parity
     ) -> None:
         if command is None:
             command = os.environ.get(SMTLIB_SOLVER_ENV)
@@ -433,7 +439,8 @@ def register_backend(name: str, factory: BackendFactory, replace: bool = False) 
     """Register a backend factory under ``name``.
 
     The factory is called with the keyword arguments given to
-    :func:`create_backend` (currently ``max_iterations``).
+    :func:`create_backend` (currently ``max_iterations`` and, for the
+    in-tree DPLL(T) backend, ``theory_mode``).
     """
     if name in _REGISTRY and not replace:
         raise SolverError(f"backend {name!r} is already registered")

@@ -1,37 +1,73 @@
-"""The lazy DPLL(T) engine combining the CDCL SAT core with theory solvers.
+"""The DPLL(T) engines combining the CDCL SAT core with theory solvers.
 
-The engine follows the classic *lemmas-on-demand* loop:
+Two integration styles are provided, selected by ``theory_mode``:
 
-1. build the Boolean abstraction of the (preprocessed) assertions,
-2. ask the SAT core for a propositional model,
-3. translate the model's asserted atoms into theory constraints and check
-   them with the appropriate theory solver (integer difference logic when
-   possible, otherwise general LIA; EUF for uninterpreted equalities),
-4. if the theory agrees, a full model has been found; otherwise the theory's
-   explanation is negated into a *blocking clause* and the loop repeats.
+**online** (the default) — the theories ride the SAT search itself through
+the :class:`~repro.smt.sat.TheoryListener` hook: every literal the SAT core
+asserts (decision or propagation) is streamed into incremental theory
+solvers (:class:`~repro.smt.theory.euf.IncrementalCongruenceClosure`,
+:class:`~repro.smt.theory.idl.IncrementalDifferenceLogic`,
+:class:`~repro.smt.theory.lia.IncrementalLinearInt`), which keep
+trail-backed undo stacks and retract in lockstep with SAT backjumps.
+Theory conflicts are caught on *partial* assignments — after a handful of
+literals instead of after a complete propositional model — and their
+localized explanations are learned with ordinary first-UIP analysis.
+Theory-implied literals (EUF entailments) are propagated back into the
+Boolean search with lazily materialised reason clauses.
 
-The loop terminates because each blocking clause removes at least one
-propositional model and the abstraction has finitely many.
+**offline** — the classic *lemmas-on-demand* loop kept for differential
+testing and as the reference semantics:
+
+1. ask the SAT core for a complete propositional model,
+2. translate the model's asserted atoms into theory constraints and check
+   them with freshly built batch theory solvers,
+3. if a theory objects, negate its explanation into a blocking clause and
+   repeat.
+
+Both modes terminate: online inherits CDCL termination (theory conflicts
+are learned clauses over a finite atom vocabulary), offline removes at
+least one propositional model per blocking clause.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.smt.cnf import TseitinConverter, tseitin
 from repro.smt.linear import LinearLe, atom_to_constraints
 from repro.smt.models import Model
-from repro.smt.sat import SatResult, SatSolver
+from repro.smt.sat import SatResult, SatSolver, TheoryListener
 from repro.smt.simplify import preprocess
 from repro.smt.terms import Term, free_variables
-from repro.smt.theory.euf import CongruenceClosure
-from repro.smt.theory.idl import DifferenceLogicSolver
-from repro.smt.theory.lia import LinearIntSolver
+from repro.smt.theory.euf import CongruenceClosure, IncrementalCongruenceClosure
+from repro.smt.theory.idl import (
+    DifferenceLogicSolver,
+    IncrementalDifferenceLogic,
+)
+from repro.smt.theory.lia import IncrementalLinearInt, LinearIntSolver
 from repro.utils.errors import SolverError
 
-__all__ = ["CheckResult", "DpllTEngine", "IncrementalDpllTEngine", "SmtStats"]
+__all__ = [
+    "CheckResult",
+    "DpllTEngine",
+    "IncrementalDpllTEngine",
+    "SmtStats",
+    "TheoryCore",
+    "THEORY_MODES",
+]
+
+#: Valid values of the ``theory_mode`` knob.
+THEORY_MODES = ("online", "offline")
+
+
+def _validate_theory_mode(mode: str) -> str:
+    if mode not in THEORY_MODES:
+        raise SolverError(
+            f"unknown theory_mode {mode!r}; pick one of {THEORY_MODES}"
+        )
+    return mode
 
 
 class CheckResult(Enum):
@@ -44,7 +80,18 @@ class CheckResult(Enum):
 
 @dataclass
 class SmtStats:
-    """Statistics of one DPLL(T) run."""
+    """Statistics of one DPLL(T) run.
+
+    ``iterations`` counts theory-interaction rounds: offline, the outer
+    model-then-check loop; online, ``1 +`` the number of theory conflicts
+    (each conflict plays the role one blocking-clause iteration used to).
+    ``theory_partial_conflicts`` counts the theory conflicts raised on
+    *partial* assignments — the online engine's whole point; offline it is
+    always 0 because the theories only ever see complete models.
+    ``explanations`` / ``explanation_literals`` measure the theory
+    explanations produced (conflicts and lazy propagation reasons);
+    ``as_dict`` derives the average explanation size from them.
+    """
 
     iterations: int = 0
     theory_conflicts: int = 0
@@ -55,8 +102,17 @@ class SmtStats:
     euf_atoms: int = 0
     sat_decisions: int = 0
     sat_conflicts: int = 0
+    theory_propagations: int = 0
+    theory_partial_conflicts: int = 0
+    explanations: int = 0
+    explanation_literals: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        avg_explanation = (
+            round(self.explanation_literals / self.explanations, 2)
+            if self.explanations
+            else 0
+        )
         return {
             "iterations": self.iterations,
             "theory_conflicts": self.theory_conflicts,
@@ -67,6 +123,9 @@ class SmtStats:
             "euf_atoms": self.euf_atoms,
             "sat_decisions": self.sat_decisions,
             "sat_conflicts": self.sat_conflicts,
+            "theory_propagations": self.theory_propagations,
+            "theory_partial_conflicts": self.theory_partial_conflicts,
+            "avg_explanation_size": avg_explanation,
         }
 
 
@@ -93,6 +152,19 @@ def _classify_atom(atom: Term) -> str:
     raise SolverError(f"unclassifiable atom: {atom}")
 
 
+def _reject_atom_kind(kind: str) -> None:
+    if kind == "euf_pred":
+        raise SolverError(
+            "Boolean-valued uninterpreted predicates are not supported; "
+            "model them as equalities with a distinguished constant"
+        )
+    if kind == "bool_eq":
+        raise SolverError(
+            "Boolean equality atoms should have been rewritten to iff "
+            "by preprocessing"
+        )
+
+
 def _partition_atom(
     atom: Term,
     var: int,
@@ -101,20 +173,11 @@ def _partition_atom(
 ) -> None:
     """Route ``atom`` into the arithmetic or EUF atom map (or reject it)."""
     kind = _classify_atom(atom)
+    _reject_atom_kind(kind)
     if kind == "arith":
         arith_atoms[atom] = var
-    elif kind == "euf_pred":
-        raise SolverError(
-            "Boolean-valued uninterpreted predicates are not supported; "
-            "model them as equalities with a distinguished constant"
-        )
     elif kind == "euf":
         euf_atoms[atom] = var
-    elif kind == "bool_eq":
-        raise SolverError(
-            "Boolean equality atoms should have been rewritten to iff "
-            "by preprocessing"
-        )
 
 
 def _theory_consistency(
@@ -123,7 +186,7 @@ def _theory_consistency(
     bool_model: Dict[int, bool],
     constraint_cache: Optional[Dict[Tuple[int, bool], Tuple[LinearLe, ...]]] = None,
 ) -> Tuple[Optional[List[int]], Dict[str, int], Dict[str, int]]:
-    """Check a candidate propositional model against the theories.
+    """Check a candidate propositional model against the theories (offline).
 
     Returns ``(conflict, arith_model, euf_model)``.  ``conflict`` is ``None``
     when the theories agree; otherwise it lists the SAT literals (as asserted
@@ -218,28 +281,208 @@ def _assemble_model(
     return Model(values)  # type: ignore[arg-type]
 
 
+# ---------------------------------------------------------------------------
+# Online theory core (the TheoryListener implementation)
+# ---------------------------------------------------------------------------
+
+
+class TheoryCore(TheoryListener):
+    """Routes the SAT trail into the incremental theory solvers.
+
+    One core owns one :class:`IncrementalCongruenceClosure` and one
+    arithmetic solver (:class:`IncrementalDifferenceLogic` until the first
+    non-difference constraint arrives, then transparently migrated to
+    :class:`IncrementalLinearInt`).  Every streamed literal pushes one
+    frame recording both theories' trail heights, so ``on_backjump`` can
+    retract them in lockstep with the SAT trail regardless of which theory
+    (if any) the literal belonged to.
+
+    The atom vocabulary — which SAT variable means which theory atom — is
+    registered up front (and extended incrementally by the persistent
+    engine) and survives backjumps, restarts and check boundaries; only the
+    asserted trail retracts.
+    """
+
+    def __init__(
+        self,
+        constraint_cache: Optional[Dict[Tuple[int, bool], Tuple[LinearLe, ...]]] = None,
+    ) -> None:
+        self._euf = IncrementalCongruenceClosure()
+        self._arith: Union[IncrementalDifferenceLogic, IncrementalLinearInt] = (
+            IncrementalDifferenceLogic()
+        )
+        self._arith_is_lia = False
+        self._arith_vars: Dict[int, Term] = {}
+        self._euf_vars: Dict[int, Term] = {}
+        self._cache = constraint_cache if constraint_cache is not None else {}
+        # One (arith_height, euf_height) frame per streamed literal.
+        self._frames: List[Tuple[int, int]] = []
+        # EUF trail height at the time each propagation was emitted, so a
+        # lazy explanation can be restricted to the antecedent prefix.
+        self._prop_basis: Dict[int, int] = {}
+        self._arith_model: Dict[str, int] = {}
+        self._euf_model: Dict[str, int] = {}
+        #: Explanation accounting (conflicts + lazy propagation reasons).
+        self.explanations = 0
+        self.explanation_literals = 0
+
+    # -- vocabulary -------------------------------------------------------------
+
+    def register_atom(self, atom: Term, var: int) -> None:
+        """Declare SAT variable ``var`` as theory atom ``atom``."""
+        kind = _classify_atom(atom)
+        _reject_atom_kind(kind)
+        if kind == "arith":
+            self._arith_vars[var] = atom
+        elif kind == "euf":
+            self._euf_vars[var] = atom
+            self._euf.register_atom(var, atom.args[0], atom.args[1])
+
+    @property
+    def num_arith_atoms(self) -> int:
+        return len(self._arith_vars)
+
+    @property
+    def num_euf_atoms(self) -> int:
+        return len(self._euf_vars)
+
+    @property
+    def arith_model(self) -> Dict[str, int]:
+        """Arithmetic model captured by the last successful final check."""
+        return self._arith_model
+
+    @property
+    def euf_model(self) -> Dict[str, int]:
+        """EUF model captured by the last successful final check."""
+        return self._euf_model
+
+    def _constraints_for(self, var: int, positive: bool) -> Tuple[LinearLe, ...]:
+        key = (var, positive)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = tuple(atom_to_constraints(self._arith_vars[var], positive))
+            self._cache[key] = cached
+        return cached
+
+    def _migrate_to_lia(self) -> None:
+        """Replay the IDL trail into a LIA solver (first non-difference atom)."""
+        lia = IncrementalLinearInt()
+        for lit, constraints in self._arith.assertions:
+            conflict = lia.assert_lit(lit, constraints)
+            if conflict is not None:  # pragma: no cover - IDL-feasible prefix
+                raise SolverError("LIA migration of a consistent IDL trail failed")
+        self._arith = lia
+        self._arith_is_lia = True
+
+    # -- TheoryListener ---------------------------------------------------------
+
+    def on_assert(self, lit: int) -> Optional[Sequence[int]]:
+        var = abs(lit)
+        self._frames.append((self._arith.num_asserted, self._euf.num_asserted))
+        conflict: Optional[List[int]] = None
+        if var in self._arith_vars:
+            constraints = self._constraints_for(var, lit > 0)
+            if not self._arith_is_lia and any(
+                not c.is_difference for c in constraints
+            ):
+                self._migrate_to_lia()
+            conflict = self._arith.assert_lit(lit, constraints)
+        elif var in self._euf_vars:
+            atom = self._euf_vars[var]
+            conflict = self._euf.assert_lit(lit, atom.args[0], atom.args[1], lit > 0)
+        if conflict is not None:
+            self._record_explanation(conflict)
+        return conflict
+
+    def propagations(self) -> Sequence[int]:
+        pending = self._euf.entailed()
+        if pending:
+            basis = self._euf.num_asserted
+            for lit in pending:
+                self._prop_basis[lit] = basis
+        return pending
+
+    def explain(self, lit: int) -> Sequence[int]:
+        explanation = self._euf.explain(lit, limit=self._prop_basis.get(lit))
+        self._record_explanation(explanation)
+        return explanation
+
+    def on_backjump(self, kept: int) -> None:
+        if kept >= len(self._frames):
+            return
+        arith_height, euf_height = self._frames[kept]
+        del self._frames[kept:]
+        self._arith.retract_to(arith_height)
+        self._euf.retract_to(euf_height)
+        if self._prop_basis:
+            self._prop_basis = {
+                lit: basis
+                for lit, basis in self._prop_basis.items()
+                if basis <= euf_height
+            }
+
+    def on_final_check(self) -> Optional[Sequence[int]]:
+        if self._arith_is_lia:
+            result = self._arith.final_check()
+            if not result.satisfiable:
+                conflict = sorted(set(result.conflict or []))
+                self._record_explanation(conflict)
+                return conflict
+            self._arith_model = result.model or {}
+        else:
+            self._arith_model = self._arith.model()
+        self._euf_model = self._euf.model()
+        return None
+
+    # -- internals --------------------------------------------------------------
+
+    def _record_explanation(self, lits: Sequence[int]) -> None:
+        self.explanations += 1
+        self.explanation_literals += len(lits)
+
+
 class DpllTEngine:
     """One-shot DPLL(T) check over a list of assertions.
 
     The engine is cheap to construct; :class:`repro.smt.solver.Solver`
     creates a fresh engine per ``check`` call, which keeps the public API
     simple (push/pop is handled at the assertion-stack level).
+
+    ``theory_mode="online"`` (default) wires the incremental theories into
+    the SAT search; ``theory_mode="offline"`` runs the classic
+    model-then-check lazy loop — kept as the reference semantics for
+    differential testing.
     """
 
     def __init__(
         self,
         assertions: Sequence[Term],
         max_iterations: int = 200_000,
+        theory_mode: str = "online",
     ) -> None:
         self._raw_assertions = list(assertions)
         self._max_iterations = max_iterations
+        self.theory_mode = _validate_theory_mode(theory_mode)
         self.stats = SmtStats()
         self._model: Optional[Model] = None
 
     # ------------------------------------------------------------------ public
 
     def check(self) -> CheckResult:
-        """Run the DPLL(T) loop to completion."""
+        """Run the DPLL(T) search to completion."""
+        if self.theory_mode == "offline":
+            return self._check_offline()
+        return self._check_online()
+
+    def model(self) -> Model:
+        """The model found by the last successful :meth:`check`."""
+        if self._model is None:
+            raise SolverError("no model available (last check was not SAT)")
+        return self._model
+
+    # ------------------------------------------------------------------ online
+
+    def _check_online(self) -> CheckResult:
         assertions = [preprocess(a) for a in self._raw_assertions]
         cnf = tseitin(assertions)
         self.stats.sat_clauses = len(cnf.clauses)
@@ -248,8 +491,60 @@ class DpllTEngine:
 
         sat = SatSolver()
         sat.ensure_vars(cnf.num_vars)
-        if not sat.add_clauses(cnf.clauses):
-            return CheckResult.UNSAT
+        core = TheoryCore()
+        sat.set_theory(core)
+        for atom, var in cnf.atom_to_var.items():
+            core.register_atom(atom, var)
+        self.stats.arith_atoms = core.num_arith_atoms
+        self.stats.euf_atoms = core.num_euf_atoms
+
+        variables: Dict[str, object] = {}
+        for assertion in assertions:
+            variables.update(free_variables(assertion))
+
+        try:
+            if not sat.add_clauses(cnf.clauses):
+                return CheckResult.UNSAT
+            if self._max_iterations is not None and self._max_iterations < 1:
+                return CheckResult.UNKNOWN
+            # The iteration budget bounds *theory* conflicts (the online
+            # analogue of offline's blocking-clause rounds); purely Boolean
+            # search stays unbudgeted, exactly like the offline loop.
+            result = sat.solve(theory_conflict_limit=self._max_iterations)
+            if result is SatResult.UNSAT:
+                return CheckResult.UNSAT
+            if result is SatResult.UNKNOWN:
+                return CheckResult.UNKNOWN
+            self._model = _assemble_model(
+                cnf.atom_to_var,
+                sat.model(),
+                variables,
+                core.arith_model,
+                core.euf_model,
+            )
+            return CheckResult.SAT
+        finally:
+            # Single capture point: every exit path reports the same numbers.
+            self.stats.sat_decisions = sat.stats.decisions
+            self.stats.sat_conflicts = sat.stats.conflicts
+            self.stats.theory_conflicts = sat.stats.theory_conflicts
+            self.stats.theory_propagations = sat.stats.theory_propagations
+            self.stats.theory_partial_conflicts = sat.stats.theory_partial_conflicts
+            self.stats.iterations = 1 + sat.stats.theory_conflicts
+            self.stats.explanations = core.explanations
+            self.stats.explanation_literals = core.explanation_literals
+
+    # ------------------------------------------------------------------ offline
+
+    def _check_offline(self) -> CheckResult:
+        assertions = [preprocess(a) for a in self._raw_assertions]
+        cnf = tseitin(assertions)
+        self.stats.sat_clauses = len(cnf.clauses)
+        self.stats.sat_variables = cnf.num_vars
+        self.stats.atoms = len(cnf.atom_to_var)
+
+        sat = SatSolver()
+        sat.ensure_vars(cnf.num_vars)
 
         arith_atoms: Dict[Term, int] = {}
         euf_atoms: Dict[Term, int] = {}
@@ -263,41 +558,41 @@ class DpllTEngine:
             variables.update(free_variables(assertion))
 
         constraint_cache: Dict[Tuple[int, bool], Tuple[LinearLe, ...]] = {}
-        while True:
-            self.stats.iterations += 1
-            if self.stats.iterations > self._max_iterations:
-                return CheckResult.UNKNOWN
-            result = sat.solve()
+        try:
+            if not sat.add_clauses(cnf.clauses):
+                return CheckResult.UNSAT
+            while True:
+                self.stats.iterations += 1
+                if self.stats.iterations > self._max_iterations:
+                    return CheckResult.UNKNOWN
+                result = sat.solve()
+                if result is SatResult.UNSAT:
+                    return CheckResult.UNSAT
+                if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
+                    return CheckResult.UNKNOWN
+
+                bool_model = sat.model()
+                conflict_lits, arith_model, euf_model = _theory_consistency(
+                    arith_atoms, euf_atoms, bool_model, constraint_cache
+                )
+                if conflict_lits is None:
+                    # Theories agree: assemble the model.
+                    self._model = _assemble_model(
+                        cnf.atom_to_var, bool_model, variables, arith_model, euf_model
+                    )
+                    return CheckResult.SAT
+
+                self.stats.theory_conflicts += 1
+                if not conflict_lits:
+                    # Theory inconsistency independent of any decision.
+                    return CheckResult.UNSAT
+                if not sat.add_clause([-lit for lit in conflict_lits]):
+                    return CheckResult.UNSAT
+        finally:
+            # Single capture point: the UNSAT/UNKNOWN early returns used to
+            # leave sat_decisions/sat_conflicts stale or zero.
             self.stats.sat_decisions = sat.stats.decisions
             self.stats.sat_conflicts = sat.stats.conflicts
-            if result is SatResult.UNSAT:
-                return CheckResult.UNSAT
-            if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
-                return CheckResult.UNKNOWN
-
-            bool_model = sat.model()
-            conflict_lits, arith_model, euf_model = _theory_consistency(
-                arith_atoms, euf_atoms, bool_model, constraint_cache
-            )
-            if conflict_lits is None:
-                # Theories agree: assemble the model.
-                self._model = _assemble_model(
-                    cnf.atom_to_var, bool_model, variables, arith_model, euf_model
-                )
-                return CheckResult.SAT
-
-            self.stats.theory_conflicts += 1
-            if not conflict_lits:
-                # Theory inconsistency independent of any decision.
-                return CheckResult.UNSAT
-            if not sat.add_clause([-lit for lit in conflict_lits]):
-                return CheckResult.UNSAT
-
-    def model(self) -> Model:
-        """The model found by the last successful :meth:`check`."""
-        if self._model is None:
-            raise SolverError("no model available (last check was not SAT)")
-        return self._model
 
 
 class IncrementalDpllTEngine:
@@ -311,8 +606,11 @@ class IncrementalDpllTEngine:
       the same subformula twice costs nothing;
     * one :class:`~repro.smt.sat.SatSolver` — learned clauses, variable
       activities and saved phases survive between checks;
-    * theory lemmas (blocking clauses) speak about the atom vocabulary, not
-      about a particular assertion set, so they remain valid and persist.
+    * one :class:`TheoryCore` (online mode) — the incremental theory
+      solvers and their atom vocabulary persist alongside the SAT core;
+      clauses learned from theory conflicts speak about the atom
+      vocabulary, not a particular assertion set, so they remain valid and
+      persist too (offline mode keeps the equivalent blocking clauses).
 
     Scopes are implemented with *selector literals* in the MiniSat
     tradition: an assertion added after a :meth:`push` is encoded as
@@ -324,10 +622,13 @@ class IncrementalDpllTEngine:
     cheap: the clause database is never rebuilt, only extended.
     """
 
-    def __init__(self, max_iterations: int = 200_000) -> None:
+    def __init__(
+        self, max_iterations: int = 200_000, theory_mode: str = "online"
+    ) -> None:
         self._converter = TseitinConverter()
         self._sat = SatSolver()
         self._max_iterations = max_iterations
+        self.theory_mode = _validate_theory_mode(theory_mode)
         self._clauses_fed = 0
         self._atoms_seen = 0
         self._arith_atoms: Dict[Term, int] = {}
@@ -335,6 +636,10 @@ class IncrementalDpllTEngine:
         self._variables: Dict[str, object] = {}
         self._selectors: List[int] = []
         self._constraint_cache: Dict[Tuple[int, bool], Tuple[LinearLe, ...]] = {}
+        self._core: Optional[TheoryCore] = None
+        if self.theory_mode == "online":
+            self._core = TheoryCore(self._constraint_cache)
+            self._sat.set_theory(self._core)
         self._model: Optional[Model] = None
         self._last_result: Optional[CheckResult] = None
         #: Statistics of the most recent :meth:`check`.
@@ -399,46 +704,110 @@ class IncrementalDpllTEngine:
         stats.sat_clauses = self._sat.num_clauses
         stats.sat_variables = self._sat.num_vars
         stats.atoms = self._atoms_seen
-        stats.arith_atoms = len(self._arith_atoms)
-        stats.euf_atoms = len(self._euf_atoms)
+        if self._core is not None:
+            stats.arith_atoms = self._core.num_arith_atoms
+            stats.euf_atoms = self._core.num_euf_atoms
+        else:
+            stats.arith_atoms = len(self._arith_atoms)
+            stats.euf_atoms = len(self._euf_atoms)
+
+        sat_assumptions = list(self._selectors) + assumption_lits
+        if self.theory_mode == "online":
+            return self._check_online(stats, sat_assumptions)
+        return self._check_offline(stats, sat_assumptions)
+
+    def _check_online(
+        self, stats: SmtStats, sat_assumptions: List[int]
+    ) -> CheckResult:
+        assert self._core is not None
+        sat, core = self._sat, self._core
+        # The SAT core's counters are engine-lifetime; report per-check deltas.
+        base_decisions = sat.stats.decisions
+        base_conflicts = sat.stats.conflicts
+        base_theory_conflicts = sat.stats.theory_conflicts
+        base_theory_propagations = sat.stats.theory_propagations
+        base_partial = sat.stats.theory_partial_conflicts
+        base_explanations = core.explanations
+        base_explanation_lits = core.explanation_literals
+        try:
+            if self._max_iterations is not None and self._max_iterations < 1:
+                return self._finish(CheckResult.UNKNOWN)
+            # Budget theory conflicts only (see DpllTEngine._check_online).
+            result = sat.solve(
+                sat_assumptions, theory_conflict_limit=self._max_iterations
+            )
+            if result is SatResult.UNSAT:
+                return self._finish(CheckResult.UNSAT)
+            if result is SatResult.UNKNOWN:
+                return self._finish(CheckResult.UNKNOWN)
+            self._model = _assemble_model(
+                self._converter.result.atom_to_var,
+                sat.model(),
+                self._variables,
+                core.arith_model,
+                core.euf_model,
+            )
+            return self._finish(CheckResult.SAT)
+        finally:
+            stats.sat_decisions = sat.stats.decisions - base_decisions
+            stats.sat_conflicts = sat.stats.conflicts - base_conflicts
+            stats.theory_conflicts = (
+                sat.stats.theory_conflicts - base_theory_conflicts
+            )
+            stats.theory_propagations = (
+                sat.stats.theory_propagations - base_theory_propagations
+            )
+            stats.theory_partial_conflicts = (
+                sat.stats.theory_partial_conflicts - base_partial
+            )
+            stats.iterations = 1 + stats.theory_conflicts
+            stats.explanations = core.explanations - base_explanations
+            stats.explanation_literals = (
+                core.explanation_literals - base_explanation_lits
+            )
+
+    def _check_offline(
+        self, stats: SmtStats, sat_assumptions: List[int]
+    ) -> CheckResult:
         # The SAT core's counters are engine-lifetime; report per-check deltas.
         base_decisions = self._sat.stats.decisions
         base_conflicts = self._sat.stats.conflicts
+        try:
+            while True:
+                stats.iterations += 1
+                if stats.iterations > self._max_iterations:
+                    return self._finish(CheckResult.UNKNOWN)
+                result = self._sat.solve(sat_assumptions)
+                if result is SatResult.UNSAT:
+                    return self._finish(CheckResult.UNSAT)
+                if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
+                    return self._finish(CheckResult.UNKNOWN)
 
-        sat_assumptions = list(self._selectors) + assumption_lits
-        while True:
-            stats.iterations += 1
-            if stats.iterations > self._max_iterations:
-                return self._finish(CheckResult.UNKNOWN)
-            result = self._sat.solve(sat_assumptions)
+                bool_model = self._sat.model()
+                conflict_lits, arith_model, euf_model = _theory_consistency(
+                    self._arith_atoms, self._euf_atoms, bool_model,
+                    self._constraint_cache,
+                )
+                if conflict_lits is None:
+                    self._model = _assemble_model(
+                        self._converter.result.atom_to_var,
+                        bool_model,
+                        self._variables,
+                        arith_model,
+                        euf_model,
+                    )
+                    return self._finish(CheckResult.SAT)
+
+                stats.theory_conflicts += 1
+                if not conflict_lits:  # pragma: no cover - theories always explain
+                    return self._finish(CheckResult.UNSAT)
+                # The lemma is theory-valid, so it may outlive scopes and
+                # assumptions: this is the learned state reused across checks.
+                if not self._sat.add_clause([-lit for lit in conflict_lits]):
+                    return self._finish(CheckResult.UNSAT)
+        finally:
             stats.sat_decisions = self._sat.stats.decisions - base_decisions
             stats.sat_conflicts = self._sat.stats.conflicts - base_conflicts
-            if result is SatResult.UNSAT:
-                return self._finish(CheckResult.UNSAT)
-            if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
-                return self._finish(CheckResult.UNKNOWN)
-
-            bool_model = self._sat.model()
-            conflict_lits, arith_model, euf_model = _theory_consistency(
-                self._arith_atoms, self._euf_atoms, bool_model, self._constraint_cache
-            )
-            if conflict_lits is None:
-                self._model = _assemble_model(
-                    self._converter.result.atom_to_var,
-                    bool_model,
-                    self._variables,
-                    arith_model,
-                    euf_model,
-                )
-                return self._finish(CheckResult.SAT)
-
-            stats.theory_conflicts += 1
-            if not conflict_lits:  # pragma: no cover - theories always explain
-                return self._finish(CheckResult.UNSAT)
-            # The lemma is theory-valid, so it may outlive scopes and
-            # assumptions: this is the learned state reused across checks.
-            if not self._sat.add_clause([-lit for lit in conflict_lits]):
-                return self._finish(CheckResult.UNSAT)
 
     def model(self) -> Model:
         """The model of the last :meth:`check`, which must have returned SAT."""
@@ -486,5 +855,8 @@ class IncrementalDpllTEngine:
             # silently skipped — the next flush retries and re-raises.
             while self._atoms_seen < len(atom_items):
                 atom, var = atom_items[self._atoms_seen]
-                _partition_atom(atom, var, self._arith_atoms, self._euf_atoms)
+                if self._core is not None:
+                    self._core.register_atom(atom, var)
+                else:
+                    _partition_atom(atom, var, self._arith_atoms, self._euf_atoms)
                 self._atoms_seen += 1

@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with an online theory hook.
 
 This is a conflict-driven clause-learning solver in the MiniSat lineage:
 
@@ -7,7 +7,12 @@ This is a conflict-driven clause-learning solver in the MiniSat lineage:
 * VSIDS-style activity decision heuristic with phase saving,
 * Luby-sequence restarts,
 * incremental solving under assumptions (used by DPLL(T) and by the
-  verification layer to enumerate multiple witnesses).
+  verification layer to enumerate multiple witnesses),
+* an online :class:`TheoryListener` hook: every trail literal (decision or
+  propagation) is streamed to an attached theory, which may veto the
+  partial assignment with a conflict explanation, inject theory-implied
+  literals (with lazily materialised reason clauses), and is told about
+  backjumps and restarts so its internal state stays trail-synchronised.
 
 Literals are non-zero Python ints: variable ``v`` is the positive literal
 ``v`` and its negation is ``-v``.  Variables are 1-based.
@@ -22,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.utils.errors import SolverError
 
-__all__ = ["SatResult", "SatSolver", "SatStats"]
+__all__ = ["SatResult", "SatSolver", "SatStats", "TheoryListener"]
 
 
 class SatResult(Enum):
@@ -43,6 +48,9 @@ class SatStats:
     learned_clauses: int = 0
     restarts: int = 0
     max_decision_level: int = 0
+    theory_propagations: int = 0
+    theory_conflicts: int = 0
+    theory_partial_conflicts: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -52,7 +60,88 @@ class SatStats:
             "learned_clauses": self.learned_clauses,
             "restarts": self.restarts,
             "max_decision_level": self.max_decision_level,
+            "theory_propagations": self.theory_propagations,
+            "theory_conflicts": self.theory_conflicts,
+            "theory_partial_conflicts": self.theory_partial_conflicts,
         }
+
+
+class TheoryListener:
+    """Callback interface through which a theory rides the SAT search.
+
+    The solver streams every trail literal to :meth:`on_assert` — decisions
+    and Boolean propagations alike — in trail order.  The listener may:
+
+    * **veto** the partial assignment by returning a conflict: a list of
+      previously streamed literals (including the one just asserted) whose
+      conjunction is theory-inconsistent.  The solver turns it into a
+      conflict clause and resolves it with normal first-UIP analysis, so
+      theory conflicts are learned exactly like Boolean ones;
+    * **propagate**: :meth:`propagations` returns theory-implied literals.
+      They are enqueued with a *lazy* reason — :meth:`explain` is only
+      called if conflict analysis actually needs the antecedents;
+    * **track the trail**: :meth:`on_backjump` announces that only the
+      first ``kept`` streamed literals survive, :meth:`on_restart` that the
+      search restarted (after the corresponding backjump to level 0);
+    * **finish**: :meth:`on_final_check` runs once a full assignment is
+      reached, for theories that only do a bounded check per assertion
+      (e.g. rational-only LIA filtering) and must complete it before the
+      solver may answer SAT.
+
+    All methods are optional; the defaults make an attached listener a
+    no-op.  Explanations returned by :meth:`on_assert` / :meth:`explain`
+    must only mention literals streamed *before* the literal they explain —
+    the solver relies on trail order during conflict analysis.
+    """
+
+    def on_assert(self, lit: int) -> Optional[Sequence[int]]:
+        """Literal ``lit`` was appended to the trail; return a conflict or None."""
+        return None
+
+    def propagations(self) -> Sequence[int]:
+        """Theory-implied literals to enqueue (may include already-true ones)."""
+        return ()
+
+    def explain(self, lit: int) -> Sequence[int]:
+        """Streamed literals whose conjunction implies propagated ``lit``."""
+        raise SolverError(f"theory cannot explain literal {lit}")
+
+    def on_backjump(self, kept: int) -> None:
+        """Only the first ``kept`` literals streamed via on_assert survive."""
+
+    def on_restart(self) -> None:
+        """The search restarted (state was already retracted via on_backjump)."""
+
+    def on_final_check(self) -> Optional[Sequence[int]]:
+        """Full assignment reached; return a final conflict or None."""
+        return None
+
+
+class _TheoryReason:
+    """Placeholder reason for a theory-propagated literal.
+
+    Materialised into a real clause by :meth:`SatSolver._reason_for` only
+    when conflict analysis needs it — that is what makes theory
+    explanations lazy.
+    """
+
+    __slots__ = ("lit",)
+
+    def __init__(self, lit: int) -> None:
+        self.lit = lit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_TheoryReason({self.lit})"
+
+
+def _dedupe(lits: Iterable[int]) -> List[int]:
+    seen = set()
+    out: List[int] = []
+    for lit in lits:
+        if lit not in seen:
+            seen.add(lit)
+            out.append(lit)
+    return out
 
 
 class _Clause:
@@ -113,7 +202,9 @@ class SatSolver:
         # Assignment state; index 0 unused.
         self._assign: List[int] = [0]          # 0 unassigned, 1 true, -1 false
         self._level: List[int] = [0]
-        self._reason: List[Optional[_Clause]] = [None]
+        # Reasons are clauses, or _TheoryReason placeholders that
+        # _reason_for materialises on demand.
+        self._reason: List[Optional[object]] = [None]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._queue_head = 0
@@ -129,6 +220,18 @@ class SatSolver:
         self._ok = True
         self.stats = SatStats()
         self._conflict_limit: Optional[int] = None
+        # Online theory integration.
+        self._theory: Optional[TheoryListener] = None
+        self._theory_head = 0  # trail literals already streamed to the theory
+
+    def set_theory(self, listener: Optional[TheoryListener]) -> None:
+        """Attach (or detach) the online theory listener.
+
+        Must be done before solving; literals already on the trail are
+        streamed at the next ``solve`` call.
+        """
+        self._theory = listener
+        self._theory_head = 0
 
     # ------------------------------------------------------------------ setup
 
@@ -242,10 +345,14 @@ class SatSolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        theory_conflict_limit: Optional[int] = None,
     ) -> SatResult:
         """Determine satisfiability under the given assumption literals.
 
-        Returns :data:`SatResult.UNKNOWN` only when ``conflict_limit`` is hit.
+        Returns :data:`SatResult.UNKNOWN` only when ``conflict_limit``
+        (total conflicts) or ``theory_conflict_limit`` (theory conflicts
+        only — purely Boolean search stays unbudgeted, mirroring the
+        offline lazy loop's iteration bound) is hit.
         """
         if not self._ok:
             return SatResult.UNSAT
@@ -257,57 +364,162 @@ class SatSolver:
             return SatResult.UNSAT
 
         conflicts_total = 0
+        theory_conflicts_base = self.stats.theory_conflicts
         restart_count = 0
         restart_budget = self._restart_base * luby(1)
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
-                self.stats.conflicts += 1
-                conflicts_total += 1
-                if self._decision_level() == 0:
-                    self._ok = False
-                    return SatResult.UNSAT
-                learned, backtrack_level = self._analyze(conflict)
-                self._backtrack(backtrack_level)
-                self._learn(learned)
-                self._decay_activities()
-                if (
-                    self._conflict_limit is not None
-                    and conflicts_total >= self._conflict_limit
-                ):
-                    self._backtrack(0)
-                    return SatResult.UNKNOWN
-                if conflicts_total >= restart_budget:
-                    restart_count += 1
-                    self.stats.restarts += 1
-                    restart_budget = conflicts_total + self._restart_base * luby(
-                        restart_count + 1
-                    )
-                    self._backtrack(0)
-                continue
-
-            # No conflict: apply assumptions first, then decide.
-            if self._decision_level() < len(assumptions):
-                lit = assumptions[self._decision_level()]
-                val = self._lit_value(lit)
-                if val is True:
-                    # Already satisfied: open an empty decision level so the
-                    # assumption indexing stays aligned.
+            if conflict is None:
+                conflict = self._theory_sync()
+            if conflict is None:
+                # No conflict: apply assumptions first, then decide.
+                if self._decision_level() < len(assumptions):
+                    lit = assumptions[self._decision_level()]
+                    val = self._lit_value(lit)
+                    if val is True:
+                        # Already satisfied: open an empty decision level so
+                        # the assumption indexing stays aligned.
+                        self._new_decision_level()
+                        continue
+                    if val is False:
+                        return SatResult.UNSAT
                     self._new_decision_level()
+                    self._enqueue(lit, None)
                     continue
-                if val is False:
-                    return SatResult.UNSAT
-                self._new_decision_level()
-                self._enqueue(lit, None)
-                continue
 
-            lit = self._pick_branch_literal()
-            if lit is None:
-                return SatResult.SAT
-            self.stats.decisions += 1
-            self._new_decision_level()
-            self._enqueue(lit, None)
+                lit = self._pick_branch_literal()
+                if lit is not None:
+                    self.stats.decisions += 1
+                    self._new_decision_level()
+                    self._enqueue(lit, None)
+                    continue
+                conflict = self._theory_final()
+                if conflict is None:
+                    return SatResult.SAT
+
+            # Conflict handling (Boolean and theory conflicts alike).
+            self.stats.conflicts += 1
+            conflicts_total += 1
+            conflict_level = 0
+            for lit in conflict.lits:
+                level = self._level[abs(lit)]
+                if level > conflict_level:
+                    conflict_level = level
+            if not conflict.lits or conflict_level == 0:
+                self._ok = False
+                return SatResult.UNSAT
+            if conflict_level < self._decision_level():
+                # Theory conflicts may surface only after the offending
+                # literals' level is already left behind (e.g. a final-check
+                # conflict over early assignments): re-anchor analysis at the
+                # deepest level actually mentioned by the clause.
+                self._backtrack(conflict_level)
+            learned, backtrack_level = self._analyze(conflict)
+            self._backtrack(backtrack_level)
+            self._learn(learned)
+            self._decay_activities()
+            if (
+                self._conflict_limit is not None
+                and conflicts_total >= self._conflict_limit
+            ):
+                self._backtrack(0)
+                return SatResult.UNKNOWN
+            if (
+                theory_conflict_limit is not None
+                and self.stats.theory_conflicts - theory_conflicts_base
+                >= theory_conflict_limit
+            ):
+                self._backtrack(0)
+                return SatResult.UNKNOWN
+            if conflicts_total >= restart_budget:
+                restart_count += 1
+                self.stats.restarts += 1
+                restart_budget = conflicts_total + self._restart_base * luby(
+                    restart_count + 1
+                )
+                self._backtrack(0)
+                if self._theory is not None:
+                    self._theory.on_restart()
+
+    # ------------------------------------------------------------------ theory
+
+    def _theory_conflict_clause(self, conflict: Sequence[int]) -> _Clause:
+        """Turn a theory explanation (true literals) into an all-false clause."""
+        return _Clause(_dedupe(-lit for lit in conflict))
+
+    def _theory_sync(self) -> Optional[_Clause]:
+        """Stream new trail literals to the theory and absorb its feedback.
+
+        Alternates between feeding the unstreamed trail suffix, enqueuing
+        theory propagations, and Boolean propagation until a fixpoint (or a
+        conflict).  Called whenever unit propagation reaches a fixpoint.
+        """
+        theory = self._theory
+        if theory is None:
+            return None
+        while True:
+            while self._theory_head < len(self._trail):
+                lit = self._trail[self._theory_head]
+                self._theory_head += 1
+                conflict = theory.on_assert(lit)
+                if conflict is not None:
+                    return self._count_theory_conflict(
+                        self._theory_conflict_clause(conflict)
+                    )
+            enqueued = False
+            for lit in theory.propagations():
+                value = self._lit_value(lit)
+                if value is True:
+                    continue
+                if value is False:
+                    # The theory implies a literal the Boolean search already
+                    # negated: explanation -> lit is a conflict clause.
+                    explanation = [e for e in theory.explain(lit) if e != lit]
+                    clause = _Clause(_dedupe([lit] + [-e for e in explanation]))
+                    return self._count_theory_conflict(clause)
+                self.stats.theory_propagations += 1
+                self._enqueue(lit, _TheoryReason(lit))
+                enqueued = True
+            if not enqueued:
+                return None
+            # A conflict here comes from ordinary clause propagation (merely
+            # triggered by a theory-implied literal): it is a Boolean
+            # conflict and must not be counted against the theory budget.
+            conflict = self._propagate()
+            if conflict is not None:
+                return conflict
+
+    def _theory_final(self) -> Optional[_Clause]:
+        """Give the theory its completeness check on the full assignment."""
+        if self._theory is None:
+            return None
+        conflict = self._theory_final_check()
+        if conflict is None:
+            return None
+        return self._count_theory_conflict(self._theory_conflict_clause(conflict))
+
+    def _theory_final_check(self) -> Optional[Sequence[int]]:
+        assert self._theory is not None
+        return self._theory.on_final_check()
+
+    def _count_theory_conflict(self, clause: _Clause) -> _Clause:
+        self.stats.theory_conflicts += 1
+        if len(self._trail) < self._num_vars:
+            self.stats.theory_partial_conflicts += 1
+        return clause
+
+    def _reason_for(self, var: int):
+        """The reason clause of ``var``, materialising lazy theory reasons."""
+        reason = self._reason[var]
+        if type(reason) is _TheoryReason:
+            assert self._theory is not None
+            lit = reason.lit
+            explanation = [e for e in self._theory.explain(lit) if e != lit]
+            clause = _Clause(_dedupe([lit] + [-e for e in explanation]))
+            self._reason[var] = clause
+            return clause
+        return reason
 
     # ------------------------------------------------------------------ internals
 
@@ -424,7 +636,7 @@ class SatSolver:
             index -= 1
             if counter == 0:
                 break
-            reason = self._reason[var]
+            reason = self._reason_for(var)
         learned[0] = -lit
 
         # Compute the backtrack level (second highest level in the clause).
@@ -461,6 +673,9 @@ class SatSolver:
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
+        if self._theory is not None and self._theory_head > len(self._trail):
+            self._theory_head = len(self._trail)
+            self._theory.on_backjump(self._theory_head)
 
     def _pick_branch_literal(self) -> Optional[int]:
         while self._heap:

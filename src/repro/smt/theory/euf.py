@@ -22,7 +22,7 @@ arithmetic and EUF is exposed for users modelling opaque values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt.terms import Term
@@ -30,7 +30,7 @@ from repro.smt.theory.idl import TheoryResult
 from repro.utils.errors import SolverError
 from repro.utils.unionfind import UnionFind
 
-__all__ = ["CongruenceClosure"]
+__all__ = ["CongruenceClosure", "IncrementalCongruenceClosure"]
 
 
 @dataclass(frozen=True)
@@ -182,3 +182,351 @@ class CongruenceClosure:
             if term.kind == "var" or (term.kind == "app" and not term.args):
                 model[term.name] = class_ids[rep]  # type: ignore[index]
         return model
+
+
+# ---------------------------------------------------------------------------
+# Incremental congruence closure for the online DPLL(T) engine
+# ---------------------------------------------------------------------------
+
+
+def _greedy_minimize(entails, count: int) -> Optional[List[int]]:
+    """Single-pass greedy deletion over candidate indices ``0..count-1``.
+
+    Returns an irredundant subset still satisfying the (monotone) ``entails``
+    predicate, or ``None`` when even the full set does not.  Linear in the
+    number of candidates; irredundant because after one pass every survivor
+    is necessary with respect to the final set.
+    """
+    kept = list(range(count))
+    if not entails(kept):
+        return None
+    i = 0
+    while i < len(kept):
+        trial = kept[:i] + kept[i + 1:]
+        if entails(trial):
+            kept = trial
+        else:
+            i += 1
+    return kept
+
+
+@dataclass
+class _CcFrame:
+    """Undo record of one ``assert_lit`` call."""
+
+    lit: int
+    lhs: Term
+    rhs: Term
+    equal: bool
+    diseqs_before: int
+    #: Union operations performed by this frame: (kept_root, merged_root,
+    #: rank_bumped) tuples, undone in reverse order.
+    undo: List[Tuple[Term, Term, bool]] = field(default_factory=list)
+    #: True when this frame ran the closure pass for newly registered
+    #: applications — retracting it must re-arm that pass.
+    reclosed: bool = False
+
+
+class IncrementalCongruenceClosure:
+    """Trail-synchronised EUF: ``assert_lit`` / ``retract_to`` / ``explain``.
+
+    The union-find is kept *without* path compression so that every merge
+    is a single reversible pointer write; each ``assert_lit`` pushes an
+    undo frame recording exactly the unions (direct and congruence-derived)
+    it caused, and ``retract_to(n)`` pops frames to restore any earlier
+    trail state — the online engine retracts in lockstep with SAT
+    backjumps instead of rebuilding the closure per candidate model.
+
+    Congruence is maintained with a signature pass after every merge:
+    applications whose (symbol, argument-class) signatures collide are
+    unioned until a fixpoint.
+
+    Atoms registered via :meth:`register_atom` power *theory propagation*:
+    :meth:`entailed` reports unasserted atom literals the current closure
+    already decides (positively via class equality, negatively via an
+    asserted disequality between the classes), and :meth:`explain` produces
+    a minimal explanation for such a literal by greedy deletion over the
+    asserted equalities — localized, unlike the batch solver's
+    whole-assertion-set fallback, and restrictable to a trail prefix so
+    lazily materialised reasons stay sound for conflict analysis.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._rank: Dict[Term, int] = {}
+        self._apps: List[Term] = []
+        self._terms: List[Term] = []
+        self._diseqs: List[Tuple[Term, Term, int]] = []
+        self._frames: List[_CcFrame] = []
+        self._atoms: Dict[int, Tuple[Term, Term]] = {}
+        # Applications registered since the last congruence pass: arms the
+        # up-front fixpoint in assert_lit (otherwise the trail state is
+        # already congruence-closed and the pass is skipped).
+        self._apps_dirty = False
+        # Any state change since the last entailed() scan: arms propagation.
+        self._entailed_dirty = True
+        self._entailed_cache: List[int] = []
+
+    # -- registration -----------------------------------------------------------
+
+    def register_atom(self, var: int, lhs: Term, rhs: Term) -> None:
+        """Declare SAT variable ``var`` as the equality atom ``lhs = rhs``."""
+        if lhs.sort != rhs.sort:
+            raise SolverError(
+                f"cannot relate terms of different sorts: {lhs.sort} vs {rhs.sort}"
+            )
+        self._register(lhs)
+        self._register(rhs)
+        self._atoms[var] = (lhs, rhs)
+        self._entailed_dirty = True
+
+    def _register(self, term: Term) -> None:
+        if term in self._parent:
+            return
+        for child in term.args:
+            self._register(child)
+        self._parent[term] = term
+        self._rank[term] = 0
+        self._terms.append(term)
+        if term.kind == "app" and term.args:
+            self._apps.append(term)
+            self._apps_dirty = True
+            self._entailed_dirty = True
+
+    # -- trail ------------------------------------------------------------------
+
+    @property
+    def num_asserted(self) -> int:
+        return len(self._frames)
+
+    @property
+    def assertions(self) -> List[Tuple[int, Term, Term, bool]]:
+        return [(f.lit, f.lhs, f.rhs, f.equal) for f in self._frames]
+
+    def assert_lit(
+        self,
+        lit: int,
+        lhs: Term,
+        rhs: Term,
+        equal: Optional[bool] = None,
+    ) -> Optional[List[int]]:
+        """Assert ``lhs = rhs`` (or ``!=`` for ``equal=False``) under ``lit``.
+
+        Returns ``None`` when consistent, else a localized conflict: the
+        literals of a minimal subset of asserted equalities plus the
+        violated disequality.  On conflict the frame stays on the trail for
+        the caller to retract while backjumping.
+        """
+        if equal is None:
+            equal = lit > 0
+        if lhs.sort != rhs.sort:
+            raise SolverError(
+                f"cannot relate terms of different sorts: {lhs.sort} vs {rhs.sort}"
+            )
+        frame = _CcFrame(lit, lhs, rhs, equal, len(self._diseqs))
+        self._frames.append(frame)
+        self._register(lhs)
+        self._register(rhs)
+        self._entailed_dirty = True
+        # Newly registered applications may be congruent to existing classes:
+        # close before judging the new literal.  The trail state is otherwise
+        # already closed (every frame closes before returning, and retraction
+        # restores a closed state), so the pass only runs when armed.
+        if self._apps_dirty:
+            self._congruence_fixpoint(frame.undo)
+            self._apps_dirty = False
+            frame.reclosed = True
+        if equal:
+            self._merge(lhs, rhs, frame.undo)
+            violated = self._first_violated()
+            if violated is not None:
+                a, b, diseq_lit = violated
+                explanation = self._explain_equality(a, b, len(self._frames))
+                return sorted(set(explanation) | {diseq_lit})
+            return None
+        self._diseqs.append((lhs, rhs, lit))
+        if self._find(lhs) is self._find(rhs):
+            explanation = self._explain_equality(lhs, rhs, len(self._frames))
+            return sorted(set(explanation) | {lit})
+        return None
+
+    def retract_to(self, count: int) -> None:
+        while len(self._frames) > count:
+            frame = self._frames.pop()
+            del self._diseqs[frame.diseqs_before:]
+            for kept, merged, bumped in reversed(frame.undo):
+                self._parent[merged] = merged
+                if bumped:
+                    self._rank[kept] -= 1
+            if frame.reclosed:
+                # The closure pass for newly registered applications was
+                # undone with this frame: the next assertion must redo it.
+                self._apps_dirty = True
+            self._entailed_dirty = True
+
+    # -- queries ----------------------------------------------------------------
+
+    def entailed(self) -> List[int]:
+        """Literals of unasserted registered atoms the closure decides.
+
+        The scan is O(atoms x diseqs); it only reruns when the closure
+        state changed since the last call (assert, retract or registration)
+        — between changes the cached answer is returned, so streaming
+        non-EUF literals costs nothing here.
+        """
+        if not self._entailed_dirty:
+            return list(self._entailed_cache)
+        out: List[int] = []
+        asserted = {abs(frame.lit) for frame in self._frames}
+        diseq_roots = [
+            (self._find(a), self._find(b)) for a, b, _ in self._diseqs
+        ]
+        for var, (lhs, rhs) in self._atoms.items():
+            if var in asserted:
+                continue
+            ra, rb = self._find(lhs), self._find(rhs)
+            if ra is rb:
+                out.append(var)
+                continue
+            for fa, fb in diseq_roots:
+                if (fa is ra and fb is rb) or (fa is rb and fb is ra):
+                    out.append(-var)
+                    break
+        self._entailed_cache = out
+        self._entailed_dirty = False
+        return list(out)
+
+    def explain(self, lit: int, limit: Optional[int] = None) -> List[int]:
+        """Asserted literals (within the first ``limit`` frames) implying ``lit``."""
+        var = abs(lit)
+        atom = self._atoms.get(var)
+        if atom is None:
+            raise SolverError(f"literal {lit} is not a registered EUF atom")
+        lhs, rhs = atom
+        frames = self._frames if limit is None else self._frames[:limit]
+        if lit > 0:
+            return sorted(self._explain_equality_over(frames, lhs, rhs))
+        # Negative: some prefix disequality a != b with a ~ lhs and b ~ rhs
+        # (or the swapped orientation) under the prefix equalities.
+        equalities = [(f.lit, f.lhs, f.rhs) for f in frames if f.equal]
+        for frame in frames:
+            if frame.equal:
+                continue
+            for a, b in ((frame.lhs, frame.rhs), (frame.rhs, frame.lhs)):
+                glue = self._joint_entailment(equalities, (a, lhs), (b, rhs))
+                if glue is not None:
+                    return sorted(set(glue) | {frame.lit})
+        raise SolverError(f"EUF explain: literal {lit} is not entailed")
+
+    def model(self) -> Dict[str, int]:
+        """Assign each equivalence class a distinct small integer."""
+        class_ids: Dict[Term, int] = {}
+        model: Dict[str, int] = {}
+        next_id = 0
+        for term in self._terms:
+            rep = self._find(term)
+            if rep not in class_ids:
+                class_ids[rep] = next_id
+                next_id += 1
+            if term.kind == "var" or (term.kind == "app" and not term.args):
+                model[term.name] = class_ids[rep]  # type: ignore[index]
+        return model
+
+    # -- internals --------------------------------------------------------------
+
+    def _find(self, term: Term) -> Term:
+        node = self._parent[term]
+        while True:
+            parent = self._parent[node]
+            if parent is node:
+                return node
+            node = parent
+
+    def _union(self, a: Term, b: Term, undo: List[Tuple[Term, Term, bool]]) -> bool:
+        ra, rb = self._find(a), self._find(b)
+        if ra is rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        bumped = self._rank[ra] == self._rank[rb]
+        self._parent[rb] = ra
+        if bumped:
+            self._rank[ra] += 1
+        undo.append((ra, rb, bumped))
+        return True
+
+    def _merge(self, a: Term, b: Term, undo: List[Tuple[Term, Term, bool]]) -> None:
+        if self._union(a, b, undo):
+            self._congruence_fixpoint(undo)
+
+    def _congruence_fixpoint(self, undo: List[Tuple[Term, Term, bool]]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            signatures: Dict[Tuple, Term] = {}
+            for app in self._apps:
+                key = (app.name, tuple(self._find(arg) for arg in app.args))
+                other = signatures.get(key)
+                if other is None:
+                    signatures[key] = app
+                elif self._union(other, app, undo):
+                    changed = True
+
+    def _first_violated(self) -> Optional[Tuple[Term, Term, int]]:
+        for a, b, lit in self._diseqs:
+            if self._find(a) is self._find(b):
+                return (a, b, lit)
+        return None
+
+    def _explain_equality(self, a: Term, b: Term, limit: int) -> List[int]:
+        return self._explain_equality_over(self._frames[:limit], a, b)
+
+    @staticmethod
+    def _explain_equality_over(
+        frames: Sequence[_CcFrame], a: Term, b: Term
+    ) -> List[int]:
+        """Minimal subset of prefix equality literals making ``a ~ b``.
+
+        Greedy single-pass deletion over a scratch batch closure: linear in
+        the number of candidate equalities, and the surviving set is
+        irredundant (entailment is monotone).
+        """
+        equalities = [(f.lit, f.lhs, f.rhs) for f in frames if f.equal]
+
+        def entails(indices: List[int]) -> bool:
+            scratch = CongruenceClosure(minimize_conflicts=False)
+            for i in indices:
+                scratch.assert_equal(equalities[i][1], equalities[i][2])
+            scratch.assert_distinct(a, b)
+            return not scratch.check().satisfiable
+
+        kept = _greedy_minimize(entails, len(equalities))
+        if kept is None:
+            raise SolverError("EUF explain: equality is not entailed")
+        return [equalities[i][0] for i in kept]
+
+    def _joint_entailment(
+        self,
+        equalities: List[Tuple[int, Term, Term]],
+        first: Tuple[Term, Term],
+        second: Tuple[Term, Term],
+    ) -> Optional[List[int]]:
+        """Minimal equality lits making both pairs equal, or None."""
+
+        def entails(indices: List[int], pair: Tuple[Term, Term]) -> bool:
+            scratch = CongruenceClosure(minimize_conflicts=False)
+            for i in indices:
+                scratch.assert_equal(equalities[i][1], equalities[i][2])
+            scratch.assert_distinct(pair[0], pair[1])
+            return not scratch.check().satisfiable
+
+        def entails_both(indices: List[int]) -> bool:
+            return entails(indices, first) and entails(indices, second)
+
+        kept = _greedy_minimize(entails_both, len(equalities))
+        if kept is None:
+            return None
+        return [equalities[i][0] for i in kept]
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -19,13 +19,14 @@ integer satisfiability coincide, so the produced model is integral.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt.linear import LinearLe
 from repro.utils.errors import SolverError
 
-__all__ = ["DifferenceLogicSolver", "TheoryResult"]
+__all__ = ["DifferenceLogicSolver", "IncrementalDifferenceLogic", "TheoryResult"]
 
 #: Name of the implicit zero node (also usable by callers as a variable that
 #: is pinned to 0 in every model).
@@ -181,3 +182,251 @@ class DifferenceLogicSolver:
 
     def __len__(self) -> int:
         return len(self._constraints)
+
+
+# ---------------------------------------------------------------------------
+# Incremental difference logic for the online DPLL(T) engine
+# ---------------------------------------------------------------------------
+
+
+def _edges_of(constraint: LinearLe, tag: int) -> Optional[List[_Edge]]:
+    """Edges of a difference constraint, or ``None`` for an infeasible constant.
+
+    Mirrors :meth:`DifferenceLogicSolver._constraint_edges` but reports the
+    ``0 <= negative`` case as ``None`` (immediate conflict) instead of a
+    synthetic self-loop, which the incremental relaxation has no use for.
+    """
+    if not constraint.is_difference:
+        raise SolverError(
+            f"not a difference constraint: {constraint} "
+            "(use the incremental LIA solver for general constraints)"
+        )
+    coeffs = dict(constraint.expr.coeffs)
+    bound = constraint.bound
+    if len(coeffs) == 0:
+        if bound >= 0:
+            return []
+        return None
+    if len(coeffs) == 1:
+        ((var, coeff),) = coeffs.items()
+        if coeff == 1:
+            return [_Edge(ZERO, var, bound, tag)]
+        return [_Edge(var, ZERO, bound, tag)]
+    (pos_var,) = [v for v, c in coeffs.items() if c == 1]
+    (neg_var,) = [v for v, c in coeffs.items() if c == -1]
+    return [_Edge(neg_var, pos_var, bound, tag)]
+
+
+@dataclass
+class _IdlFrame:
+    """Undo record of one ``assert_lit`` call."""
+
+    lit: int
+    constraints: Tuple[LinearLe, ...]
+    edges_before: int
+    #: Potentials changed by this frame's relaxations: node -> value before.
+    old_pot: Dict[str, int] = field(default_factory=dict)
+
+
+class IncrementalDifferenceLogic:
+    """Trail-synchronised IDL: ``assert_lit`` / ``retract_to`` / ``explain``.
+
+    The solver maintains a *feasible potential function* ``pot`` (a
+    satisfying assignment): every edge ``u -> v`` of weight ``w`` satisfies
+    ``pot(u) + w >= pot(v)``.  Asserting a constraint adds its edge(s) and,
+    when an edge is violated, repairs the potentials with an incremental
+    Bellman-Ford relaxation seeded at the edge's target (Cotton–Maler
+    style).  If the relaxation propagates back to the *source* of the new
+    edge, a negative cycle — necessarily through the new edge — exists; the
+    predecessor chain of the relaxation names its edges, so the conflict
+    explanation is exactly the constraint literals on one negative cycle
+    (minimal, unlike the batch solver's full re-run).
+
+    Every assertion pushes an undo frame recording the potentials it
+    changed; ``retract_to(n)`` pops frames until only the first ``n``
+    assertions remain, restoring the exact previous state.  This is what
+    lets the online engine keep the theory warm across SAT backjumps
+    instead of rebuilding the solver per candidate model.
+    """
+
+    def __init__(self) -> None:
+        self._pot: Dict[str, int] = {ZERO: 0}
+        self._out: Dict[str, List[_Edge]] = {ZERO: []}
+        self._edges: List[_Edge] = []
+        self._frames: List[_IdlFrame] = []
+
+    # -- trail ------------------------------------------------------------------
+
+    @property
+    def num_asserted(self) -> int:
+        """Number of live assertions (the theory trail height)."""
+        return len(self._frames)
+
+    @property
+    def assertions(self) -> List[Tuple[int, Tuple[LinearLe, ...]]]:
+        """The live ``(lit, constraints)`` trail, oldest first."""
+        return [(frame.lit, frame.constraints) for frame in self._frames]
+
+    def assert_lit(
+        self, lit: int, constraints: Sequence[LinearLe]
+    ) -> Optional[List[int]]:
+        """Assert ``constraints`` under literal ``lit``.
+
+        Returns ``None`` when the state stays consistent, else a minimal
+        conflict: the literals labelling one negative cycle (always
+        including ``lit``).  On conflict the frame remains on the trail —
+        the caller is expected to retract past it while backjumping.
+        """
+        frame = _IdlFrame(lit, tuple(constraints), len(self._edges))
+        self._frames.append(frame)
+        for constraint in frame.constraints:
+            edges = _edges_of(constraint, lit)
+            if edges is None:
+                return [lit]
+            for edge in edges:
+                conflict = self._add_edge(edge, frame)
+                if conflict is not None:
+                    return conflict
+        return None
+
+    def retract_to(self, count: int) -> None:
+        """Retract assertions until only the first ``count`` remain."""
+        while len(self._frames) > count:
+            frame = self._frames.pop()
+            removed = self._edges[frame.edges_before:]
+            for edge in reversed(removed):
+                popped = self._out[edge.src].pop()
+                if popped is not edge:  # pragma: no cover - structural invariant
+                    raise SolverError("IDL undo stack out of sync")
+            del self._edges[frame.edges_before:]
+            for node, value in frame.old_pot.items():
+                self._pot[node] = value
+
+    # -- queries ----------------------------------------------------------------
+
+    def model(self) -> Dict[str, int]:
+        """A satisfying assignment (potentials shifted so ZERO maps to 0)."""
+        shift = self._pot[ZERO]
+        return {
+            name: value - shift
+            for name, value in self._pot.items()
+            if name != ZERO
+        }
+
+    def explain(self, lit: int) -> List[int]:
+        """Literals of *other* assertions entailing ``lit``'s constraints.
+
+        For every edge ``u -> v`` (weight ``w``) of ``lit``'s constraints, a
+        shortest path ``u ~> v`` of weight ``<= w`` over the remaining
+        edges is found; the union of the path labels is the explanation.
+        Raises :class:`SolverError` when ``lit`` is not entailed.
+        """
+        for frame in self._frames:
+            if frame.lit == lit:
+                constraints = frame.constraints
+                break
+        else:
+            raise SolverError(f"literal {lit} is not on the IDL trail")
+        tags: List[int] = []
+        edges = [edge for edge in self._edges if edge.tag != lit]
+        for constraint in constraints:
+            for edge in _edges_of(constraint, lit) or []:
+                tags.extend(self._path_within(edges, edge.src, edge.dst, edge.weight))
+        return sorted({tag for tag in tags if tag != lit})
+
+    # -- internals --------------------------------------------------------------
+
+    def _set_pot(self, node: str, value: int, frame: _IdlFrame) -> None:
+        if node not in frame.old_pot:
+            frame.old_pot[node] = self._pot[node]
+        self._pot[node] = value
+
+    def _add_edge(self, edge: _Edge, frame: _IdlFrame) -> Optional[List[int]]:
+        pot = self._pot
+        for node in (edge.src, edge.dst):
+            if node not in pot:
+                pot[node] = 0
+                self._out[node] = []
+        self._out[edge.src].append(edge)
+        self._edges.append(edge)
+        if pot[edge.src] + edge.weight >= pot[edge.dst]:
+            return None
+        return self._relax(edge, frame)
+
+    def _relax(self, new_edge: _Edge, frame: _IdlFrame) -> Optional[List[int]]:
+        """Repair the potential function after inserting a violated edge."""
+        pot = self._pot
+        pred: Dict[str, _Edge] = {new_edge.dst: new_edge}
+        self._set_pot(new_edge.dst, pot[new_edge.src] + new_edge.weight, frame)
+        queue = deque([new_edge.dst])
+        budget = (len(pot) + 2) * (len(self._edges) + 2)
+        while queue:
+            node = queue.popleft()
+            base = pot[node]
+            for edge in self._out.get(node, ()):
+                budget -= 1
+                if budget < 0:  # pragma: no cover - convergence backstop
+                    raise SolverError("IDL relaxation failed to converge")
+                if base + edge.weight < pot[edge.dst]:
+                    if edge.dst == new_edge.src:
+                        # Relaxation reached the new edge's source: a
+                        # negative cycle through new_edge exists.
+                        return self._cycle_conflict(new_edge, edge, pred)
+                    self._set_pot(edge.dst, base + edge.weight, frame)
+                    pred[edge.dst] = edge
+                    queue.append(edge.dst)
+        return None
+
+    def _cycle_conflict(
+        self, new_edge: _Edge, closing_edge: _Edge, pred: Dict[str, _Edge]
+    ) -> List[int]:
+        tags = {new_edge.tag, closing_edge.tag}
+        node = closing_edge.src
+        for _ in range(len(self._pot) + 1):
+            if node == new_edge.dst:
+                return sorted(tags)
+            edge = pred[node]
+            tags.add(edge.tag)
+            node = edge.src
+        raise SolverError(  # pragma: no cover - pred chains are acyclic
+            "IDL conflict cycle extraction failed"
+        )
+
+    def _path_within(
+        self, edges: List[_Edge], src: str, dst: str, bound: int
+    ) -> List[int]:
+        """Tags of a shortest path ``src ~> dst`` of weight ``<= bound``."""
+        if src == dst and bound >= 0:
+            return []
+        dist: Dict[str, int] = {src: 0}
+        pred: Dict[str, _Edge] = {}
+        by_src: Dict[str, List[_Edge]] = {}
+        nodes = {src, dst}
+        for edge in edges:
+            by_src.setdefault(edge.src, []).append(edge)
+            nodes.add(edge.src)
+            nodes.add(edge.dst)
+        # Bellman-Ford: |V|-1 relaxation rounds suffice (no negative cycles
+        # can exist among entailing edges — the state is consistent).
+        for _ in range(len(nodes)):
+            changed = False
+            for node, base in list(dist.items()):
+                for edge in by_src.get(node, ()):
+                    if base + edge.weight < dist.get(edge.dst, base + edge.weight + 1):
+                        dist[edge.dst] = base + edge.weight
+                        pred[edge.dst] = edge
+                        changed = True
+            if not changed:
+                break
+        if dst not in dist or dist[dst] > bound:
+            raise SolverError("IDL explain: literal is not entailed")
+        tags: List[int] = []
+        node = dst
+        while node != src:
+            edge = pred[node]
+            tags.append(edge.tag)
+            node = edge.src
+        return tags
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -9,6 +9,8 @@ verdict together with a counterexample (when one exists)::
     mcapi-verify --list-workloads
     mcapi-verify --workload figure1 --backend smtlib   # external solver
     mcapi-verify --workload circular_wait --check-deadlock
+    mcapi-verify --workload racy_fanin --stats          # solver statistics
+    mcapi-verify --workload figure1 --theory-mode offline  # reference loop
 
 ``--check-deadlock`` switches the question from the safety properties to
 symbolic deadlock detection (the partial-match encoding): exit code 1 then
@@ -40,6 +42,7 @@ from typing import Callable, Dict, Optional
 from repro.encoding.encoder import EncoderOptions, MatchPairStrategy
 from repro.program.ast import Program
 from repro.smt.backend import available_backends
+from repro.smt.dpllt import THEORY_MODES
 from repro.utils.errors import BackendUnavailableError, SolverError
 from repro.verification.result import Verdict
 from repro.verification.session import VerificationSession, resolve_mode
@@ -166,6 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver backend (smtlib needs REPRO_SMT_SOLVER to name a binary)",
     )
     parser.add_argument(
+        "--theory-mode",
+        default=None,
+        choices=list(THEORY_MODES),
+        help="dpllt only: online theory integration (default) or the "
+        "classic offline lazy loop",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print solver statistics (theory propagations, partial-"
+        "assignment conflicts, avg explanation size, ...)",
+    )
+    parser.add_argument(
         "--property",
         default=None,
         choices=[None, "a-is-y", "a-is-x"],
@@ -231,7 +247,14 @@ def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -
     from repro.program.statictrace import static_trace
     from repro.verification.parallel import verify_many_parallel
 
-    for flag in ("show_trace", "show_smt"):
+    if args.theory_mode is not None and args.portfolio:
+        print(
+            "error: --theory-mode cannot be combined with --portfolio "
+            "(the portfolio races its own fixed backend lineup)",
+            file=sys.stderr,
+        )
+        return 2
+    for flag in ("show_trace", "show_smt", "stats"):
         if getattr(args, flag):
             print(
                 f"warning: --{flag.replace('_', '-')} is ignored in batch mode",
@@ -251,10 +274,15 @@ def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -
             traces.append(static_trace(program))
         else:
             traces.append(run.trace)
+    backend = None if args.portfolio else args.backend
+    if args.theory_mode is not None:
+        from repro.smt.backend import BackendSpec
+
+        backend = BackendSpec.of(backend, theory_mode=args.theory_mode)
     results = verify_many_parallel(
         traces,
         jobs=max(args.jobs, 1),
-        backend=None if args.portfolio else args.backend,
+        backend=backend,
         options=options,
         portfolio=args.portfolio,
         cache_dir=args.cache_dir,
@@ -307,6 +335,7 @@ def main(argv: Optional[list] = None) -> int:
             options=resolved_options,
             properties=properties,
             backend=args.backend,
+            theory_mode=args.theory_mode,
             on_deadlock="static" if mode == "deadlock" else "raise",
         )
         result = session.verdict()
@@ -325,6 +354,12 @@ def main(argv: Optional[list] = None) -> int:
         print()
 
     print(result.describe())
+    if args.stats:
+        print()
+        print("solver statistics:")
+        statistics = result.solver_statistics or session.statistics()
+        for key in sorted(statistics):
+            print(f"  {key} = {statistics[key]}")
     return 1 if result.verdict is Verdict.VIOLATION else 0
 
 

@@ -137,6 +137,11 @@ class VerificationSession:
         default incremental DPLL(T) backend.
     max_solver_iterations:
         DPLL(T) iteration budget per ``check``.
+    theory_mode:
+        ``"online"`` (default) wires the incremental theory solvers into
+        the SAT search; ``"offline"`` selects the classic lazy
+        model-then-check loop (the reference semantics, kept for
+        differential testing).  Only meaningful for the dpllt backend.
     program_run:
         The recording run, when the trace came from one (attached to
         results for replay).
@@ -159,6 +164,7 @@ class VerificationSession:
         properties: Optional[Sequence[Property]] = None,
         backend: Union[str, SolverBackend, None] = None,
         max_solver_iterations: int = 200_000,
+        theory_mode: Optional[str] = None,
         program_run: Optional[ProgramRun] = None,
         encoder: Optional[TraceEncoder] = None,
         problem: Optional[EncodedProblem] = None,
@@ -179,6 +185,7 @@ class VerificationSession:
         self.encode_count = 1
         self._backend_spec = backend
         self._max_iterations = max_solver_iterations
+        self._theory_mode = theory_mode
         self._backend: Optional[SolverBackend] = None
         self._verdict: Optional[VerificationResult] = None
         self._orphan_verdict: Optional[VerificationResult] = None
@@ -233,9 +240,10 @@ class VerificationSession:
     def backend(self) -> SolverBackend:
         """The live solver backend, loaded with the base assertion set."""
         if self._backend is None:
-            self._backend = create_backend(
-                self._backend_spec, max_iterations=self._max_iterations
-            )
+            kwargs: Dict[str, object] = {"max_iterations": self._max_iterations}
+            if self._theory_mode is not None:
+                kwargs["theory_mode"] = self._theory_mode
+            self._backend = create_backend(self._backend_spec, **kwargs)
             self._backend.add_all(self._problem.assertions(include_property=False))
         return self._backend
 
@@ -370,6 +378,7 @@ class VerificationSession:
                 properties=[DeadlockProperty()],
                 backend=self._lane_backend_spec(),
                 max_solver_iterations=self._max_iterations,
+                theory_mode=self._theory_mode,
                 program_run=self.program_run,
             )
         return self._deadlock_session.verdict()
@@ -525,6 +534,7 @@ def verify_many(
     cache_dir: Optional[str] = None,
     portfolio: bool = False,
     mode: str = "safety",
+    theory_mode: Optional[str] = None,
 ) -> List[VerificationResult]:
     """Batch front door: verify many programs and/or traces in one call.
 
@@ -539,6 +549,11 @@ def verify_many(
     :class:`DeadlockProperty`; programs whose recording run blocks fall
     back to the static symbolic trace), or ``"orphan"`` (lost-message
     check).  Mode and explicit ``properties`` are mutually exclusive.
+
+    ``theory_mode`` picks the dpllt engine's theory integration per item
+    (``"online"``/``"offline"``, ``None`` for the backend default); in the
+    parallel lane it is folded into the picklable
+    :class:`~repro.smt.backend.BackendSpec` shipped to workers.
 
     ``jobs``, ``cache``/``cache_dir`` and ``portfolio`` hand the batch to
     :class:`repro.verification.parallel.ParallelVerifier` — sharding over
@@ -556,6 +571,15 @@ def verify_many(
                 "verify_many needs a backend registry name, not a live "
                 "backend instance: worker processes build their own solvers"
             )
+        if theory_mode is not None:
+            if portfolio:
+                raise SolverError(
+                    "theory_mode cannot be combined with portfolio=True: the "
+                    "portfolio races its own fixed backend lineup; drop one "
+                    "of the two options"
+                )
+            # Fold the mode into the picklable spec so workers honour it.
+            backend = BackendSpec.of(backend, theory_mode=theory_mode)
         return ParallelVerifier(
             jobs=jobs,
             backend=backend,
@@ -592,6 +616,7 @@ def verify_many(
                 properties=properties,
                 backend=backend,
                 max_solver_iterations=max_solver_iterations,
+                theory_mode=theory_mode,
                 program_run=run,
                 encoder=encoder,
             )
@@ -601,6 +626,7 @@ def verify_many(
                 properties=properties,
                 backend=backend,
                 max_solver_iterations=max_solver_iterations,
+                theory_mode=theory_mode,
                 encoder=encoder,
             )
         else:

@@ -302,6 +302,7 @@ def random_program(
     nonblocking_probability: float = 0.25,
     forward_probability: float = 0.3,
     allow_deadlock: bool = False,
+    arith_heavy: bool = False,
     name: Optional[str] = None,
 ) -> Program:
     """A seeded random send/recv topology, deadlock-free by construction
@@ -338,6 +339,20 @@ def random_program(
     Faulted receivers carry no assertions — the questions asked of this
     corpus are the deadlock/orphan verdicts, whose ground truth the
     explicit-state explorers provide.
+
+    With ``arith_heavy=True`` two additional assertion shapes join the
+    draw, emitting *chained integer comparisons* so the theory solvers see
+    long difference chains and genuinely linear (non-unit-coefficient)
+    constraints instead of the match-dominated equality shapes above:
+
+    * **chain** — ``m0 < m1``, ``m1 <= m2 + c``, ... between consecutive
+      received slots (pure difference logic, racy: the truth depends on
+      which payloads land in which slot);
+    * **weighted** — ``2*m0 <= m1 + ... + c`` (a non-difference constraint,
+      forcing the general LIA lane).
+
+    The default draw sequence is unchanged when the knob is off, so
+    existing seeded corpora reproduce byte-identically.
 
     Programs stay branch-free on purpose: the symbolic analysis is
     path-constrained, so branch-free inputs are exactly the class on which
@@ -450,7 +465,29 @@ def random_program(
         # Faulted receivers never assert: their receives may not complete.
         if index in faulted:
             continue
-        kind = rng.choice(["none", "first", "sum", "impossible"])
+        kinds = ["none", "first", "sum", "impossible"]
+        if arith_heavy:
+            kinds = kinds + ["chain", "weighted", "chain"]
+        kind = rng.choice(kinds)
+        if kind == "chain" and len(variables) >= 2:
+            # Chained comparisons between consecutive slots: a difference
+            # chain whose truth depends on the delivery order.
+            for slot, (left, right) in enumerate(zip(variables, variables[1:])):
+                if rng.random() < 0.5:
+                    expr = V(left) < V(right)
+                else:
+                    expr = V(left) <= V(right) + C(rng.randint(0, 5))
+                thread.assertion(expr, label=f"recv{index}-chain{slot}")
+        elif kind == "weighted" and len(variables) >= 2:
+            # 2*m0 <= m1 + ... + c: a non-difference constraint exercising
+            # the general LIA lane (and its incremental migration).
+            total = V(variables[1])
+            for variable in variables[2:]:
+                total = total + V(variable)
+            thread.assertion(
+                V(variables[0]) * 2 <= total + C(rng.randint(0, 300)),
+                label=f"recv{index}-weighted",
+            )
         if kind == "first":
             anchor = rng.choice(
                 inbound_payloads[index]

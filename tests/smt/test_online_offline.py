@@ -1,0 +1,260 @@
+"""Differential tests: online DPLL(T) versus the offline reference loop.
+
+The online engine (incremental theories riding the SAT trail) and the
+offline engine (complete model, batch theory check, blocking clause) decide
+the same theory, so their verdicts must be *identical* on every input.
+This suite drives both engines over
+
+* 300 seeded random formulas mixing EUF, IDL and general-LIA atoms under
+  arbitrary Boolean structure (including negations, implications and ite),
+* a corpus of ``arith_heavy`` random MCAPI programs pushed through the full
+  verification stack,
+
+and additionally validates every SAT model by evaluation, so agreement
+cannot be reached by both engines being wrong in the same direction on
+satisfiable inputs.
+"""
+
+import random
+
+import pytest
+
+from repro.smt.dpllt import CheckResult, DpllTEngine, IncrementalDpllTEngine
+from repro.smt.sorts import uninterpreted_sort
+from repro.smt.terms import (
+    Add,
+    And,
+    App,
+    BoolVar,
+    Eq,
+    Function,
+    Iff,
+    Implies,
+    IntVal,
+    IntVar,
+    Ite,
+    Le,
+    Lt,
+    Mul,
+    Not,
+    Or,
+    Term,
+    Var,
+)
+from repro.verification.session import verify_many
+from repro.workloads.generators import random_program
+
+NUM_FORMULAS = 300
+
+
+def _random_assertions(rng: random.Random):
+    """A small random assertion set mixing EUF / IDL / LIA atoms.
+
+    Returns ``(assertions, has_apps)`` — formulas containing non-nullary
+    applications cannot be model-checked by evaluation.
+    """
+    int_vars = [IntVar(f"x{i}") for i in range(rng.randint(2, 4))]
+    u = uninterpreted_sort("U")
+    u_vars = [Var(f"u{i}", u) for i in range(rng.randint(2, 3))]
+    f = Function("f", (u,), u)
+    has_apps = False
+
+    def int_atom() -> Term:
+        shape = rng.choice(["diff", "diff", "bound", "lia", "eq"])
+        a, b = rng.sample(int_vars, 2)
+        c = IntVal(rng.randint(-4, 4))
+        if shape == "diff":
+            op = Lt if rng.random() < 0.5 else Le
+            return op(a, Add(b, c))
+        if shape == "bound":
+            return Le(a, c)
+        if shape == "lia":
+            # Non-unit coefficient: forces the general LIA lane.
+            return Le(Add(Mul(2, a), b), c)
+        return Eq(a, Add(b, c))
+
+    def euf_atom() -> Term:
+        nonlocal has_apps
+        lhs, rhs = rng.choice(u_vars), rng.choice(u_vars)
+        if rng.random() < 0.4:
+            lhs = App(f, lhs)
+            has_apps = True
+        if rng.random() < 0.25:
+            rhs = App(f, rhs)
+            has_apps = True
+        return Eq(lhs, rhs)
+
+    def atom() -> Term:
+        return euf_atom() if rng.random() < 0.35 else int_atom()
+
+    def formula(depth: int) -> Term:
+        if depth <= 0:
+            leaf = atom()
+            return Not(leaf) if rng.random() < 0.4 else leaf
+        shape = rng.choice(["and", "or", "not", "implies", "ite"])
+        if shape == "and":
+            return And([formula(depth - 1) for _ in range(rng.randint(2, 3))])
+        if shape == "or":
+            return Or([formula(depth - 1) for _ in range(rng.randint(2, 3))])
+        if shape == "not":
+            return Not(formula(depth - 1))
+        if shape == "implies":
+            return Implies(formula(depth - 1), formula(depth - 1))
+        return Ite(formula(depth - 1), formula(depth - 1), formula(depth - 1))
+
+    assertions = [formula(rng.randint(1, 3)) for _ in range(rng.randint(1, 4))]
+    return assertions, has_apps
+
+
+class TestFormulaDifferential:
+    @pytest.mark.parametrize("chunk", range(10))
+    def test_online_matches_offline_on_random_formulas(self, chunk):
+        """Verdict equality over NUM_FORMULAS seeded mixed-theory formulas."""
+        per_chunk = NUM_FORMULAS // 10
+        for index in range(per_chunk):
+            seed = chunk * per_chunk + index
+            rng = random.Random(1_000 + seed)
+            assertions, has_apps = _random_assertions(rng)
+
+            online = DpllTEngine(assertions, theory_mode="online")
+            offline = DpllTEngine(assertions, theory_mode="offline")
+            verdict_online = online.check()
+            verdict_offline = offline.check()
+            assert verdict_online == verdict_offline, (
+                f"seed {seed}: online={verdict_online} offline={verdict_offline} "
+                f"on {[str(a) for a in assertions]}"
+            )
+            assert verdict_online is not CheckResult.UNKNOWN
+            if verdict_online is CheckResult.SAT and not has_apps:
+                model = online.model()
+                for assertion in assertions:
+                    assert model.satisfies(assertion), (
+                        f"seed {seed}: online model {model} violates {assertion}"
+                    )
+
+    def test_partial_conflicts_only_happen_online(self):
+        """The offline loop never sees a partial assignment; the online
+        engine's whole point is that it usually conflicts on one."""
+        rng = random.Random(42)
+        online_partial = 0
+        for _ in range(40):
+            assertions, _ = _random_assertions(rng)
+            engine = DpllTEngine(assertions, theory_mode="online")
+            engine.check()
+            online_partial += engine.stats.theory_partial_conflicts
+            offline = DpllTEngine(assertions, theory_mode="offline")
+            offline.check()
+            assert offline.stats.theory_partial_conflicts == 0
+        assert online_partial > 0
+
+    def test_iteration_budget_binds_theory_rounds_not_boolean_search(self):
+        """max_iterations is a *theory* budget in both modes: a Boolean-hard
+        instance with zero theory atoms must be decided under a budget that
+        its Boolean conflict count exceeds (regression: online briefly
+        treated the budget as a total SAT conflict limit)."""
+        pigeons, holes = 6, 5
+        v = {
+            (p, h): BoolVar(f"p{p}h{h}")
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        terms = [Or([v[(p, h)] for h in range(holes)]) for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    terms.append(Or(Not(v[(p1, h)]), Not(v[(p2, h)])))
+        for mode in ("online", "offline"):
+            engine = DpllTEngine(terms, max_iterations=50, theory_mode=mode)
+            assert engine.check() is CheckResult.UNSAT, mode
+            assert engine.stats.sat_conflicts > 50, mode
+
+    def test_tiny_budget_still_yields_unknown_on_theory_conflicts(self):
+        xs = [IntVar(f"b{i}") for i in range(6)]
+        terms = [
+            Or(Lt(xs[i], xs[j]), Lt(xs[j], xs[i]))
+            for i in range(6)
+            for j in range(i + 1, 6)
+        ]
+        terms += [Le(IntVal(0), x) for x in xs]
+        terms += [Le(x, IntVal(4)) for x in xs]
+        engine = DpllTEngine(terms, max_iterations=3, theory_mode="online")
+        assert engine.check() is CheckResult.UNKNOWN
+
+    def test_online_engine_propagates_euf_literals(self):
+        """x=y and y=z must propagate x=z instead of deciding it."""
+        u = uninterpreted_sort("U")
+        x, y, z = (Var(n, u) for n in "xyz")
+        engine = DpllTEngine(
+            [
+                Eq(x, y),
+                Eq(y, z),
+                Or(Not(Eq(x, z)), Eq(x, y)),  # mentions the x=z atom
+            ]
+        )
+        assert engine.check() is CheckResult.SAT
+        assert engine.stats.theory_propagations > 0
+
+
+class TestIncrementalEngineDifferential:
+    def test_assumption_checks_agree(self):
+        """Scoped assumption streams agree between the two modes."""
+        for seed in range(40):
+            rng = random.Random(7_000 + seed)
+            assertions, _ = _random_assertions(rng)
+            probe_rng = random.Random(8_000 + seed)
+            probes, _ = _random_assertions(probe_rng)
+
+            online = IncrementalDpllTEngine(theory_mode="online")
+            offline = IncrementalDpllTEngine(theory_mode="offline")
+            for engine in (online, offline):
+                for assertion in assertions:
+                    engine.add(assertion)
+            assert online.check() == offline.check(), f"seed {seed} (base)"
+            for probe in probes[:2]:
+                assert online.check(probe) == offline.check(probe), (
+                    f"seed {seed} (assumption {probe})"
+                )
+            # Assumptions must not have leaked into the assertion set.
+            assert online.check() == offline.check(), f"seed {seed} (re-base)"
+
+    def test_push_pop_streams_agree(self):
+        for seed in range(25):
+            rng = random.Random(11_000 + seed)
+            base, _ = _random_assertions(rng)
+            scoped, _ = _random_assertions(rng)
+
+            online = IncrementalDpllTEngine(theory_mode="online")
+            offline = IncrementalDpllTEngine(theory_mode="offline")
+            for engine in (online, offline):
+                for assertion in base:
+                    engine.add(assertion)
+            assert online.check() == offline.check()
+            for engine in (online, offline):
+                engine.push()
+                for assertion in scoped:
+                    engine.add(assertion)
+            assert online.check() == offline.check(), f"seed {seed} (scoped)"
+            for engine in (online, offline):
+                engine.pop()
+            assert online.check() == offline.check(), f"seed {seed} (popped)"
+
+
+class TestProgramDifferential:
+    def test_arith_heavy_programs_agree_end_to_end(self):
+        """The full verification stack (encode -> session -> backend) gives
+        identical verdicts in both theory modes on an arith-heavy corpus —
+        the workload class whose assertions actually stress IDL chains and
+        the LIA migration path."""
+        programs = [
+            random_program(
+                random.Random(20_000 + seed),
+                arith_heavy=True,
+                name=f"arith_heavy_{seed}",
+            )
+            for seed in range(40)
+        ]
+        online = verify_many(programs, theory_mode="online")
+        offline = verify_many(programs, theory_mode="offline")
+        assert [r.verdict for r in online] == [r.verdict for r in offline]
+        # The corpus must actually contain both outcomes to mean anything.
+        assert len({r.verdict for r in online}) > 1
