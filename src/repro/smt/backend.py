@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover - ancient pythons only
 
 from repro.smt.dpllt import CheckResult, IncrementalDpllTEngine
 from repro.smt.models import Model
+from repro.smt.sat import DEFAULT_REDUCE_BASE, DEFAULT_THEORY_BUMP
 from repro.smt.smtlib import to_smtlib
 from repro.smt.terms import Term, free_variables
 from repro.utils.errors import (
@@ -156,10 +157,21 @@ class DpllTBackend:
     name = "dpllt"
 
     def __init__(
-        self, max_iterations: int = 200_000, theory_mode: str = "online"
+        self,
+        max_iterations: int = 200_000,
+        theory_mode: str = "online",
+        reduce_db: bool = True,
+        reduce_base: int = DEFAULT_REDUCE_BASE,
+        theory_bump: float = DEFAULT_THEORY_BUMP,
+        idl_propagation: bool = True,
     ) -> None:
         self._engine = IncrementalDpllTEngine(
-            max_iterations=max_iterations, theory_mode=theory_mode
+            max_iterations=max_iterations,
+            theory_mode=theory_mode,
+            reduce_db=reduce_db,
+            reduce_base=reduce_base,
+            theory_bump=theory_bump,
+            idl_propagation=idl_propagation,
         )
 
     @property
@@ -185,6 +197,15 @@ class DpllTBackend:
 
     def model(self) -> Model:
         return self._engine.model()
+
+    def set_idl_propagation(self, enabled: bool) -> None:
+        """Pause/resume IDL bound propagation between checks.
+
+        Used by enumeration loops (e.g.
+        :meth:`repro.verification.session.VerificationSession.pairings`)
+        where streaming SAT models does not profit from the lane.
+        """
+        self._engine.set_idl_propagation(enabled)
 
     def statistics(self) -> Dict[str, int]:
         if self._engine.total_checks == 0:
@@ -279,6 +300,10 @@ class SmtLibProcessBackend:
         timeout: float = 60.0,
         max_iterations: Optional[int] = None,  # accepted for factory parity
         theory_mode: Optional[str] = None,  # accepted for factory parity
+        reduce_db: Optional[bool] = None,  # accepted for factory parity
+        reduce_base: Optional[int] = None,  # accepted for factory parity
+        theory_bump: Optional[float] = None,  # accepted for factory parity
+        idl_propagation: Optional[bool] = None,  # accepted for factory parity
     ) -> None:
         if command is None:
             command = os.environ.get(SMTLIB_SOLVER_ENV)

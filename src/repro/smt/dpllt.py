@@ -38,7 +38,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.smt.cnf import TseitinConverter, tseitin
 from repro.smt.linear import LinearLe, atom_to_constraints
 from repro.smt.models import Model
-from repro.smt.sat import SatResult, SatSolver, TheoryListener
+from repro.smt.sat import (
+    DEFAULT_REDUCE_BASE,
+    DEFAULT_THEORY_BUMP,
+    SatResult,
+    SatSolver,
+    TheoryListener,
+)
 from repro.smt.simplify import preprocess
 from repro.smt.terms import Term, free_variables
 from repro.smt.theory.euf import CongruenceClosure, IncrementalCongruenceClosure
@@ -91,6 +97,11 @@ class SmtStats:
     ``explanations`` / ``explanation_literals`` measure the theory
     explanations produced (conflicts and lazy propagation reasons);
     ``as_dict`` derives the average explanation size from them.
+    ``theory_propagations`` counts literals the SAT core actually
+    *enqueued*; the per-theory split (``theory_propagations_euf`` /
+    ``theory_propagations_idl``) counts entailments the theories
+    *emitted*, so the split may exceed the aggregate when an entailment
+    arrives for a literal the Boolean search already assigned.
     """
 
     iterations: int = 0
@@ -103,9 +114,14 @@ class SmtStats:
     sat_decisions: int = 0
     sat_conflicts: int = 0
     theory_propagations: int = 0
+    theory_propagations_euf: int = 0
+    theory_propagations_idl: int = 0
     theory_partial_conflicts: int = 0
     explanations: int = 0
     explanation_literals: int = 0
+    reduce_db_rounds: int = 0
+    clauses_deleted: int = 0
+    max_live_learned: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         avg_explanation = (
@@ -124,8 +140,13 @@ class SmtStats:
             "sat_decisions": self.sat_decisions,
             "sat_conflicts": self.sat_conflicts,
             "theory_propagations": self.theory_propagations,
+            "theory_propagations_euf": self.theory_propagations_euf,
+            "theory_propagations_idl": self.theory_propagations_idl,
             "theory_partial_conflicts": self.theory_partial_conflicts,
             "avg_explanation_size": avg_explanation,
+            "reduce_db_rounds": self.reduce_db_rounds,
+            "clauses_deleted": self.clauses_deleted,
+            "max_live_learned": self.max_live_learned,
         }
 
 
@@ -306,12 +327,17 @@ class TheoryCore(TheoryListener):
     def __init__(
         self,
         constraint_cache: Optional[Dict[Tuple[int, bool], Tuple[LinearLe, ...]]] = None,
+        idl_propagation: bool = True,
     ) -> None:
         self._euf = IncrementalCongruenceClosure()
+        self._idl_propagation = idl_propagation
         self._arith: Union[IncrementalDifferenceLogic, IncrementalLinearInt] = (
-            IncrementalDifferenceLogic()
+            IncrementalDifferenceLogic(propagate=idl_propagation)
         )
         self._arith_is_lia = False
+        # After migrating to LIA, the retired IDL solver is kept (frozen)
+        # so the lazy explanations of its still-live propagations resolve.
+        self._idl_frozen: Optional[IncrementalDifferenceLogic] = None
         self._arith_vars: Dict[int, Term] = {}
         self._euf_vars: Dict[int, Term] = {}
         self._cache = constraint_cache if constraint_cache is not None else {}
@@ -325,6 +351,9 @@ class TheoryCore(TheoryListener):
         #: Explanation accounting (conflicts + lazy propagation reasons).
         self.explanations = 0
         self.explanation_literals = 0
+        #: Propagations emitted, split by originating theory.
+        self.euf_propagations = 0
+        self.idl_propagations = 0
 
     # -- vocabulary -------------------------------------------------------------
 
@@ -334,9 +363,44 @@ class TheoryCore(TheoryListener):
         _reject_atom_kind(kind)
         if kind == "arith":
             self._arith_vars[var] = atom
+            if self._idl_propagation and not self._arith_is_lia:
+                self._register_idl_atom(var)
         elif kind == "euf":
             self._euf_vars[var] = atom
             self._euf.register_atom(var, atom.args[0], atom.args[1])
+
+    def set_idl_propagation(self, enabled: bool) -> None:
+        """Pause/resume IDL bound propagation at a check boundary.
+
+        Pausing only stops *new* emissions (already-reported literals keep
+        their lazily materialisable explanations), so it is always sound.
+        Resuming re-enables detection for the atoms registered while the
+        lane was on — a core constructed with ``idl_propagation=False``
+        never registered any, so the toggle is a no-op there.
+        """
+        self._idl_propagation = enabled
+        if isinstance(self._arith, IncrementalDifferenceLogic):
+            self._arith.set_propagation(enabled)
+
+    def _register_idl_atom(self, var: int) -> None:
+        """Register ``var`` for IDL bound propagation when both phases fit.
+
+        Non-difference atoms (which will migrate the lane to LIA the moment
+        they are asserted) and atoms whose negation is not a conjunctive
+        constraint simply stay unregistered — propagation is an
+        optimisation, never a requirement.
+        """
+        try:
+            positive = self._constraints_for(var, True)
+            negative = self._constraints_for(var, False)
+        except SolverError:
+            return
+        if len(positive) != 1 or len(negative) != 1:
+            return
+        if not positive[0].is_difference or not negative[0].is_difference:
+            return
+        assert isinstance(self._arith, IncrementalDifferenceLogic)
+        self._arith.register_atom(var, positive[0], negative[0])
 
     @property
     def num_arith_atoms(self) -> int:
@@ -371,6 +435,14 @@ class TheoryCore(TheoryListener):
             conflict = lia.assert_lit(lit, constraints)
             if conflict is not None:  # pragma: no cover - IDL-feasible prefix
                 raise SolverError("LIA migration of a consistent IDL trail failed")
+        # Freeze the IDL solver for lazy explanations of propagations it
+        # already reported: a live propagated literal's explanation prefix
+        # is exactly the frozen solver's edge prefix, which never mutates
+        # again.  Undrained pending entailments are dropped — propagation
+        # is best-effort and the LIA lane has no propagation of its own.
+        assert isinstance(self._arith, IncrementalDifferenceLogic)
+        self._arith.take_propagations()
+        self._idl_frozen = self._arith
         self._arith = lia
         self._arith_is_lia = True
 
@@ -399,11 +471,24 @@ class TheoryCore(TheoryListener):
         if pending:
             basis = self._euf.num_asserted
             for lit in pending:
+                if lit not in self._prop_basis:
+                    self.euf_propagations += 1
                 self._prop_basis[lit] = basis
+        if self._idl_propagation and not self._arith_is_lia:
+            assert isinstance(self._arith, IncrementalDifferenceLogic)
+            idl_pending = self._arith.take_propagations()
+            if idl_pending:
+                self.idl_propagations += len(idl_pending)
+                pending = list(pending) + idl_pending
         return pending
 
     def explain(self, lit: int) -> Sequence[int]:
-        explanation = self._euf.explain(lit, limit=self._prop_basis.get(lit))
+        if abs(lit) in self._arith_vars:
+            solver = self._idl_frozen if self._arith_is_lia else self._arith
+            assert isinstance(solver, IncrementalDifferenceLogic)
+            explanation: Sequence[int] = solver.explain_entailed(lit)
+        else:
+            explanation = self._euf.explain(lit, limit=self._prop_basis.get(lit))
         self._record_explanation(explanation)
         return explanation
 
@@ -459,12 +544,27 @@ class DpllTEngine:
         assertions: Sequence[Term],
         max_iterations: int = 200_000,
         theory_mode: str = "online",
+        reduce_db: bool = True,
+        reduce_base: int = DEFAULT_REDUCE_BASE,
+        theory_bump: float = DEFAULT_THEORY_BUMP,
+        idl_propagation: bool = True,
     ) -> None:
         self._raw_assertions = list(assertions)
         self._max_iterations = max_iterations
         self.theory_mode = _validate_theory_mode(theory_mode)
+        self._reduce_db = reduce_db
+        self._reduce_base = reduce_base
+        self._theory_bump = theory_bump
+        self._idl_propagation = idl_propagation
         self.stats = SmtStats()
         self._model: Optional[Model] = None
+
+    def _make_sat_solver(self) -> SatSolver:
+        return SatSolver(
+            reduce_db=self._reduce_db,
+            reduce_base=self._reduce_base,
+            theory_bump=self._theory_bump,
+        )
 
     # ------------------------------------------------------------------ public
 
@@ -489,9 +589,9 @@ class DpllTEngine:
         self.stats.sat_variables = cnf.num_vars
         self.stats.atoms = len(cnf.atom_to_var)
 
-        sat = SatSolver()
+        sat = self._make_sat_solver()
         sat.ensure_vars(cnf.num_vars)
-        core = TheoryCore()
+        core = TheoryCore(idl_propagation=self._idl_propagation)
         sat.set_theory(core)
         for atom, var in cnf.atom_to_var.items():
             core.register_atom(atom, var)
@@ -529,10 +629,15 @@ class DpllTEngine:
             self.stats.sat_conflicts = sat.stats.conflicts
             self.stats.theory_conflicts = sat.stats.theory_conflicts
             self.stats.theory_propagations = sat.stats.theory_propagations
+            self.stats.theory_propagations_euf = core.euf_propagations
+            self.stats.theory_propagations_idl = core.idl_propagations
             self.stats.theory_partial_conflicts = sat.stats.theory_partial_conflicts
             self.stats.iterations = 1 + sat.stats.theory_conflicts
             self.stats.explanations = core.explanations
             self.stats.explanation_literals = core.explanation_literals
+            self.stats.reduce_db_rounds = sat.stats.reduce_db_rounds
+            self.stats.clauses_deleted = sat.stats.clauses_deleted
+            self.stats.max_live_learned = sat.stats.max_live_learned
 
     # ------------------------------------------------------------------ offline
 
@@ -543,7 +648,7 @@ class DpllTEngine:
         self.stats.sat_variables = cnf.num_vars
         self.stats.atoms = len(cnf.atom_to_var)
 
-        sat = SatSolver()
+        sat = self._make_sat_solver()
         sat.ensure_vars(cnf.num_vars)
 
         arith_atoms: Dict[Term, int] = {}
@@ -593,6 +698,9 @@ class DpllTEngine:
             # leave sat_decisions/sat_conflicts stale or zero.
             self.stats.sat_decisions = sat.stats.decisions
             self.stats.sat_conflicts = sat.stats.conflicts
+            self.stats.reduce_db_rounds = sat.stats.reduce_db_rounds
+            self.stats.clauses_deleted = sat.stats.clauses_deleted
+            self.stats.max_live_learned = sat.stats.max_live_learned
 
 
 class IncrementalDpllTEngine:
@@ -623,10 +731,20 @@ class IncrementalDpllTEngine:
     """
 
     def __init__(
-        self, max_iterations: int = 200_000, theory_mode: str = "online"
+        self,
+        max_iterations: int = 200_000,
+        theory_mode: str = "online",
+        reduce_db: bool = True,
+        reduce_base: int = DEFAULT_REDUCE_BASE,
+        theory_bump: float = DEFAULT_THEORY_BUMP,
+        idl_propagation: bool = True,
     ) -> None:
         self._converter = TseitinConverter()
-        self._sat = SatSolver()
+        self._sat = SatSolver(
+            reduce_db=reduce_db,
+            reduce_base=reduce_base,
+            theory_bump=theory_bump,
+        )
         self._max_iterations = max_iterations
         self.theory_mode = _validate_theory_mode(theory_mode)
         self._clauses_fed = 0
@@ -638,7 +756,9 @@ class IncrementalDpllTEngine:
         self._constraint_cache: Dict[Tuple[int, bool], Tuple[LinearLe, ...]] = {}
         self._core: Optional[TheoryCore] = None
         if self.theory_mode == "online":
-            self._core = TheoryCore(self._constraint_cache)
+            self._core = TheoryCore(
+                self._constraint_cache, idl_propagation=idl_propagation
+            )
             self._sat.set_theory(self._core)
         self._model: Optional[Model] = None
         self._last_result: Optional[CheckResult] = None
@@ -729,6 +849,10 @@ class IncrementalDpllTEngine:
         base_partial = sat.stats.theory_partial_conflicts
         base_explanations = core.explanations
         base_explanation_lits = core.explanation_literals
+        base_euf_props = core.euf_propagations
+        base_idl_props = core.idl_propagations
+        base_reduce_rounds = sat.stats.reduce_db_rounds
+        base_deleted = sat.stats.clauses_deleted
         try:
             if self._max_iterations is not None and self._max_iterations < 1:
                 return self._finish(CheckResult.UNKNOWN)
@@ -765,6 +889,15 @@ class IncrementalDpllTEngine:
             stats.explanation_literals = (
                 core.explanation_literals - base_explanation_lits
             )
+            stats.theory_propagations_euf = core.euf_propagations - base_euf_props
+            stats.theory_propagations_idl = core.idl_propagations - base_idl_props
+            stats.reduce_db_rounds = (
+                sat.stats.reduce_db_rounds - base_reduce_rounds
+            )
+            stats.clauses_deleted = sat.stats.clauses_deleted - base_deleted
+            # A gauge, not a counter: the engine-lifetime peak is the number
+            # that shows whether the live clause set stays bounded.
+            stats.max_live_learned = sat.stats.max_live_learned
 
     def _check_offline(
         self, stats: SmtStats, sat_assumptions: List[int]
@@ -772,6 +905,8 @@ class IncrementalDpllTEngine:
         # The SAT core's counters are engine-lifetime; report per-check deltas.
         base_decisions = self._sat.stats.decisions
         base_conflicts = self._sat.stats.conflicts
+        base_reduce_rounds = self._sat.stats.reduce_db_rounds
+        base_deleted = self._sat.stats.clauses_deleted
         try:
             while True:
                 stats.iterations += 1
@@ -808,12 +943,27 @@ class IncrementalDpllTEngine:
         finally:
             stats.sat_decisions = self._sat.stats.decisions - base_decisions
             stats.sat_conflicts = self._sat.stats.conflicts - base_conflicts
+            stats.reduce_db_rounds = (
+                self._sat.stats.reduce_db_rounds - base_reduce_rounds
+            )
+            stats.clauses_deleted = self._sat.stats.clauses_deleted - base_deleted
+            stats.max_live_learned = self._sat.stats.max_live_learned
 
     def model(self) -> Model:
         """The model of the last :meth:`check`, which must have returned SAT."""
         if self._model is None:
             raise SolverError("model() requires the previous check() to be SAT")
         return self._model
+
+    def set_idl_propagation(self, enabled: bool) -> None:
+        """Pause/resume IDL bound propagation between checks (online mode).
+
+        Model-enumeration loops toggle the lane off: streaming SAT models
+        rarely profits from bound propagation, while the per-assertion
+        entailment pass still costs two Dijkstras.  A no-op in offline mode.
+        """
+        if self._core is not None:
+            self._core.set_idl_propagation(enabled)
 
     @property
     def last_result(self) -> Optional[CheckResult]:

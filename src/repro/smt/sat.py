@@ -8,6 +8,14 @@ This is a conflict-driven clause-learning solver in the MiniSat lineage:
 * Luby-sequence restarts,
 * incremental solving under assumptions (used by DPLL(T) and by the
   verification layer to enumerate multiple witnesses),
+* learned-clause database reduction: clause activities decay alongside
+  variable activities, and once the learned set outgrows a geometrically
+  growing budget :meth:`SatSolver.reduce_db` drops the coldest half —
+  never clauses that are reason-locked, binary, or pinned theory lemmas —
+  and unlinks the victims from the watch lists,
+* theory-aware branching: variables named by theory conflict explanations
+  and theory propagations receive an extra activity bump
+  (``theory_bump``), steering decisions toward almost-conflicting atoms,
 * an online :class:`TheoryListener` hook: every trail literal (decision or
   propagation) is streamed to an attached theory, which may veto the
   partial assignment with a conflict explanation, inject theory-implied
@@ -27,7 +35,25 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.utils.errors import SolverError
 
-__all__ = ["SatResult", "SatSolver", "SatStats", "TheoryListener"]
+__all__ = [
+    "SatResult",
+    "SatSolver",
+    "SatStats",
+    "TheoryListener",
+    "DEFAULT_REDUCE_BASE",
+    "DEFAULT_REDUCE_GROWTH",
+    "DEFAULT_CLAUSE_DECAY",
+    "DEFAULT_THEORY_BUMP",
+]
+
+#: Default learned-clause budget before the first :meth:`SatSolver.reduce_db`.
+DEFAULT_REDUCE_BASE = 600
+#: Default geometric growth factor of the learned-clause budget.
+DEFAULT_REDUCE_GROWTH = 1.5
+#: Default clause-activity decay (mirrors the variable-activity decay).
+DEFAULT_CLAUSE_DECAY = 0.999
+#: Default extra activity factor for variables named by theory feedback.
+DEFAULT_THEORY_BUMP = 2.0
 
 
 class SatResult(Enum):
@@ -51,6 +77,9 @@ class SatStats:
     theory_propagations: int = 0
     theory_conflicts: int = 0
     theory_partial_conflicts: int = 0
+    reduce_db_rounds: int = 0
+    clauses_deleted: int = 0
+    max_live_learned: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -63,6 +92,9 @@ class SatStats:
             "theory_propagations": self.theory_propagations,
             "theory_conflicts": self.theory_conflicts,
             "theory_partial_conflicts": self.theory_partial_conflicts,
+            "reduce_db_rounds": self.reduce_db_rounds,
+            "clauses_deleted": self.clauses_deleted,
+            "max_live_learned": self.max_live_learned,
         }
 
 
@@ -145,14 +177,27 @@ def _dedupe(lits: Iterable[int]) -> List[int]:
 
 
 class _Clause:
-    """A clause with its first two literal slots acting as watches."""
+    """A clause with its first two literal slots acting as watches.
 
-    __slots__ = ("lits", "learned", "activity")
+    ``pinned`` marks learned clauses :meth:`SatSolver.reduce_db` must never
+    delete (theory lemmas kept under ``pin_theory_lemmas``); ``deleted``
+    marks victims of a reduction while they are being unlinked from the
+    watch lists; ``lbd`` is the literal-block distance at learn time (the
+    number of distinct decision levels in the clause — "glue" clauses with
+    a small LBD are kept through reductions, Glucose-style).
+    """
 
-    def __init__(self, lits: List[int], learned: bool = False) -> None:
+    __slots__ = ("lits", "learned", "activity", "pinned", "deleted", "lbd")
+
+    def __init__(
+        self, lits: List[int], learned: bool = False, pinned: bool = False
+    ) -> None:
         self.lits = lits
         self.learned = learned
         self.activity = 0.0
+        self.pinned = pinned
+        self.deleted = False
+        self.lbd = len(lits)
 
     def __len__(self) -> int:
         return len(self.lits)
@@ -195,9 +240,24 @@ class SatSolver:
 
     _UNASSIGNED = 0
 
-    def __init__(self, restart_base: int = 100, decay: float = 0.95) -> None:
+    def __init__(
+        self,
+        restart_base: int = 100,
+        decay: float = 0.95,
+        clause_decay: float = DEFAULT_CLAUSE_DECAY,
+        reduce_db: bool = True,
+        reduce_base: int = DEFAULT_REDUCE_BASE,
+        reduce_growth: float = DEFAULT_REDUCE_GROWTH,
+        theory_bump: float = DEFAULT_THEORY_BUMP,
+        pin_theory_lemmas: bool = False,
+    ) -> None:
+        if reduce_base < 1:
+            raise SolverError(f"reduce_base must be >= 1, got {reduce_base}")
+        if reduce_growth < 1.0:
+            raise SolverError(f"reduce_growth must be >= 1, got {reduce_growth}")
         self._num_vars = 0
-        self._clauses: List[_Clause] = []
+        self._clauses: List[_Clause] = []       # problem clauses
+        self._learned: List[_Clause] = []       # learned clauses (reducible)
         self._watches: Dict[int, List[_Clause]] = {}
         # Assignment state; index 0 unused.
         self._assign: List[int] = [0]          # 0 unassigned, 1 true, -1 false
@@ -214,6 +274,18 @@ class SatSolver:
         self._var_inc = 1.0
         self._decay = decay
         self._heap: List[Tuple[float, int]] = []
+        # Learned-clause database reduction.
+        self._cla_inc = 1.0
+        self._clause_decay = clause_decay
+        self._reduce_enabled = reduce_db
+        self._reduce_base = reduce_base
+        self._reduce_limit = reduce_base
+        self._reduce_growth = reduce_growth
+        self._reduce_conflict_floor = max(1, reduce_base // 6)
+        # Theory-aware branching / theory lemma pinning.
+        self._theory_bump = theory_bump
+        self._pin_theory_lemmas = pin_theory_lemmas
+        self._conflict_from_theory = False
         # Restarts.
         self._restart_base = restart_base
         # Bookkeeping.
@@ -260,7 +332,12 @@ class SatSolver:
 
     @property
     def num_clauses(self) -> int:
-        return len(self._clauses)
+        return len(self._clauses) + len(self._learned)
+
+    @property
+    def num_learned(self) -> int:
+        """Live learned clauses (the population :meth:`reduce_db` bounds)."""
+        return len(self._learned)
 
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause; returns ``False`` if the formula became trivially unsat.
@@ -401,6 +478,8 @@ class SatSolver:
             # Conflict handling (Boolean and theory conflicts alike).
             self.stats.conflicts += 1
             conflicts_total += 1
+            from_theory = self._conflict_from_theory
+            self._conflict_from_theory = False
             conflict_level = 0
             for lit in conflict.lits:
                 level = self._level[abs(lit)]
@@ -415,10 +494,24 @@ class SatSolver:
                 # conflict over early assignments): re-anchor analysis at the
                 # deepest level actually mentioned by the clause.
                 self._backtrack(conflict_level)
-            learned, backtrack_level = self._analyze(conflict)
+            learned, backtrack_level, lbd = self._analyze(conflict)
             self._backtrack(backtrack_level)
-            self._learn(learned)
+            self._learn(learned, lbd, theory_lemma=from_theory)
             self._decay_activities()
+            if (
+                self._reduce_enabled
+                and len(self._learned) >= self._reduce_limit
+                and conflicts_total >= self._reduce_conflict_floor
+            ):
+                # The conflict floor keeps warm incremental checks (a few
+                # conflicts against a hot clause set) from shedding exactly
+                # the lemmas that make them cheap; only a search that is
+                # actually struggling pays a reduction.
+                self.reduce_db()
+                self._reduce_limit = max(
+                    int(self._reduce_limit * self._reduce_growth),
+                    self._reduce_limit + 1,
+                )
             if (
                 self._conflict_limit is not None
                 and conflicts_total >= self._conflict_limit
@@ -479,6 +572,7 @@ class SatSolver:
                     clause = _Clause(_dedupe([lit] + [-e for e in explanation]))
                     return self._count_theory_conflict(clause)
                 self.stats.theory_propagations += 1
+                self._bump_var_theory(abs(lit))
                 self._enqueue(lit, _TheoryReason(lit))
                 enqueued = True
             if not enqueued:
@@ -505,8 +599,13 @@ class SatSolver:
 
     def _count_theory_conflict(self, clause: _Clause) -> _Clause:
         self.stats.theory_conflicts += 1
+        self._conflict_from_theory = True
         if len(self._trail) < self._num_vars:
             self.stats.theory_partial_conflicts += 1
+        # Theory-aware branching: the atoms a theory explanation names are
+        # exactly the "almost conflicting" ones — bias decisions toward them.
+        for lit in clause.lits:
+            self._bump_var_theory(abs(lit))
         return clause
 
     def _reason_for(self, var: int):
@@ -596,11 +695,12 @@ class SatSolver:
                 return conflict
         return None
 
-    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, int]:
         """First-UIP conflict analysis.
 
-        Returns the learned clause (asserting literal first) and the level to
-        backtrack to.
+        Returns the learned clause (asserting literal first), the level to
+        backtrack to, and the clause's literal-block distance (computed
+        here, while every literal is still assigned its conflict level).
         """
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self._num_vars + 1)
@@ -649,17 +749,69 @@ class SatSolver:
                     max_i = i
             learned[1], learned[max_i] = learned[max_i], learned[1]
             backtrack_level = self._level[abs(learned[1])]
-        return learned, backtrack_level
+        lbd = len({self._level[abs(lit)] for lit in learned})
+        return learned, backtrack_level, lbd
 
-    def _learn(self, learned: List[int]) -> None:
+    def _learn(
+        self, learned: List[int], lbd: Optional[int] = None,
+        theory_lemma: bool = False,
+    ) -> None:
         self.stats.learned_clauses += 1
         if len(learned) == 1:
             self._enqueue(learned[0], None)
             return
-        clause = _Clause(list(learned), learned=True)
+        clause = _Clause(
+            list(learned),
+            learned=True,
+            pinned=theory_lemma and self._pin_theory_lemmas,
+        )
+        if lbd is not None:
+            clause.lbd = lbd
+        clause.activity = self._cla_inc
         self._attach(clause)
-        self._clauses.append(clause)
+        self._learned.append(clause)
+        if len(self._learned) > self.stats.max_live_learned:
+            self.stats.max_live_learned = len(self._learned)
         self._enqueue(learned[0], clause)
+
+    def reduce_db(self) -> int:
+        """Drop the coldest half of the deletable learned clauses.
+
+        A learned clause is *not* deletable when it is binary (cheap to keep,
+        expensive to relearn), a glue clause (LBD <= 3: it connects few
+        decision levels and re-deriving it is what drives the conflict-count
+        blow-up naive reduction suffers), pinned (a theory lemma under
+        ``pin_theory_lemmas``), or reason-locked (currently the reason of a
+        trail literal — deleting it would corrupt conflict analysis).
+        Victims are unlinked from the watch lists in one sweep.  Returns the
+        number of clauses deleted.
+        """
+        locked = set()
+        for lit in self._trail:
+            reason = self._reason[abs(lit)]
+            if type(reason) is _Clause:
+                locked.add(id(reason))
+        deletable = [
+            clause
+            for clause in self._learned
+            if len(clause.lits) > 2
+            and clause.lbd > 3
+            and not clause.pinned
+            and id(clause) not in locked
+        ]
+        victims = sorted(deletable, key=lambda c: c.activity)
+        victims = victims[: len(victims) // 2]
+        if not victims:
+            return 0
+        for clause in victims:
+            clause.deleted = True
+        for lit, watchers in self._watches.items():
+            if any(clause.deleted for clause in watchers):
+                self._watches[lit] = [c for c in watchers if not c.deleted]
+        self._learned = [c for c in self._learned if not c.deleted]
+        self.stats.reduce_db_rounds += 1
+        self.stats.clauses_deleted += len(victims)
+        return len(victims)
 
     def _backtrack(self, level: int) -> None:
         if self._decision_level() <= level:
@@ -679,10 +831,16 @@ class SatSolver:
 
     def _pick_branch_literal(self) -> Optional[int]:
         while self._heap:
-            _, var = heapq.heappop(self._heap)
-            if self._assign[var] == self._UNASSIGNED:
-                return var if self._phase[var] else -var
-        # Fall back to a linear scan (heap entries may be stale).
+            neg_activity, var = heapq.heappop(self._heap)
+            if self._assign[var] != self._UNASSIGNED:
+                continue
+            if -neg_activity != self._activity[var]:
+                # Stale duplicate: the variable was bumped after this entry
+                # was pushed, so a fresher entry is (or was) in the heap.
+                continue
+            return var if self._phase[var] else -var
+        # Fall back to a linear scan (the heap should never run dry — every
+        # unassigned variable owns a current entry — but stay safe).
         for var in range(1, self._num_vars + 1):
             if self._assign[var] == self._UNASSIGNED:
                 return var if self._phase[var] else -var
@@ -691,14 +849,43 @@ class SatSolver:
     def _bump_var(self, var: int) -> None:
         self._activity[var] += self._var_inc
         if self._activity[var] > 1e100:
-            for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
-            self._var_inc *= 1e-100
+            self._rescale_var_activities()
         heapq.heappush(self._heap, (-self._activity[var], var))
 
+    def _bump_var_theory(self, var: int) -> None:
+        """Extra activity for atoms named by theory conflicts/propagations."""
+        if self._theory_bump <= 0.0 or var > self._num_vars:
+            return
+        self._activity[var] += self._var_inc * self._theory_bump
+        if self._activity[var] > 1e100:
+            self._rescale_var_activities()
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _rescale_var_activities(self) -> None:
+        for v in range(1, self._num_vars + 1):
+            self._activity[v] *= 1e-100
+        self._var_inc *= 1e-100
+        # Every heap entry is now stale; rebuild instead of letting
+        # _pick_branch_literal drain a heap full of duplicates.
+        self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] == self._UNASSIGNED
+        ]
+        heapq.heapify(self._heap)
+
     def _bump_clause(self, clause: _Clause) -> None:
-        if clause.learned:
-            clause.activity += 1.0
+        if not clause.learned:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _decay_activities(self) -> None:
         self._var_inc /= self._decay
+        self._cla_inc /= self._clause_decay

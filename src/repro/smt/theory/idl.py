@@ -15,10 +15,21 @@ DPLL(T) loop wants.
 
 Because all constants are integers and coefficients are ±1, rational and
 integer satisfiability coincide, so the produced model is integral.
+
+The incremental solver additionally performs *bound propagation* for the
+online DPLL(T) engine: difference atoms registered up front
+(:meth:`IncrementalDifferenceLogic.register_atom`) are reported as entailed
+(:meth:`take_propagations`) when a shortest path through a newly inserted
+edge proves their bound, turning what would be a full
+conflict/analyze/backjump round trip into a unit propagation.  Explanations
+(:meth:`explain_entailed`) are the literals labelling one entailing path,
+restricted to the edges present when the propagation was emitted so lazily
+materialised reasons stay sound for conflict analysis.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -26,7 +37,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.smt.linear import LinearLe
 from repro.utils.errors import SolverError
 
-__all__ = ["DifferenceLogicSolver", "IncrementalDifferenceLogic", "TheoryResult"]
+__all__ = [
+    "DifferenceLogicSolver",
+    "IncrementalDifferenceLogic",
+    "TheoryResult",
+    "atom_edge",
+]
 
 #: Name of the implicit zero node (also usable by callers as a variable that
 #: is pinned to 0 in every model).
@@ -217,6 +233,22 @@ def _edges_of(constraint: LinearLe, tag: int) -> Optional[List[_Edge]]:
     return [_Edge(neg_var, pos_var, bound, tag)]
 
 
+def atom_edge(constraint: LinearLe) -> Optional[Tuple[str, str, int]]:
+    """The single ``(src, dst, weight)`` edge of a difference constraint.
+
+    Returns ``None`` when the constraint does not reduce to exactly one
+    graph edge (constant constraints and non-difference shapes) — such
+    atoms are not eligible for bound propagation.
+    """
+    if not constraint.is_difference:
+        return None
+    edges = _edges_of(constraint, 0)
+    if edges is None or len(edges) != 1:
+        return None
+    edge = edges[0]
+    return (edge.src, edge.dst, edge.weight)
+
+
 @dataclass
 class _IdlFrame:
     """Undo record of one ``assert_lit`` call."""
@@ -247,13 +279,41 @@ class IncrementalDifferenceLogic:
     assertions remain, restoring the exact previous state.  This is what
     lets the online engine keep the theory warm across SAT backjumps
     instead of rebuilding the solver per candidate model.
+
+    With ``propagate=True`` (the default) and difference atoms registered
+    via :meth:`register_atom`, every edge insertion additionally runs a
+    Cotton–Maler-style entailment pass: one forward and one backward
+    Dijkstra over the *reduced* edge weights (non-negative, because the
+    potential function is feasible) give the shortest paths through the new
+    edge, and any registered, unasserted atom whose bound those paths prove
+    is queued for :meth:`take_propagations`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, propagate: bool = True) -> None:
         self._pot: Dict[str, int] = {ZERO: 0}
         self._out: Dict[str, List[_Edge]] = {ZERO: []}
+        self._in: Dict[str, List[_Edge]] = {ZERO: []}
         self._edges: List[_Edge] = []
         self._frames: List[_IdlFrame] = []
+        # Bound propagation state.
+        self._propagate_enabled = propagate
+        #: var -> (pos_edge, neg_edge); each phase is a (src, dst, weight)
+        #: triple meaning "the phase holds iff dist(src -> dst) <= weight".
+        self._atoms: Dict[
+            int, Tuple[Optional[Tuple[str, str, int]], Optional[Tuple[str, str, int]]]
+        ] = {}
+        #: (src, dst) -> [(lit, bound), ...]: the propagation pass iterates
+        #: reached node pairs when that is cheaper than scanning all atoms.
+        self._atom_index: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        self._atom_phases = 0
+        self._max_bound = 0  # max phase bound: caps the propagation search
+        self._asserted_vars: set = set()
+        #: Entailed-but-unreported literals with the edge-count basis their
+        #: explanation is restricted to.
+        self._pending: List[Tuple[int, int]] = []
+        self._pending_lits: set = set()
+        #: Reported literals -> explanation basis (pruned on retraction).
+        self._prop_basis: Dict[int, int] = {}
 
     # -- trail ------------------------------------------------------------------
 
@@ -279,6 +339,7 @@ class IncrementalDifferenceLogic:
         """
         frame = _IdlFrame(lit, tuple(constraints), len(self._edges))
         self._frames.append(frame)
+        self._asserted_vars.add(abs(lit))
         for constraint in frame.constraints:
             edges = _edges_of(constraint, lit)
             if edges is None:
@@ -286,7 +347,24 @@ class IncrementalDifferenceLogic:
             for edge in edges:
                 conflict = self._add_edge(edge, frame)
                 if conflict is not None:
+                    # Abort the half-finished repair: the potential function
+                    # must stay feasible for the pre-frame edge set, because
+                    # conflict analysis materialises lazy explanations (over
+                    # exactly such edge prefixes) *before* the backjump
+                    # retracts this frame.
+                    for node, value in frame.old_pot.items():
+                        self._pot[node] = value
+                    frame.old_pot = {}
                     return conflict
+        if self._propagate_enabled and self._atoms and frame.old_pot:
+            # Only edges that *tightened* the potential function can create
+            # new entailments worth chasing: a non-relaxing edge is already
+            # satisfied by ``pot``, so every registered atom it could prove
+            # was provable before (in particular, edges asserted for
+            # literals this solver itself propagated never re-trigger the
+            # pass — their constraints are entailed, hence never violated).
+            for edge in self._edges[frame.edges_before:]:
+                self._propagate_through(edge)
         return None
 
     def retract_to(self, count: int) -> None:
@@ -298,9 +376,240 @@ class IncrementalDifferenceLogic:
                 popped = self._out[edge.src].pop()
                 if popped is not edge:  # pragma: no cover - structural invariant
                     raise SolverError("IDL undo stack out of sync")
+                popped_in = self._in[edge.dst].pop()
+                if popped_in is not edge:  # pragma: no cover - invariant
+                    raise SolverError("IDL undo stack out of sync")
             del self._edges[frame.edges_before:]
             for node, value in frame.old_pot.items():
                 self._pot[node] = value
+            self._asserted_vars.discard(abs(frame.lit))
+        if self._pending or self._prop_basis:
+            # Propagations emitted above the surviving edge prefix are gone.
+            live = len(self._edges)
+            if self._pending:
+                self._pending = [
+                    (lit, basis) for lit, basis in self._pending if basis <= live
+                ]
+                self._pending_lits = {lit for lit, _ in self._pending}
+            if self._prop_basis:
+                self._prop_basis = {
+                    lit: basis
+                    for lit, basis in self._prop_basis.items()
+                    if basis <= live
+                }
+
+    # -- bound propagation ------------------------------------------------------
+
+    def register_atom(
+        self,
+        var: int,
+        positive: Optional[LinearLe],
+        negative: Optional[LinearLe],
+    ) -> bool:
+        """Register SAT variable ``var`` as a difference atom for propagation.
+
+        ``positive`` / ``negative`` are the :class:`LinearLe` constraints of
+        the two phases.  Returns ``True`` when at least one phase reduces to
+        a single graph edge and the atom was registered.
+        """
+        pos = atom_edge(positive) if positive is not None else None
+        neg = atom_edge(negative) if negative is not None else None
+        if pos is None and neg is None:
+            return False
+        self._atoms[var] = (pos, neg)
+        for lit, info in ((var, pos), (-var, neg)):
+            if info is not None:
+                src, dst, bound = info
+                self._atom_index.setdefault((src, dst), []).append((lit, bound))
+                if bound > self._max_bound:
+                    self._max_bound = bound
+                self._atom_phases += 1
+        return True
+
+    @property
+    def num_registered_atoms(self) -> int:
+        return len(self._atoms)
+
+    def set_propagation(self, enabled: bool) -> None:
+        """Pause or resume the entailment pass at a check boundary.
+
+        Pausing drops pending (undrained) emissions; explanations of
+        literals already reported stay materialisable.  Resuming restarts
+        detection from the next edge insertion — propagation is
+        best-effort, so entailments that arose while paused are simply not
+        reported.
+        """
+        self._propagate_enabled = enabled
+        if not enabled:
+            self._pending = []
+            self._pending_lits.clear()
+
+    def take_propagations(self) -> List[int]:
+        """Drain the entailed literals discovered since the last call.
+
+        Every returned literal is remembered (with its explanation basis)
+        so :meth:`explain_entailed` can lazily produce its reason clause.
+        """
+        if not self._pending:
+            return []
+        out: List[int] = []
+        for lit, basis in self._pending:
+            self._prop_basis[lit] = basis
+            out.append(lit)
+        self._pending = []
+        self._pending_lits.clear()
+        return out
+
+    def explain_entailed(self, lit: int) -> List[int]:
+        """Asserted literals whose constraints entail propagated ``lit``.
+
+        The shortest entailing path is searched over the edges that were
+        present when the propagation was emitted, so the explanation only
+        names literals streamed *before* ``lit`` — the trail-order contract
+        lazy reasons must satisfy.
+        """
+        basis = self._prop_basis.get(lit)
+        if basis is None:
+            raise SolverError(f"literal {lit} was not propagated by IDL")
+        phases = self._atoms.get(abs(lit))
+        info = None if phases is None else (phases[0] if lit > 0 else phases[1])
+        if info is None:  # pragma: no cover - basis implies registration
+            raise SolverError(f"literal {lit} is not a registered IDL atom")
+        src, dst, bound = info
+        tags = self._entailing_path(self._edges[:basis], src, dst, bound)
+        return sorted(set(tags))
+
+    def _entailing_path(
+        self, edges: List[_Edge], src: str, dst: str, bound: int
+    ) -> List[int]:
+        """Tags of a shortest ``src ~> dst`` path of weight ``<= bound``.
+
+        Unlike :meth:`_path_within` (Bellman-Ford, used for trail-literal
+        entailment over arbitrary edge subsets), this runs Dijkstra over
+        the *reduced* weights of the current potential function — feasible
+        for every live edge, hence for any prefix of them — which makes
+        the hot lazy-explanation path near-linear.
+        """
+        if src == dst and bound >= 0:
+            return []
+        pot = self._pot
+        by_src: Dict[str, List[_Edge]] = {}
+        for edge in edges:
+            by_src.setdefault(edge.src, []).append(edge)
+        dist: Dict[str, int] = {src: 0}
+        pred: Dict[str, _Edge] = {}
+        heap: List[Tuple[int, str]] = [(0, src)]
+        while heap:
+            base, node = heapq.heappop(heap)
+            if base > dist.get(node, base):
+                continue
+            if node == dst:
+                break
+            for edge in by_src.get(node, ()):
+                reduced = pot[edge.src] + edge.weight - pot[edge.dst]
+                candidate = base + reduced
+                if candidate < dist.get(edge.dst, candidate + 1):
+                    dist[edge.dst] = candidate
+                    pred[edge.dst] = edge
+                    heapq.heappush(heap, (candidate, edge.dst))
+        if dst not in dist:
+            raise SolverError("IDL explain: literal is not entailed")
+        # Undoing the potential shift recovers the real path weight.
+        if dist[dst] - pot[src] + pot[dst] > bound:
+            raise SolverError("IDL explain: literal is not entailed")
+        tags: List[int] = []
+        node = dst
+        while node != src:
+            edge = pred[node]
+            tags.append(edge.tag)
+            node = edge.src
+        return tags
+
+    def _propagate_through(self, new_edge: _Edge) -> None:
+        """Queue registered atoms entailed by paths through ``new_edge``.
+
+        Only paths using the new edge can *newly* satisfy a bound, so one
+        forward Dijkstra from its target and one backward Dijkstra from its
+        source (over the non-negative reduced weights induced by the
+        feasible potentials) cover every fresh entailment.
+        """
+        pot = self._pot
+        u, v, w = new_edge.src, new_edge.dst, new_edge.weight
+        # Entailment needs rd_bwd(s) + rd_fwd(t) <= c + pot(s) - pot(t) - rw
+        # for some registered phase (s, t, c); reduced distances are
+        # non-negative, so an upper bound on the right-hand side caps both
+        # searches (and a negative cap means no atom can possibly be
+        # proven).  max(c) + pot-range is a cheap sound overestimate.
+        reduced_weight = pot[u] + w - pot[v]
+        values = pot.values()
+        cap = self._max_bound + max(values) - min(values) - reduced_weight
+        if cap < 0:
+            return
+        fwd = self._dijkstra(new_edge.dst, backward=False, cap=cap)
+        bwd = self._dijkstra(new_edge.src, backward=True, cap=cap)
+        basis = len(self._edges)
+        # The reached regions are usually tiny (relaxations are local), so
+        # iterating reached (src, dst) pairs against the atom index often
+        # beats scanning every registered atom; pick whichever is smaller.
+        candidates: List[Tuple[int, str, str, int]] = []
+        if len(fwd) * len(bwd) <= self._atom_phases:
+            index = self._atom_index
+            for src in bwd:
+                for dst in fwd:
+                    for lit, bound in index.get((src, dst), ()):
+                        candidates.append((lit, src, dst, bound))
+        else:
+            for var, (pos, neg) in self._atoms.items():
+                for lit, info in ((var, pos), (-var, neg)):
+                    if info is not None:
+                        candidates.append((lit, info[0], info[1], info[2]))
+        for lit, src, dst, bound in candidates:
+            if abs(lit) in self._asserted_vars:
+                continue
+            if lit in self._pending_lits or lit in self._prop_basis:
+                continue
+            reduced_to_u = bwd.get(src)
+            reduced_from_v = fwd.get(dst)
+            if reduced_to_u is None or reduced_from_v is None:
+                continue
+            # Undo the potential shift: real = reduced - pot(a) + pot(b).
+            distance = (
+                (reduced_to_u - pot[src] + pot[u])
+                + w
+                + (reduced_from_v - pot[v] + pot[dst])
+            )
+            if distance <= bound:
+                self._pending.append((lit, basis))
+                self._pending_lits.add(lit)
+
+    def _dijkstra(
+        self, start: str, backward: bool, cap: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Reduced-weight shortest distances from (or to) ``start``.
+
+        The reduced weight of an edge ``a -> b`` is ``pot(a) + w - pot(b)``,
+        non-negative whenever the potential function is feasible — which it
+        is after every successful assertion.  ``cap`` prunes the search:
+        nodes farther than it cannot contribute to any registered atom.
+        """
+        pot = self._pot
+        adjacency = self._in if backward else self._out
+        dist: Dict[str, int] = {start: 0}
+        heap: List[Tuple[int, str]] = [(0, start)]
+        while heap:
+            base, node = heapq.heappop(heap)
+            if base > dist.get(node, base):
+                continue
+            for edge in adjacency.get(node, ()):
+                reduced = pot[edge.src] + edge.weight - pot[edge.dst]
+                step = edge.src if backward else edge.dst
+                candidate = base + reduced
+                if cap is not None and candidate > cap:
+                    continue
+                if candidate < dist.get(step, candidate + 1):
+                    dist[step] = candidate
+                    heapq.heappush(heap, (candidate, step))
+        return dist
 
     # -- queries ----------------------------------------------------------------
 
@@ -347,7 +656,9 @@ class IncrementalDifferenceLogic:
             if node not in pot:
                 pot[node] = 0
                 self._out[node] = []
+                self._in[node] = []
         self._out[edge.src].append(edge)
+        self._in[edge.dst].append(edge)
         self._edges.append(edge)
         if pot[edge.src] + edge.weight >= pot[edge.dst]:
             return None

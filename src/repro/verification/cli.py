@@ -179,7 +179,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print solver statistics (theory propagations, partial-"
-        "assignment conflicts, avg explanation size, ...)",
+        "assignment conflicts, reduceDB rounds, avg explanation size, ...)",
+    )
+    parser.add_argument(
+        "--no-reduce-db",
+        action="store_true",
+        help="dpllt only: disable learned-clause database reduction "
+        "(keeps every learned clause forever)",
+    )
+    parser.add_argument(
+        "--theory-bump",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="dpllt only: extra VSIDS activity factor for atoms named by "
+        "theory conflicts/propagations (0 disables theory-aware branching)",
+    )
+    parser.add_argument(
+        "--no-idl-propagation",
+        action="store_true",
+        help="dpllt only: disable difference-logic bound propagation "
+        "(entailed bounds fall back to conflict round trips)",
     )
     parser.add_argument(
         "--property",
@@ -227,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="race the dpllt and smtlib backends per trace, first verdict wins",
     )
     parser.add_argument(
+        "--portfolio-theory",
+        action="store_true",
+        help="race theory_mode=online vs offline dpllt engines per trace; "
+        "the winner's mode is reported per result",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -241,15 +267,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _solver_knob_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """The dpllt hot-path knobs actually set on the command line."""
+    kwargs: Dict[str, object] = {}
+    if args.no_reduce_db:
+        kwargs["reduce_db"] = False
+    if args.theory_bump is not None:
+        kwargs["theory_bump"] = args.theory_bump
+    if args.no_idl_propagation:
+        kwargs["idl_propagation"] = False
+    return kwargs
+
+
 def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -> int:
     """Verify a ``--repeat``/``--jobs``/``--portfolio``/``--cache-dir`` batch."""
     from repro.program.interpreter import run_program
     from repro.program.statictrace import static_trace
     from repro.verification.parallel import verify_many_parallel
 
-    if args.theory_mode is not None and args.portfolio:
+    if args.portfolio and args.portfolio_theory:
         print(
-            "error: --theory-mode cannot be combined with --portfolio "
+            "error: pick one of --portfolio and --portfolio-theory",
+            file=sys.stderr,
+        )
+        return 2
+    if args.theory_mode is not None and (args.portfolio or args.portfolio_theory):
+        print(
+            "error: --theory-mode cannot be combined with a portfolio "
             "(the portfolio races its own fixed backend lineup)",
             file=sys.stderr,
         )
@@ -274,17 +318,30 @@ def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -
             traces.append(static_trace(program))
         else:
             traces.append(run.trace)
-    backend = None if args.portfolio else args.backend
+    portfolio = "theory" if args.portfolio_theory else args.portfolio
+    backend = None if portfolio else args.backend
+    spec_kwargs = _solver_knob_kwargs(args)
     if args.theory_mode is not None:
+        spec_kwargs["theory_mode"] = args.theory_mode
+    if spec_kwargs:
+        if portfolio:
+            # Mirror the verify_many API: silently running both contenders
+            # with default knobs would misreport what was measured.
+            print(
+                "error: solver knobs (--no-reduce-db/--theory-bump/"
+                "--no-idl-propagation) cannot be combined with a portfolio",
+                file=sys.stderr,
+            )
+            return 2
         from repro.smt.backend import BackendSpec
 
-        backend = BackendSpec.of(backend, theory_mode=args.theory_mode)
+        backend = BackendSpec.of(backend, **spec_kwargs)
     results = verify_many_parallel(
         traces,
         jobs=max(args.jobs, 1),
         backend=backend,
         options=options,
-        portfolio=args.portfolio,
+        portfolio=portfolio,
         cache_dir=args.cache_dir,
         mode=mode,
     )
@@ -323,6 +380,7 @@ def main(argv: Optional[list] = None) -> int:
             args.repeat > 1
             or args.jobs > 1
             or args.portfolio
+            or args.portfolio_theory
             or args.cache_dir is not None
         ):
             return _run_batch(args, program, options, mode)
@@ -337,6 +395,7 @@ def main(argv: Optional[list] = None) -> int:
             backend=args.backend,
             theory_mode=args.theory_mode,
             on_deadlock="static" if mode == "deadlock" else "raise",
+            **_solver_knob_kwargs(args),
         )
         result = session.verdict()
     except BackendUnavailableError as exc:

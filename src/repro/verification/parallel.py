@@ -79,7 +79,12 @@ from repro.verification.session import (
     resolve_mode,
 )
 
-__all__ = ["ParallelVerifier", "verify_many_parallel", "default_portfolio"]
+__all__ = [
+    "ParallelVerifier",
+    "verify_many_parallel",
+    "default_portfolio",
+    "theory_portfolio",
+]
 
 
 def default_portfolio(max_solver_iterations: int = 200_000) -> List[BackendSpec]:
@@ -88,6 +93,30 @@ def default_portfolio(max_solver_iterations: int = 200_000) -> List[BackendSpec]
         BackendSpec.of("dpllt", max_iterations=max_solver_iterations),
         BackendSpec.of("smtlib"),
     ]
+
+
+def theory_portfolio(max_solver_iterations: int = 200_000) -> List[BackendSpec]:
+    """The ``portfolio="theory"`` lineup: dpllt online vs dpllt offline.
+
+    Racing the two theory integrations of the same engine hedges the rare
+    pathological online case (e.g. propagation-heavy instances where the
+    offline lazy loop's coarse blocking clauses happen to converge faster)
+    at the cost of one redundant solve per trace.
+    """
+    return [
+        BackendSpec.of(
+            "dpllt", max_iterations=max_solver_iterations, theory_mode="online"
+        ),
+        BackendSpec.of(
+            "dpllt", max_iterations=max_solver_iterations, theory_mode="offline"
+        ),
+    ]
+
+
+def _spec_label(spec: BackendSpec) -> str:
+    """Human-readable spec name: the backend plus its theory mode, if any."""
+    mode = dict(spec.kwargs).get("theory_mode")
+    return f"{spec.name}[{mode}]" if mode else spec.name
 
 
 @dataclass
@@ -130,36 +159,47 @@ def _race_portfolio(task: _SolveTask) -> VerificationResult:
     losers.  A losing in-tree solve burns CPU until its iteration budget;
     a losing external solve is abandoned to its subprocess timeout.
     """
-    sessions: List[VerificationSession] = []
+    sessions: List[Tuple[VerificationSession, str]] = []
     problem = None
     for spec in task.specs:
         try:
             session = _session_for(task, spec, problem=problem)
         except BackendUnavailableError:
             continue
-        sessions.append(session)
+        sessions.append((session, _spec_label(spec)))
         problem = session.problem  # encode once, share with later contenders
     if not sessions:
         raise BackendUnavailableError(
             "no portfolio backend is available on this host: "
-            + ", ".join(spec.name for spec in task.specs)
+            + ", ".join(_spec_label(spec) for spec in task.specs)
         )
     if len(sessions) == 1:
-        return sessions[0].verdict()
+        session, label = sessions[0]
+        result = session.verdict()
+        result.backend = label
+        return result
 
     outcomes: "queue.Queue[Tuple[Optional[VerificationResult], Optional[Exception]]]" = (
         queue.Queue()
     )
 
-    def contend(session: VerificationSession) -> None:
+    def contend(session: VerificationSession, label: str) -> None:
         try:
-            outcomes.put((session.verdict(), None))
+            result = session.verdict()
+            # Label the result with the contender that produced it — for a
+            # theory portfolio both contenders share the backend name, and
+            # the winner's mode is part of the answer.
+            result.backend = label
+            outcomes.put((result, None))
         except Exception as exc:  # surfaced only if every contender fails
             outcomes.put((None, exc))
 
-    for session in sessions:
+    for session, label in sessions:
         threading.Thread(
-            target=contend, args=(session,), daemon=True, name="portfolio-contender"
+            target=contend,
+            args=(session, label),
+            daemon=True,
+            name="portfolio-contender",
         ).start()
 
     inconclusive: Optional[VerificationResult] = None
@@ -215,10 +255,15 @@ class ParallelVerifier:
         Registry name or :class:`BackendSpec` — **not** a live backend;
         workers must construct their own solver state.
     portfolio:
-        Race ``backends`` (default: dpllt vs smtlib) per trace and keep the
-        first conclusive verdict.
+        ``True`` (or ``"backends"``) races ``backends`` (default: dpllt vs
+        smtlib) per trace and keeps the first conclusive verdict;
+        ``"theory"`` races the dpllt engine's ``online`` and ``offline``
+        theory modes instead (:func:`theory_portfolio`).  The winning
+        contender is named on ``VerificationResult.backend`` (e.g.
+        ``dpllt[online]``) and its mode on the result's solver statistics.
     backends:
-        The portfolio contenders when ``portfolio=True``.
+        The portfolio contenders when ``portfolio`` is set (overrides both
+        default lineups).
     cache:
         ``None`` (no cross-batch cache), a :class:`ResultCache`, or
         ``"memory"`` for a fresh in-memory LRU owned by this verifier.
@@ -242,7 +287,7 @@ class ParallelVerifier:
         backend: Union[str, BackendSpec, None] = None,
         options: Optional[EncoderOptions] = None,
         properties: Optional[Sequence[Property]] = None,
-        portfolio: bool = False,
+        portfolio: Union[bool, str] = False,
         backends: Optional[Sequence[BackendSpec]] = None,
         cache: Union[ResultCache, str, None] = None,
         cache_dir: Optional[str] = None,
@@ -257,15 +302,21 @@ class ParallelVerifier:
         options, properties = resolve_mode(mode, options, properties)
         self.options = options
         self.properties = properties
+        if portfolio not in (False, True, "backends", "theory"):
+            raise SolverError(
+                f"unknown portfolio {portfolio!r}; use True/'backends' or 'theory'"
+            )
         self.portfolio = portfolio
         self.seed = seed
         self.max_solver_iterations = max_solver_iterations
         if portfolio:
-            self.specs: Tuple[BackendSpec, ...] = tuple(
-                backends
-                if backends is not None
-                else default_portfolio(max_solver_iterations)
-            )
+            if backends is not None:
+                lineup = backends
+            elif portfolio == "theory":
+                lineup = theory_portfolio(max_solver_iterations)
+            else:
+                lineup = default_portfolio(max_solver_iterations)
+            self.specs: Tuple[BackendSpec, ...] = tuple(lineup)
             if not self.specs:
                 raise SolverError("portfolio mode needs at least one backend")
         else:
@@ -286,7 +337,7 @@ class ParallelVerifier:
     def backend_key(self) -> str:
         """The backend component of this verifier's cache keys."""
         if self.portfolio:
-            return "portfolio(" + "|".join(s.name for s in self.specs) + ")"
+            return "portfolio(" + "|".join(_spec_label(s) for s in self.specs) + ")"
         return self.specs[0].name
 
     def _key_for(self, trace: ExecutionTrace) -> CacheKey:

@@ -142,6 +142,11 @@ class VerificationSession:
         the SAT search; ``"offline"`` selects the classic lazy
         model-then-check loop (the reference semantics, kept for
         differential testing).  Only meaningful for the dpllt backend.
+    reduce_db / theory_bump / idl_propagation:
+        Solver hot-path knobs forwarded to the dpllt backend when set:
+        learned-clause database reduction (default on), the extra VSIDS
+        bump factor for atoms named by theory feedback, and IDL bound
+        propagation (default on).  ``None`` keeps the backend's default.
     program_run:
         The recording run, when the trace came from one (attached to
         results for replay).
@@ -165,6 +170,9 @@ class VerificationSession:
         backend: Union[str, SolverBackend, None] = None,
         max_solver_iterations: int = 200_000,
         theory_mode: Optional[str] = None,
+        reduce_db: Optional[bool] = None,
+        theory_bump: Optional[float] = None,
+        idl_propagation: Optional[bool] = None,
         program_run: Optional[ProgramRun] = None,
         encoder: Optional[TraceEncoder] = None,
         problem: Optional[EncodedProblem] = None,
@@ -186,6 +194,9 @@ class VerificationSession:
         self._backend_spec = backend
         self._max_iterations = max_solver_iterations
         self._theory_mode = theory_mode
+        self._reduce_db = reduce_db
+        self._theory_bump = theory_bump
+        self._idl_propagation = idl_propagation
         self._backend: Optional[SolverBackend] = None
         self._verdict: Optional[VerificationResult] = None
         self._orphan_verdict: Optional[VerificationResult] = None
@@ -243,6 +254,13 @@ class VerificationSession:
             kwargs: Dict[str, object] = {"max_iterations": self._max_iterations}
             if self._theory_mode is not None:
                 kwargs["theory_mode"] = self._theory_mode
+            for name, value in (
+                ("reduce_db", self._reduce_db),
+                ("theory_bump", self._theory_bump),
+                ("idl_propagation", self._idl_propagation),
+            ):
+                if value is not None:
+                    kwargs[name] = value
             self._backend = create_backend(self._backend_spec, **kwargs)
             self._backend.add_all(self._problem.assertions(include_property=False))
         return self._backend
@@ -379,6 +397,9 @@ class VerificationSession:
                 backend=self._lane_backend_spec(),
                 max_solver_iterations=self._max_iterations,
                 theory_mode=self._theory_mode,
+                reduce_db=self._reduce_db,
+                theory_bump=self._theory_bump,
+                idl_propagation=self._idl_propagation,
                 program_run=self.program_run,
             )
         return self._deadlock_session.verdict()
@@ -486,6 +507,17 @@ class VerificationSession:
         backend = self.backend
         self._enumerating = True
         backend.push()
+        # Enumeration streams SAT models, a shape where IDL bound
+        # propagation costs (a per-assertion entailment pass) without
+        # paying (few refutations to shorten): pause the lane for the
+        # enumeration scope — unless the caller pinned it explicitly.
+        toggle = (
+            getattr(backend, "set_idl_propagation", None)
+            if self._idl_propagation is None
+            else None
+        )
+        if toggle is not None:
+            toggle(False)
         found: List[Dict[int, int]] = []
         try:
             while limit is None or len(found) < limit:
@@ -516,6 +548,8 @@ class VerificationSession:
         finally:
             self._enumerating = False
             backend.pop()
+            if toggle is not None:
+                toggle(True)
 
     def enumerate_pairings(self, limit: Optional[int] = None) -> List[Dict[int, int]]:
         """All admissible matchings as a list (see :meth:`pairings`)."""
@@ -532,9 +566,12 @@ def verify_many(
     jobs: int = 1,
     cache=None,
     cache_dir: Optional[str] = None,
-    portfolio: bool = False,
+    portfolio: Union[bool, str] = False,
     mode: str = "safety",
     theory_mode: Optional[str] = None,
+    reduce_db: Optional[bool] = None,
+    theory_bump: Optional[float] = None,
+    idl_propagation: Optional[bool] = None,
 ) -> List[VerificationResult]:
     """Batch front door: verify many programs and/or traces in one call.
 
@@ -553,15 +590,28 @@ def verify_many(
     ``theory_mode`` picks the dpllt engine's theory integration per item
     (``"online"``/``"offline"``, ``None`` for the backend default); in the
     parallel lane it is folded into the picklable
-    :class:`~repro.smt.backend.BackendSpec` shipped to workers.
+    :class:`~repro.smt.backend.BackendSpec` shipped to workers.  The solver
+    hot-path knobs ``reduce_db`` / ``theory_bump`` / ``idl_propagation``
+    travel the same way (``None`` keeps the backend defaults).
 
     ``jobs``, ``cache``/``cache_dir`` and ``portfolio`` hand the batch to
     :class:`repro.verification.parallel.ParallelVerifier` — sharding over
     worker processes, fingerprint-keyed result caching, and backend racing;
-    see that module for semantics.  The default (``jobs=1``, no cache, no
+    ``portfolio="theory"`` races the dpllt engine's online and offline
+    theory modes against each other instead of distinct backends; see that
+    module for semantics.  The default (``jobs=1``, no cache, no
     portfolio) keeps the simple one-session-per-item serial path below.
     """
     items = list(items)
+    solver_knobs = {
+        name: value
+        for name, value in (
+            ("reduce_db", reduce_db),
+            ("theory_bump", theory_bump),
+            ("idl_propagation", idl_propagation),
+        )
+        if value is not None
+    }
     if jobs != 1 or cache is not None or cache_dir is not None or portfolio:
         from repro.smt.backend import BackendSpec
         from repro.verification.parallel import ParallelVerifier
@@ -574,12 +624,20 @@ def verify_many(
         if theory_mode is not None:
             if portfolio:
                 raise SolverError(
-                    "theory_mode cannot be combined with portfolio=True: the "
+                    "theory_mode cannot be combined with portfolio: the "
                     "portfolio races its own fixed backend lineup; drop one "
                     "of the two options"
                 )
             # Fold the mode into the picklable spec so workers honour it.
             backend = BackendSpec.of(backend, theory_mode=theory_mode)
+        if solver_knobs:
+            if portfolio:
+                raise SolverError(
+                    "solver knobs (reduce_db/theory_bump/idl_propagation) "
+                    "cannot be combined with portfolio; pass explicit "
+                    "BackendSpecs via ParallelVerifier(backends=...) instead"
+                )
+            backend = BackendSpec.of(backend, **solver_knobs)
         return ParallelVerifier(
             jobs=jobs,
             backend=backend,
@@ -619,6 +677,7 @@ def verify_many(
                 theory_mode=theory_mode,
                 program_run=run,
                 encoder=encoder,
+                **solver_knobs,
             )
         elif isinstance(item, ExecutionTrace):
             session = VerificationSession(
@@ -628,6 +687,7 @@ def verify_many(
                 max_solver_iterations=max_solver_iterations,
                 theory_mode=theory_mode,
                 encoder=encoder,
+                **solver_knobs,
             )
         else:
             raise EncodingError(

@@ -1,0 +1,259 @@
+"""Tests for learned-clause database reduction (``SatSolver.reduce_db``).
+
+Three layers of guarantees:
+
+* **structural invariants** — reason-locked, binary, glue (LBD <= 3) and
+  pinned theory-lemma clauses survive a reduction; victims are really
+  unlinked from the watch lists; the surviving clauses keep the two-watch
+  attachment invariant;
+* **semantic equivalence** — verdicts and models are identical under the
+  most aggressive reduction possible (``reduce_base=1``) on random CNFs
+  (against a truth table) and on the 300-formula mixed-theory differential
+  corpus shared with the online/offline suite;
+* **incremental soundness** — assumption and push/pop ``check()`` streams
+  on one engine agree with an unreduced engine after arbitrarily many
+  reductions.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from test_online_offline import _random_assertions
+
+from repro.smt.dpllt import CheckResult, DpllTEngine, IncrementalDpllTEngine
+from repro.smt.sat import SatResult, SatSolver, TheoryListener
+
+
+def _random_clauses(rng, num_vars, num_clauses, width=None):
+    clauses = []
+    for _ in range(num_clauses):
+        clause_width = width if width is not None else rng.randint(1, 4)
+        clauses.append(
+            [
+                rng.randint(1, num_vars) * rng.choice((1, -1))
+                for _ in range(clause_width)
+            ]
+        )
+    return clauses
+
+
+def _brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(l) - 1] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return True
+    return False
+
+
+def _watch_occurrences(solver):
+    counts = {}
+    for watchers in solver._watches.values():
+        for clause in watchers:
+            counts[id(clause)] = counts.get(id(clause), 0) + 1
+    return counts
+
+
+class TestReductionInvariants:
+    def _solved_solver(self, reduce_db=False, **kwargs):
+        """A solver mid-lifetime: solved once (SAT, so the trail is full and
+        reason-locked learned clauses exist), rich learned population."""
+        solver = SatSolver(reduce_db=reduce_db, **kwargs)
+        rng = random.Random(6)
+        solver.ensure_vars(60)
+        solver.add_clauses(_random_clauses(rng, 60, 252, width=3))
+        assert solver.solve() is SatResult.SAT
+        return solver
+
+    def test_binary_and_glue_clauses_survive(self):
+        solver = self._solved_solver()
+        protected = {
+            id(c)
+            for c in solver._learned
+            if len(c.lits) <= 2 or c.lbd <= 3
+        }
+        assert solver._learned, "workload produced no learned clauses"
+        solver.reduce_db()
+        survivors = {id(c) for c in solver._learned}
+        assert protected <= survivors
+
+    def test_reason_locked_clauses_survive(self):
+        solver = self._solved_solver()
+        locked = {
+            id(solver._reason[abs(lit)])
+            for lit in solver._trail
+            if solver._reason[abs(lit)] is not None
+        }
+        learned_locked = locked & {id(c) for c in solver._learned}
+        solver.reduce_db()
+        assert learned_locked <= {id(c) for c in solver._learned}
+
+    def test_victims_unlinked_and_watch_invariant_kept(self):
+        solver = self._solved_solver()
+        before = {id(c) for c in solver._learned}
+        deleted = solver.reduce_db()
+        after = {id(c) for c in solver._learned}
+        assert deleted == len(before) - len(after)
+        counts = _watch_occurrences(solver)
+        victims = before - after
+        assert not (victims & set(counts)), "deleted clause still watched"
+        # Every surviving clause (problem or learned) is watched exactly twice.
+        for clause in solver._clauses + solver._learned:
+            assert counts.get(id(clause), 0) == 2, clause.lits
+
+    def test_reduction_halves_the_deletable_population(self):
+        solver = self._solved_solver()
+        deletable = [
+            c
+            for c in solver._learned
+            if len(c.lits) > 2 and c.lbd > 3 and not c.pinned
+        ]
+        locked = set()
+        for lit in solver._trail:
+            locked.add(id(solver._reason[abs(lit)]))
+        deletable = [c for c in deletable if id(c) not in locked]
+        deleted = solver.reduce_db()
+        assert deleted == len(deletable) // 2
+        assert solver.stats.clauses_deleted == deleted
+        assert solver.stats.reduce_db_rounds == (1 if deleted else 0)
+
+    def test_solver_still_correct_after_manual_reduction(self):
+        rng = random.Random(13)
+        for seed in range(30):
+            rng = random.Random(1000 + seed)
+            num_vars = rng.randint(4, 9)
+            clauses = _random_clauses(rng, num_vars, rng.randint(10, 40))
+            solver = SatSolver(reduce_db=True, reduce_base=1)
+            solver.ensure_vars(num_vars)
+            solver.add_clauses(clauses)
+            result = solver.solve()
+            expected = _brute_force_sat(num_vars, clauses)
+            assert (result is SatResult.SAT) == expected, f"seed {seed}"
+            if result is SatResult.SAT:
+                model = solver.model()
+                for clause in clauses:
+                    assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+    def test_pinned_theory_lemmas_survive_aggressive_reduction(self):
+        """With pin_theory_lemmas=True, clauses learned from theory
+        conflicts stay through reductions that delete everything else."""
+
+        class Exclusion(TheoryListener):
+            """Vetoes any assignment containing two specific true literals."""
+
+            def __init__(self, pairs):
+                self.pairs = pairs
+                self.trail = []
+
+            def on_assert(self, lit):
+                self.trail.append(lit)
+                present = set(self.trail)
+                for a, b in self.pairs:
+                    if lit in (a, b) and a in present and b in present:
+                        first, second = (a, b) if self.trail.index(a) < self.trail.index(b) else (b, a)
+                        return [first, second]
+                return None
+
+            def on_backjump(self, kept):
+                del self.trail[kept:]
+
+        solver = SatSolver(reduce_db=True, reduce_base=1, pin_theory_lemmas=True)
+        vars_ = [solver.new_var() for _ in range(12)]
+        pairs = [(vars_[i], vars_[i + 1]) for i in range(0, 10, 2)]
+        solver.set_theory(Exclusion(pairs))
+        for a, b in pairs:
+            solver.add_clause([a, b])  # force one of each excluded pair true
+        rng = random.Random(3)
+        solver.add_clauses(_random_clauses(rng, 12, 30))
+        solver.solve()
+        if solver._learned:
+            pinned = [c for c in solver._learned if c.pinned]
+            solver.reduce_db()
+            assert all(c in solver._learned for c in pinned)
+
+
+class TestReductionDifferential:
+    """Aggressive reduction must be invisible in verdicts and models."""
+
+    @pytest.mark.parametrize("chunk", range(10))
+    def test_corpus_verdicts_and_models_match_unreduced(self, chunk):
+        per_chunk = 30
+        for index in range(per_chunk):
+            seed = chunk * per_chunk + index
+            rng = random.Random(1_000 + seed)  # the online/offline corpus seeds
+            assertions, has_apps = _random_assertions(rng)
+
+            reduced = DpllTEngine(assertions, reduce_base=1)
+            baseline = DpllTEngine(assertions, reduce_db=False)
+            verdict_reduced = reduced.check()
+            verdict_baseline = baseline.check()
+            assert verdict_reduced == verdict_baseline, f"seed {seed}"
+            assert verdict_reduced is not CheckResult.UNKNOWN
+            if verdict_reduced is CheckResult.SAT and not has_apps:
+                model = reduced.model()
+                for assertion in assertions:
+                    assert model.satisfies(assertion), (
+                        f"seed {seed}: reduced-engine model violates {assertion}"
+                    )
+
+    def test_incremental_streams_stay_sound_after_reductions(self):
+        """Assumption and push/pop streams on one engine agree with an
+        unreduced engine — learned-state garbage collection between checks
+        must never change an answer."""
+        for seed in range(12):
+            rng = random.Random(21_000 + seed)
+            base, _ = _random_assertions(rng)
+            scoped, _ = _random_assertions(rng)
+            probes, _ = _random_assertions(random.Random(22_000 + seed))
+
+            reduced = IncrementalDpllTEngine(reduce_base=1)
+            baseline = IncrementalDpllTEngine(reduce_db=False)
+            for engine in (reduced, baseline):
+                for assertion in base:
+                    engine.add(assertion)
+            assert reduced.check() == baseline.check(), f"seed {seed} (base)"
+            for probe in probes[:2]:
+                assert reduced.check(probe) == baseline.check(probe), (
+                    f"seed {seed} (assumption)"
+                )
+            for engine in (reduced, baseline):
+                engine.push()
+                for assertion in scoped:
+                    engine.add(assertion)
+            assert reduced.check() == baseline.check(), f"seed {seed} (scoped)"
+            for engine in (reduced, baseline):
+                engine.pop()
+            assert reduced.check() == baseline.check(), f"seed {seed} (popped)"
+
+    def test_reduction_rounds_actually_happen_on_long_streams(self):
+        """The aggressive engine really reduces (the differential above
+        would be vacuous otherwise) and keeps fewer clauses live.  The
+        stream is difference-logic only: scoped delivery-window questions
+        whose UNSAT proofs are conflict-rich but bounded."""
+        from repro.smt.terms import IntVal, IntVar, Le, Lt, Or
+
+        clocks = [IntVar(f"c{i}") for i in range(5)]
+        engine = IncrementalDpllTEngine(reduce_base=1)
+        baseline = IncrementalDpllTEngine(reduce_db=False)
+        for target in (engine, baseline):
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    target.add(Or(Lt(clocks[i], clocks[j]), Lt(clocks[j], clocks[i])))
+            for clock in clocks:
+                target.add(Le(IntVal(0), clock))
+        rounds = 0
+        for offset in range(12):
+            for target in (engine, baseline):
+                target.push()
+                for clock in clocks:
+                    target.add(Le(IntVal(offset), clock))
+                    target.add(Le(clock, IntVal(offset + 3)))
+                assert target.check() is CheckResult.UNSAT
+                target.pop()
+            rounds += engine.stats.reduce_db_rounds
+        assert rounds > 0
+        assert (
+            engine.stats.max_live_learned < baseline.stats.max_live_learned
+        )

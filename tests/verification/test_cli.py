@@ -91,3 +91,57 @@ class TestBatchMode:
         captured = capsys.readouterr().out
         assert code == 0
         assert "verdict=safe" in captured
+
+    def test_portfolio_theory_reports_winning_mode(self, capsys):
+        code = main(["--workload", "pipeline", "--portfolio-theory"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "dpllt[online]" in captured or "dpllt[offline]" in captured
+
+    def test_portfolio_and_portfolio_theory_conflict(self, capsys):
+        code = main(
+            ["--workload", "pipeline", "--portfolio", "--portfolio-theory"]
+        )
+        assert code == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_solver_knob_flags(self, capsys):
+        code = main(
+            [
+                "--workload",
+                "racy_fanin",
+                "--stats",
+                "--no-reduce-db",
+                "--no-idl-propagation",
+                "--theory-bump",
+                "0",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 1  # racy fan-in assertion is violated
+        assert "reduce_db_rounds = 0" in captured
+        assert "theory_propagations_idl = 0" in captured
+
+    def test_solver_knobs_conflict_with_portfolio(self, capsys):
+        code = main(
+            ["--workload", "pipeline", "--portfolio-theory", "--no-reduce-db"]
+        )
+        assert code == 2
+        assert "cannot be combined with a portfolio" in capsys.readouterr().err
+
+    def test_solver_knobs_travel_into_batch_mode(self, capsys):
+        code = main(
+            ["--workload", "pipeline", "--repeat", "2", "--no-reduce-db"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "verdict=safe" in captured
+
+    def test_stats_include_hot_path_counters(self, capsys):
+        code = main(["--workload", "racy_fanin", "--stats"])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "reduce_db_rounds" in captured
+        assert "max_live_learned" in captured
+        assert "theory_propagations_idl" in captured
+        assert "theory_propagations_euf" in captured

@@ -333,3 +333,61 @@ class TestPortfolio:
     def test_unknown_cache_spec_rejected(self):
         with pytest.raises(SolverError):
             ParallelVerifier(cache="redis")
+
+
+class TestTheoryPortfolio:
+    def test_theory_portfolio_races_online_vs_offline(self):
+        """portfolio='theory' answers every trace correctly and names the
+        winning contender's mode on the result and in its statistics."""
+        traces, expected = _mixed_batch(copies=1)
+        results = verify_many_parallel(traces, jobs=1, portfolio="theory")
+        assert [r.verdict for r in results] == expected
+        for result in results:
+            assert result.backend in ("dpllt[online]", "dpllt[offline]")
+            stats = result.solver_statistics or {}
+            if stats:  # the winner reports which theory mode it ran
+                assert stats.get("theory_mode") in ("online", "offline")
+
+    def test_theory_portfolio_lineup_and_cache_key(self):
+        from repro.verification.parallel import theory_portfolio
+
+        specs = theory_portfolio(max_solver_iterations=9)
+        assert [dict(s.kwargs)["theory_mode"] for s in specs] == [
+            "online",
+            "offline",
+        ]
+        assert all(s.name == "dpllt" for s in specs)
+        verifier = ParallelVerifier(jobs=1, portfolio="theory")
+        assert (
+            verifier.backend_key == "portfolio(dpllt[online]|dpllt[offline])"
+        )
+        backends = ParallelVerifier(jobs=1, portfolio=True)
+        assert verifier.backend_key != backends.backend_key
+
+    def test_theory_portfolio_matches_serial_verdicts(self):
+        traces, _ = _mixed_batch(copies=1)
+        serial = verify_many(traces)
+        raced = verify_many(traces, portfolio="theory")
+        assert [r.verdict for r in serial] == [r.verdict for r in raced]
+
+    def test_unknown_portfolio_value_rejected(self):
+        with pytest.raises(SolverError):
+            ParallelVerifier(portfolio="quantum")
+
+    def test_theory_mode_conflicts_with_theory_portfolio(self):
+        traces, _ = _mixed_batch(copies=1)
+        with pytest.raises(SolverError):
+            verify_many(traces, portfolio="theory", theory_mode="online")
+
+    def test_solver_knobs_travel_through_verify_many(self):
+        """reduce_db/theory_bump/idl_propagation reach the worker backends
+        (serial and spec-folded lanes) without changing verdicts."""
+        traces, expected = _mixed_batch(copies=1)
+        tuned = verify_many(
+            traces, reduce_db=False, theory_bump=0.0, idl_propagation=False
+        )
+        assert [r.verdict for r in tuned] == expected
+        sharded = verify_many(traces, jobs=1, cache="memory", reduce_db=False)
+        assert [r.verdict for r in sharded] == expected
+        with pytest.raises(SolverError):
+            verify_many(traces, portfolio=True, reduce_db=False)

@@ -91,6 +91,30 @@ class TestSessionQueries:
         # Full enumeration afterwards still sees all 6 matchings.
         assert len(session.enumerate_pairings()) == 6
 
+    def test_pairings_pause_and_restore_idl_propagation(self):
+        """Enumeration pauses the IDL propagation lane (a SAT-model stream
+        gains nothing from it) and restores it afterwards — unless the
+        session pinned the knob explicitly."""
+        session = VerificationSession.from_program(racy_fanin(3), seed=0)
+        session.feasibility()  # materialise the backend
+        core = session.backend.engine._core
+        assert core._idl_propagation is True
+        gen = session.pairings()
+        next(gen)
+        assert core._idl_propagation is False
+        gen.close()
+        assert core._idl_propagation is True
+
+        pinned = VerificationSession.from_program(
+            racy_fanin(3), seed=0, idl_propagation=True
+        )
+        pinned.feasibility()
+        pinned_core = pinned.backend.engine._core
+        gen = pinned.pairings()
+        next(gen)
+        assert pinned_core._idl_propagation is True
+        gen.close()
+
     def test_abandoned_generator_unwinds_on_gc(self):
         """Regression: a pairings() generator dropped without close() must
         release the enumeration guard and solver scope when collected, not

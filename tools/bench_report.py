@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Benchmark runner emitting a ``BENCH_solver.json`` perf-trajectory snapshot.
+
+Runs the benchmark suite (or, with ``--quick``, a representative subset)
+module by module through pytest, recording per-module wall time and exit
+status, then runs a set of *direct solver probes* — fixed workloads driven
+straight through :class:`repro.smt.dpllt.DpllTEngine` — capturing the full
+solver statistics (theory propagations split by theory, reduceDB rounds,
+clauses deleted, live-clause peak, conflicts, decisions).
+
+The JSON artifact is uploaded by CI on every run, so the perf trajectory of
+the solver hot path is recorded PR over PR and a regression shows up as a
+diff between artifacts rather than as an anecdote.  Run from the
+repository root::
+
+    python tools/bench_report.py --output BENCH_solver.json
+    python tools/bench_report.py --quick          # probes + the solver benches
+
+Only the standard library is used; pytest is invoked as a subprocess with
+the same interpreter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Benchmark modules in the order they are reported.  The quick subset is
+#: the clause-DB module alone — in CI every other module already runs as
+#: its own dedicated job step, so the snapshot must not re-run them.
+QUICK_BENCHMARKS = [
+    "benchmarks/test_bench_clause_db.py",
+]
+FULL_BENCHMARKS = QUICK_BENCHMARKS + [
+    "benchmarks/test_bench_online_theory.py",
+    "benchmarks/test_bench_session.py",
+    "benchmarks/test_bench_parallel.py",
+    "benchmarks/test_bench_deadlock.py",
+    "benchmarks/test_bench_figure4.py",
+]
+
+
+def run_benchmarks(modules):
+    """Run each benchmark module; return {module: {seconds, exit_status}}."""
+    results = {}
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for module in modules:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", module, "-q", "-p", "no:cacheprovider"],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        seconds = time.perf_counter() - start
+        results[module] = {
+            "seconds": round(seconds, 3),
+            "exit_status": proc.returncode,
+        }
+        status = "ok" if proc.returncode == 0 else f"FAILED ({proc.returncode})"
+        print(f"  {module}: {seconds:.1f}s {status}")
+        if proc.returncode != 0:
+            print(proc.stdout[-2000:])
+    return results
+
+
+def _ordering_terms(num_clocks, window_slots):
+    from repro.smt.terms import IntVal, IntVar, Le, Lt, Or
+
+    clocks = [IntVar(f"clk{i}") for i in range(num_clocks)]
+    terms = []
+    for i, j in itertools.combinations(range(num_clocks), 2):
+        terms.append(Or(Lt(clocks[i], clocks[j]), Lt(clocks[j], clocks[i])))
+    for clock in clocks:
+        terms.append(Le(IntVal(0), clock))
+        terms.append(Le(clock, IntVal(window_slots - 1)))
+    return terms
+
+
+def solver_probes():
+    """Fixed solver workloads reported with their full statistics."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.program.interpreter import run_program
+    from repro.smt.dpllt import DpllTEngine
+    from repro.verification.session import VerificationSession
+    from repro.workloads.generators import racy_fanin
+
+    probes = {}
+
+    def record(name, seconds, verdict, stats):
+        entry = {"seconds": round(seconds, 3), "verdict": verdict}
+        entry.update(stats)
+        probes[name] = entry
+        print(f"  probe {name}: {seconds:.2f}s ({verdict})")
+
+    # Ordering window: the theory-conflict-heavy UNSAT shape, with and
+    # without the hot-path features, so their contributions stay visible.
+    terms = _ordering_terms(6, 5)
+    for name, knobs in (
+        ("ordering_window_6", {}),
+        ("ordering_window_6_no_prop", {"idl_propagation": False}),
+        ("ordering_window_6_no_reduce", {"reduce_db": False}),
+    ):
+        engine = DpllTEngine(terms, **knobs)
+        start = time.perf_counter()
+        verdict = engine.check()
+        record(name, time.perf_counter() - start, verdict.value, engine.stats.as_dict())
+
+    # One real trace through the full verification stack.
+    run = run_program(racy_fanin(5, assert_first_from_sender0=True), seed=0)
+    session = VerificationSession(run.trace)
+    start = time.perf_counter()
+    result = session.verdict()
+    record(
+        "racy_fanin_5_verdict",
+        time.perf_counter() - start,
+        result.verdict.value,
+        session.statistics(),
+    )
+    return probes
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_solver.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the solver-focused benchmark modules",
+    )
+    parser.add_argument(
+        "--probes-only",
+        action="store_true",
+        help="skip pytest benchmark modules entirely",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": {},
+        "solver_probes": {},
+    }
+    print("solver probes:")
+    report["solver_probes"] = solver_probes()
+    if not args.probes_only:
+        modules = QUICK_BENCHMARKS if args.quick else FULL_BENCHMARKS
+        print("benchmark modules:")
+        report["benchmarks"] = run_benchmarks(modules)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    failed = [
+        module
+        for module, entry in report["benchmarks"].items()
+        if entry["exit_status"] != 0
+    ]
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
