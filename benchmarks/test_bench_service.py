@@ -1,0 +1,171 @@
+"""Experiment "service": the warm daemon against a cold request stream.
+
+The workload is the service's design target: a 64-query mixed-fingerprint
+stream (8 distinct verification questions × 8 recording seeds) pushed by
+concurrent clients into a ``jobs=4`` worker pool.  Two acceptance gates:
+
+* **Warm throughput.**  The second pass over the stream — every question
+  now has a warm session in some worker's pool — must run at **>= 2x** the
+  cold pass's queries/sec.  The win is structural: a pool hit skips
+  recording, fingerprinting and encoding, and lands on an incremental
+  backend that has already learned the instance.
+* **Deadline isolation.**  A request that blows its deadline (a stalling
+  backend that never polls the soft deadline) must come back
+  ``UNKNOWN(reason=timeout)`` within **2x** the deadline — the worker is
+  killed and respawned — and the very next request on the same daemon must
+  succeed.  One poisoned query costs one worker process, never the daemon.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import protocol
+from repro.service.server import VerificationService
+
+#: Eight distinct verification questions (distinct trace fingerprints)...
+DISTINCT_SPECS = [
+    {"workload": "figure1"},
+    {"workload": "racy_fanin", "params": {"senders": 2}},
+    {"workload": "racy_fanin", "params": {"senders": 3}},
+    {"workload": "racy_fanin", "params": {"senders": 4}},
+    {"workload": "pipeline", "params": {"senders": 6}},
+    {"workload": "scatter_gather", "params": {"senders": 3}},
+    {"workload": "client_server", "params": {"senders": 3}},
+    {"workload": "token_ring", "params": {"senders": 4}},
+]
+#: ...streamed under eight recording seeds each: 64 queries.
+SEEDS = range(8)
+
+
+def _stream():
+    return [
+        dict(spec, seed=seed, op="verify")
+        for seed in SEEDS
+        for spec in DISTINCT_SPECS
+    ]
+
+
+def _push_stream(service, queries, client_threads=8):
+    """Submit the stream through concurrent clients; returns (seconds, verdicts)."""
+
+    def one(query):
+        response = service.handle_json(
+            protocol.make_request("verify", query, request_id=1)
+        )
+        assert "error" not in response, response
+        return response["result"]["result"]["verdict"]
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=client_threads) as executor:
+        verdicts = list(executor.map(one, queries))
+    return time.perf_counter() - start, verdicts
+
+
+@pytest.mark.benchmark(group="service")
+def test_warm_pool_beats_cold_stream(benchmark, table_printer):
+    queries = _stream()
+    assert len(queries) == 64
+    service = VerificationService(jobs=4)
+    try:
+        cold_seconds, cold_verdicts = _push_stream(service, queries)
+        warm_seconds, warm_verdicts = _push_stream(service, queries)
+        stats = service.handle_json(
+            protocol.make_request("stats", request_id=2)
+        )["result"]
+
+        assert warm_verdicts == cold_verdicts
+        assert stats["pool"]["hits"] >= len(queries), (
+            "the warm pass must be answered from warm sessions, got "
+            f"{stats['pool']['hits']} hits"
+        )
+
+        cold_qps = len(queries) / cold_seconds
+        warm_qps = len(queries) / warm_seconds
+        table_printer(
+            "64-query mixed-fingerprint stream, jobs=4",
+            ["pass", "seconds", "queries/sec", "pool hits", "pool misses"],
+            [
+                ["cold", f"{cold_seconds:.2f}", f"{cold_qps:.0f}", 0, stats["pool"]["misses"]],
+                ["warm", f"{warm_seconds:.2f}", f"{warm_qps:.0f}", stats["pool"]["hits"], 0],
+            ],
+        )
+        assert warm_qps >= 2.0 * cold_qps, (
+            "warm-pool throughput must be >= 2x cold, got "
+            f"{warm_qps:.0f} vs {cold_qps:.0f} queries/sec"
+        )
+
+        benchmark.pedantic(
+            lambda: _push_stream(service, queries), rounds=3, iterations=1
+        )
+    finally:
+        service.close()
+
+
+@pytest.mark.benchmark(group="service")
+def test_deadline_kill_bounds_latency_and_spares_the_daemon(benchmark):
+    from repro.smt.backend import _REGISTRY, DpllTBackend, register_backend
+    from repro.smt.dpllt import CheckResult
+
+    class StallingBackend(DpllTBackend):
+        """Never polls the soft deadline — the hard worker kill must fire."""
+
+        name = "bench-stalling"
+
+        def check(self, *assumptions):
+            time.sleep(60.0)
+            return CheckResult.UNKNOWN
+
+    register_backend("bench-stalling", StallingBackend, replace=True)
+    deadline_s = 2.0
+    try:
+        # Workers fork from this process, inheriting the stalling backend.
+        service = VerificationService(jobs=2)
+        try:
+            start = time.perf_counter()
+            response = service.handle_json(
+                protocol.make_request(
+                    "verify",
+                    {
+                        "workload": "figure1",
+                        "backend": "bench-stalling",
+                        "timeout_s": deadline_s,
+                    },
+                    request_id=1,
+                )
+            )
+            elapsed = time.perf_counter() - start
+            result = response["result"]["result"]
+            assert result["verdict"] == "unknown"
+            assert result["unknown_reason"] == "timeout"
+            assert elapsed <= 2.0 * deadline_s, (
+                f"timeout must surface within 2x the deadline, took {elapsed:.2f}s"
+            )
+
+            # The daemon is unharmed: the killed worker was respawned and
+            # the next request (same routing spec, default backend) solves.
+            follow_up = service.handle_json(
+                protocol.make_request("verify", {"workload": "figure1"}, request_id=2)
+            )
+            assert follow_up["result"]["result"]["verdict"] == "violation"
+
+            stats = service.handle_json(
+                protocol.make_request("stats", request_id=3)
+            )["result"]
+            assert stats["worker_kills"] >= 1
+            assert stats["timeouts"] >= 1
+
+            benchmark.pedantic(
+                lambda: service.handle_json(
+                    protocol.make_request(
+                        "verify", {"workload": "figure1"}, request_id=4
+                    )
+                ),
+                rounds=3,
+                iterations=1,
+            )
+        finally:
+            service.close()
+    finally:
+        _REGISTRY.pop("bench-stalling", None)

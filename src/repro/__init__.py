@@ -21,6 +21,10 @@ The package is organised bottom-up:
 * :mod:`repro.verification` — the session-based verification API, the
   legacy verifier shim, witness decoding and replay, and the
   ``mcapi-verify`` CLI.
+* :mod:`repro.service` — verification as a service: a JSON-RPC daemon
+  (``mcapi-verify serve``) with pooled warm sessions, per-request
+  deadlines backed by killable workers, and a blocking
+  :class:`~repro.service.client.ServiceClient`.
 * :mod:`repro.baselines` — MCC-style, Elwakil-style, exhaustive and
   DPOR-style baselines used by the experiments.
 * :mod:`repro.workloads` — the paper's Figure 1 program and parameterised
@@ -41,6 +45,8 @@ Batch traffic goes through :func:`verify_many`; the legacy call-per-query
 :class:`SymbolicVerifier` keeps working unchanged as a shim over sessions.
 """
 
+__version__ = "2.0.0"
+
 from repro.verification.result import Verdict, VerificationResult
 from repro.verification.session import VerificationSession, verify_many
 from repro.verification.verifier import SymbolicVerifier
@@ -48,8 +54,10 @@ from repro.encoding.encoder import EncoderOptions, MatchPairStrategy, TraceEncod
 from repro.encoding.properties import DeadlockProperty, OrphanMessageProperty
 from repro.program.interpreter import run_program
 from repro.program.statictrace import static_trace
+from repro.service.client import ServiceClient
 from repro.smt.backend import (
     DpllTBackend,
+    SmtLibPipeBackend,
     SmtLibProcessBackend,
     SolverBackend,
     available_backends,
@@ -59,10 +67,9 @@ from repro.smt.backend import (
 from repro.utils.errors import (
     BackendUnavailableError,
     IncompleteEnumerationError,
+    ServiceError,
     UnknownBackendError,
 )
-
-__version__ = "2.0.0"
 
 __all__ = [
     "VerificationSession",
@@ -80,11 +87,14 @@ __all__ = [
     "SolverBackend",
     "DpllTBackend",
     "SmtLibProcessBackend",
+    "SmtLibPipeBackend",
+    "ServiceClient",
     "available_backends",
     "create_backend",
     "register_backend",
     "BackendUnavailableError",
     "IncompleteEnumerationError",
+    "ServiceError",
     "UnknownBackendError",
     "__version__",
 ]

@@ -1,0 +1,44 @@
+"""Verification-as-a-service: daemon, warm pools, protocol, client.
+
+The paper's workflow is many queries against recorded traces; this package
+turns the one-shot library into a long-lived service so that encoding work
+and incremental-solver state are paid once and reused across requests::
+
+    mcapi-verify serve --port 9177 --jobs 4 --cache-dir /tmp/mcapi-cache
+    mcapi-verify --server 127.0.0.1:9177 --workload racy_fanin --repeat 8
+
+Modules: :mod:`~repro.service.protocol` (newline-delimited JSON-RPC),
+:mod:`~repro.service.pool` (warm session pool + killable worker
+processes), :mod:`~repro.service.server` (asyncio front end),
+:mod:`~repro.service.client` (blocking client).
+"""
+
+from repro.service.client import DEFAULT_PORT, ServiceClient, parse_address
+from repro.service.pool import DEFAULT_POOL_SIZE, PoolKey, SessionPool, WorkerPool
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.service.server import VerificationService, run_server, run_stdio, serve
+
+__all__ = [
+    "ServiceClient",
+    "parse_address",
+    "DEFAULT_PORT",
+    "DEFAULT_POOL_SIZE",
+    "PoolKey",
+    "SessionPool",
+    "WorkerPool",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
+    "result_to_payload",
+    "payload_to_result",
+    "VerificationService",
+    "serve",
+    "run_server",
+    "run_stdio",
+]

@@ -1,0 +1,212 @@
+"""Synchronous client for the verification daemon.
+
+:class:`ServiceClient` speaks the newline-delimited JSON-RPC protocol over
+one TCP connection and hands back the same
+:class:`~repro.verification.result.VerificationResult` objects the local
+API produces (minus encodings/traces, which never leave the server)::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1:9177") as client:
+        result = client.verify("racy_fanin", params={"senders": 3})
+        print(result.verdict, client.stats()["pool"]["hits"])
+
+The CLI's ``--server ADDR`` flag is a thin wrapper over this class.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Tuple
+
+from repro.service import protocol
+from repro.utils.errors import ServiceError, ServiceProtocolError
+from repro.verification.result import VerificationResult
+
+__all__ = ["ServiceClient", "parse_address", "DEFAULT_PORT"]
+
+#: Default TCP port of ``mcapi-verify serve``.
+DEFAULT_PORT = 9177
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse ``host:port`` / ``:port`` / ``host`` / ``port`` into a pair."""
+    address = address.strip()
+    if not address:
+        raise ServiceError("empty server address")
+    if ":" in address:
+        host, _, port_text = address.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServiceError(f"bad port in server address {address!r}")
+        return host, port
+    if address.isdigit():
+        return "127.0.0.1", int(address)
+    return address, DEFAULT_PORT
+
+
+class ServiceClient:
+    """One blocking connection to a running verification daemon."""
+
+    def __init__(
+        self, address: str = f"127.0.0.1:{DEFAULT_PORT}", timeout: float = 300.0
+    ) -> None:
+        host, port = parse_address(address)
+        self.address = f"{host}:{port}"
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach verification service at {self.address}: {exc}; "
+                "is `mcapi-verify serve` running?"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _call(self, method: str, params: Optional[Dict[str, object]] = None) -> object:
+        self._next_id += 1
+        request_id = self._next_id
+        frame = protocol.encode_frame(
+            protocol.make_request(method, params, request_id)
+        )
+        try:
+            self._file.write(frame)
+            self._file.flush()
+            line = self._file.readline(protocol.MAX_FRAME_BYTES + 1)
+        except OSError as exc:
+            raise ServiceError(
+                f"lost connection to verification service at {self.address}: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceError(
+                f"verification service at {self.address} closed the connection"
+            )
+        response = protocol.decode_frame(line)
+        error = response.get("error")
+        if error is not None:
+            code = error.get("code") if isinstance(error, dict) else None
+            message = (
+                error.get("message") if isinstance(error, dict) else str(error)
+            )
+            raise ServiceError(f"service error {code}: {message}")
+        if response.get("id") != request_id:
+            raise ServiceProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        return response.get("result")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- public API --------------------------------------------------------------
+
+    @staticmethod
+    def _spec(
+        workload: str,
+        params: Optional[Dict[str, object]],
+        seed: int,
+        mode: str,
+        backend: Optional[str],
+        theory_mode: Optional[str],
+        timeout_s: Optional[float],
+        **extra,
+    ) -> Dict[str, object]:
+        spec: Dict[str, object] = {"workload": workload, "seed": seed, "mode": mode}
+        if params:
+            spec["params"] = params
+        if backend is not None:
+            spec["backend"] = backend
+        if theory_mode is not None:
+            spec["theory_mode"] = theory_mode
+        if timeout_s is not None:
+            spec["timeout_s"] = timeout_s
+        spec.update({key: value for key, value in extra.items() if value is not None})
+        return spec
+
+    def verify(
+        self,
+        workload: str,
+        params: Optional[Dict[str, object]] = None,
+        seed: int = 0,
+        mode: str = "safety",
+        backend: Optional[str] = None,
+        theory_mode: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        **extra,
+    ) -> VerificationResult:
+        """Verify one workload spec on the daemon's warm pool."""
+        payload = self._call(
+            "verify",
+            self._spec(
+                workload, params, seed, mode, backend, theory_mode, timeout_s, **extra
+            ),
+        )
+        return protocol.payload_to_result(payload["result"])
+
+    def verify_batch(
+        self, queries: List[Dict[str, object]], **shared
+    ) -> List[VerificationResult]:
+        """Verify many specs in one round trip; results in input order.
+
+        ``shared`` keys (``mode``, ``backend``, ``timeout_s``, ...) apply to
+        every query that does not override them itself.
+        """
+        payload = self._call("verify_batch", dict(shared, queries=queries))
+        return [
+            protocol.payload_to_result(item["result"])
+            for item in payload["results"]
+        ]
+
+    def enumerate(
+        self,
+        workload: str,
+        params: Optional[Dict[str, object]] = None,
+        seed: int = 0,
+        limit: Optional[int] = None,
+        backend: Optional[str] = None,
+        theory_mode: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> List[Dict[int, int]]:
+        """All admissible send/receive matchings of the workload's trace."""
+        payload = self._call(
+            "enumerate",
+            self._spec(
+                workload,
+                params,
+                seed,
+                "safety",
+                backend,
+                theory_mode,
+                timeout_s,
+                limit=limit,
+            ),
+        )
+        return [
+            {int(recv): int(send) for recv, send in matching}
+            for matching in payload["matchings"]
+        ]
+
+    def stats(self) -> Dict[str, object]:
+        """Daemon statistics: pool hits/ages, cache counters, timeouts."""
+        return self._call("stats")
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the daemon to stop accepting requests and exit."""
+        return self._call("shutdown")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceClient({self.address!r})"

@@ -1,0 +1,548 @@
+"""Warm verification state for the service: session pool + worker pool.
+
+Two layers:
+
+* :class:`SessionPool` — an LRU of live
+  :class:`~repro.verification.session.VerificationSession` objects keyed by
+  trace fingerprint × encoder options × backend × theory mode
+  (:class:`PoolKey`).  A pool hit skips encoding entirely and lands on an
+  incremental backend that has already learned the instance; per-entry hit
+  counts and ages are exposed for the service's ``stats`` method, and
+  entries can be invalidated explicitly by fingerprint.
+* :class:`WorkerPool` — long-lived ``multiprocessing`` workers, each owning
+  its *own* ``SessionPool``.  Requests are routed by pool-key affinity
+  (same key → same worker → warm hit); a request that blows through its
+  deadline gets its worker killed and respawned, which is the only reliable
+  cancellation for CPU-bound solving — the in-solver soft deadline
+  (:meth:`VerificationSession.verdict` ``timeout_s``) usually answers
+  first, the kill is the backstop for backends that cannot be interrupted.
+  ``jobs=0`` runs everything inline (one shared pool, one lock), the mode
+  the stdio/test path uses.
+
+Requests are *workload specs*, not traces: ``{"workload": "racy_fanin",
+"params": {"senders": 3}, "seed": 1}`` names a program from the CLI's
+workload registry, which the server records and fingerprints itself.
+Recorded traces do not round-trip through JSON (payload terms are
+stringified on export), and shipping them would defeat the warm-state
+design anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.encoding.encoder import EncoderOptions, MatchPairStrategy
+from repro.program.ast import Program
+from repro.program.interpreter import run_program
+from repro.program.statictrace import static_trace
+from repro.service.protocol import result_to_payload
+from repro.trace.fingerprint import trace_fingerprint
+from repro.utils.errors import ReproError, ServiceError
+from repro.verification.cache import ResultCache, make_cache_key
+from repro.verification.result import Verdict, VerificationResult
+from repro.verification.session import (
+    VERIFICATION_MODES,
+    VerificationSession,
+    resolve_mode,
+)
+
+__all__ = ["PoolKey", "SessionPool", "WorkerPool", "build_program", "DEFAULT_POOL_SIZE"]
+
+#: Warm sessions kept per pool before least-recently-used eviction.
+DEFAULT_POOL_SIZE = 32
+
+#: How much past a request's deadline the worker gets before it is killed.
+#: The in-solver soft deadline answers within milliseconds of the budget;
+#: the hard kill only fires for backends that cannot poll a clock.  The
+#: factor keeps the total response under 2x the requested deadline.
+HARD_KILL_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class PoolKey:
+    """Everything that determines which warm session can answer a request."""
+
+    fingerprint: str
+    options: str
+    backend: str
+    theory_mode: str
+
+    def digest(self) -> str:
+        joined = "\x1f".join(
+            (self.fingerprint, self.options, self.backend, self.theory_mode)
+        )
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def build_program(workload: str, params: Optional[Dict[str, object]]) -> Program:
+    """Resolve a wire-level workload spec against the CLI registry."""
+    from repro.verification.cli import WORKLOADS, build_parser
+
+    if workload not in WORKLOADS:
+        raise ServiceError(
+            f"unknown workload {workload!r}; available: "
+            + ", ".join(sorted(WORKLOADS))
+        )
+    args = build_parser().parse_args([])
+    for name, value in (params or {}).items():
+        if not hasattr(args, name):
+            raise ServiceError(f"unknown workload parameter {name!r}")
+        setattr(args, name, value)
+    return WORKLOADS[workload].build(args)
+
+
+def _request_options(spec: Dict[str, object]) -> EncoderOptions:
+    return EncoderOptions(
+        match_strategy=(
+            MatchPairStrategy.PRECISE
+            if spec.get("match_pairs") == "precise"
+            else MatchPairStrategy.ENDPOINT
+        ),
+        enforce_pair_fifo=bool(spec.get("pair_fifo", False)),
+    )
+
+
+def _options_signature(options: EncoderOptions) -> str:
+    return f"{options.match_strategy.value};fifo={options.enforce_pair_fifo}"
+
+
+@dataclass
+class _PoolEntry:
+    session: VerificationSession
+    key: PoolKey
+    hits: int = 0
+    created: float = field(default_factory=time.monotonic)
+    last_used: float = field(default_factory=time.monotonic)
+
+
+class SessionPool:
+    """LRU of warm sessions, keyed by :class:`PoolKey`."""
+
+    def __init__(self, capacity: int = DEFAULT_POOL_SIZE) -> None:
+        if capacity < 1:
+            raise ServiceError(f"session pool needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PoolKey, _PoolEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: PoolKey) -> Optional[_PoolEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        entry.last_used = time.monotonic()
+        self.hits += 1
+        return entry
+
+    def put(self, key: PoolKey, session: VerificationSession) -> _PoolEntry:
+        entry = _PoolEntry(session=session, key=key)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        """Drop warm sessions (all, or those of one trace fingerprint)."""
+        if fingerprint is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        victims = [key for key in self._entries if key.fingerprint == fingerprint]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def statistics(self) -> Dict[str, object]:
+        now = time.monotonic()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": [
+                {
+                    "fingerprint": entry.key.fingerprint[:16],
+                    "backend": entry.key.backend,
+                    "theory_mode": entry.key.theory_mode,
+                    "hits": entry.hits,
+                    "age_s": round(now - entry.created, 3),
+                    "idle_s": round(now - entry.last_used, 3),
+                }
+                for entry in self._entries.values()
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Request execution (runs inside a worker process, or inline)
+# ---------------------------------------------------------------------------
+
+
+class _Executor:
+    """Resolve and solve one request spec against a session pool + cache."""
+
+    def __init__(
+        self, pool: SessionPool, cache: Optional[ResultCache] = None
+    ) -> None:
+        self.pool = pool
+        self.cache = cache
+
+    def _resolve_session(
+        self, spec: Dict[str, object]
+    ) -> Tuple[VerificationSession, bool, PoolKey]:
+        workload = spec.get("workload")
+        if not isinstance(workload, str):
+            raise ServiceError("request needs a workload name")
+        program = build_program(workload, spec.get("params"))
+        seed = int(spec.get("seed", 0))
+        run = run_program(program, seed=seed)
+        if run.deadlocked:
+            trace, run = static_trace(program), None
+        else:
+            trace = run.trace
+        options = _request_options(spec)
+        backend = spec.get("backend") or "dpllt"
+        theory_mode = spec.get("theory_mode")
+        key = PoolKey(
+            fingerprint=trace_fingerprint(trace),
+            options=_options_signature(options),
+            backend=str(backend),
+            theory_mode=str(theory_mode or "default"),
+        )
+        entry = self.pool.get(key)
+        if entry is not None:
+            return entry.session, True, key
+        session = VerificationSession(
+            trace,
+            options=options,
+            backend=backend,
+            theory_mode=theory_mode,
+            max_solver_iterations=int(spec.get("max_iterations", 200_000)),
+            program_run=run,
+        )
+        self.pool.put(key, session)
+        return session, False, key
+
+    def execute(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Run one worker op; always returns a JSON-safe response dict."""
+        try:
+            op = request.get("op", "verify")
+            if op == "stats":
+                stats: Dict[str, object] = {"pool": self.pool.statistics()}
+                if self.cache is not None:
+                    stats["cache"] = self.cache.statistics()
+                return {"ok": True, "stats": stats}
+            if op == "invalidate":
+                dropped = self.pool.invalidate(request.get("fingerprint"))
+                return {"ok": True, "dropped": dropped}
+            if op == "enumerate":
+                return self._enumerate(request)
+            if op == "verify":
+                return self._verify(request)
+            raise ServiceError(f"unknown worker op {op!r}")
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+        except Exception as exc:  # never let a request take the worker down
+            return {"ok": False, "error": repr(exc), "kind": type(exc).__name__}
+
+    def _verify(self, request: Dict[str, object]) -> Dict[str, object]:
+        mode = request.get("mode", "safety")
+        if mode not in VERIFICATION_MODES:
+            raise ServiceError(
+                f"unknown verification mode {mode!r}; pick one of {VERIFICATION_MODES}"
+            )
+        timeout_s = request.get("timeout_s")
+        timeout_s = None if timeout_s is None else float(timeout_s)
+        session, pool_hit, key = self._resolve_session(request)
+        cache_key = None
+        if self.cache is not None:
+            # The shared cache answers across processes and daemon restarts;
+            # the mode joins the key exactly as in the batch lane.
+            resolved_options, properties = resolve_mode(
+                mode, session._encoder.options, None
+            )
+            cache_key = make_cache_key(
+                session.trace,
+                properties=properties,
+                options=resolved_options,
+                backend=key.backend,
+                mode=mode,
+            )
+            cached = self.cache.lookup(cache_key, session.trace)
+            if cached is not None:
+                return {
+                    "ok": True,
+                    "result": result_to_payload(cached),
+                    "pool_hit": pool_hit,
+                    "fingerprint": key.fingerprint,
+                }
+        result = session.verdict(mode=mode, timeout_s=timeout_s)
+        if self.cache is not None and cache_key is not None:
+            self.cache.store(cache_key, result)
+        return {
+            "ok": True,
+            "result": result_to_payload(result),
+            "pool_hit": pool_hit,
+            "fingerprint": key.fingerprint,
+        }
+
+    def _enumerate(self, request: Dict[str, object]) -> Dict[str, object]:
+        limit = request.get("limit")
+        limit = None if limit is None else int(limit)
+        session, pool_hit, key = self._resolve_session(request)
+        matchings = session.enumerate_pairings(limit=limit)
+        return {
+            "ok": True,
+            "matchings": [
+                sorted(matching.items()) for matching in matchings
+            ],
+            "pool_hit": pool_hit,
+            "fingerprint": key.fingerprint,
+        }
+
+
+def _timeout_response(timeout_s: float) -> Dict[str, object]:
+    """The canonical answer for a request whose worker had to be killed."""
+    result = VerificationResult(verdict=Verdict.UNKNOWN, unknown_reason="timeout")
+    result.solve_seconds = timeout_s
+    return {"ok": True, "result": result_to_payload(result), "pool_hit": False}
+
+
+def _worker_main(conn, pool_size: int, cache_dir: Optional[str]) -> None:
+    """Worker process entry: serve requests off one pipe until EOF."""
+    cache = ResultCache(directory=cache_dir) if cache_dir else None
+    executor = _Executor(SessionPool(capacity=pool_size), cache=cache)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:  # explicit shutdown
+            return
+        request_id, request = message
+        response = executor.execute(request)
+        try:
+            conn.send((request_id, response))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _PooledWorker:
+    """One long-lived worker process plus the pipe and lock guarding it."""
+
+    def __init__(self, context, pool_size: int, cache_dir: Optional[str]) -> None:
+        self._context = context
+        self._pool_size = pool_size
+        self._cache_dir = cache_dir
+        self.lock = threading.Lock()
+        self.kills = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._context.Pipe()
+        self.conn = parent
+        self.process = self._context.Process(
+            target=_worker_main,
+            args=(child, self._pool_size, self._cache_dir),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def _respawn(self) -> None:
+        self.close(graceful=False)
+        self._spawn()
+
+    def solve(
+        self, request: Dict[str, object], timeout_s: Optional[float]
+    ) -> Dict[str, object]:
+        """Send one request; on a blown deadline kill + respawn the worker.
+
+        Caller must hold :attr:`lock`.  ``timeout_s`` is the *request's*
+        deadline; the hard kill budget is ``HARD_KILL_FACTOR`` times that,
+        giving the in-solver soft deadline every chance to answer first.
+        """
+        request_id = id(request)
+        try:
+            self.conn.send((request_id, dict(request, timeout_s=timeout_s)))
+        except (BrokenPipeError, OSError):
+            self._respawn()
+            raise ServiceError("verification worker died; it has been restarted")
+        budget = None if timeout_s is None else max(timeout_s * HARD_KILL_FACTOR, 0.05)
+        deadline = None if budget is None else time.monotonic() + budget
+        while True:
+            wait = 60.0 if deadline is None else max(deadline - time.monotonic(), 0.0)
+            try:
+                if self.conn.poll(wait):
+                    received_id, response = self.conn.recv()
+                    if received_id != request_id:  # stale answer from a past kill
+                        continue
+                    return response
+            except (EOFError, OSError):
+                self._respawn()
+                raise ServiceError(
+                    "verification worker died mid-request; it has been restarted"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                # The solver cannot be interrupted: cancel for real by
+                # killing the process.  Its warm sessions die with it.
+                self.kills += 1
+                self._respawn()
+                return _timeout_response(timeout_s)
+
+    def close(self, graceful: bool = True) -> None:
+        try:
+            if graceful:
+                try:
+                    self.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(timeout=2.0)
+
+
+class WorkerPool:
+    """Fixed set of warm workers with pool-key affinity routing.
+
+    ``jobs >= 1`` spawns that many processes eagerly (so they inherit the
+    parent's backend registry via fork).  ``jobs = 0`` solves inline in the
+    calling thread against one shared :class:`SessionPool` — no process
+    boundary, one lock, deterministic for tests.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 0,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ServiceError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs
+        self.pool_size = pool_size
+        self.cache_dir = cache_dir
+        self.timeouts = 0
+        self._closed = False
+        if jobs == 0:
+            cache = ResultCache(directory=cache_dir) if cache_dir else None
+            self._inline = _Executor(SessionPool(capacity=pool_size), cache=cache)
+            self._inline_lock = threading.Lock()
+            self._workers: List[_PooledWorker] = []
+        else:
+            self._inline = None
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._workers = [
+                _PooledWorker(context, pool_size, cache_dir) for _ in range(jobs)
+            ]
+
+    def _route(self, request: Dict[str, object]) -> _PooledWorker:
+        """Affinity routing: same workload spec → same worker → warm pool."""
+        spec = (
+            str(request.get("workload")),
+            str(sorted((request.get("params") or {}).items())),
+            str(request.get("seed", 0)),
+            str(request.get("backend") or "dpllt"),
+            str(request.get("theory_mode") or "default"),
+            str(request.get("match_pairs") or "endpoint"),
+            str(bool(request.get("pair_fifo", False))),
+        )
+        digest = hashlib.sha256("\x1f".join(spec).encode("utf-8")).hexdigest()
+        return self._workers[int(digest, 16) % len(self._workers)]
+
+    def submit(
+        self, request: Dict[str, object], timeout_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Solve one request (blocking); safe to call from several threads."""
+        if self._closed:
+            raise ServiceError("worker pool is closed")
+        if self._inline is not None:
+            with self._inline_lock:
+                response = self._inline.execute(
+                    dict(request, timeout_s=timeout_s)
+                    if timeout_s is not None
+                    else request
+                )
+        else:
+            worker = self._route(request)
+            with worker.lock:
+                response = worker.solve(request, timeout_s)
+        if (
+            response.get("ok")
+            and (response.get("result") or {}).get("unknown_reason") == "timeout"
+        ):
+            self.timeouts += 1
+        return response
+
+    def broadcast(self, request: Dict[str, object]) -> List[Dict[str, object]]:
+        """Run one op (stats/invalidate) on every worker; returns all answers."""
+        if self._closed:
+            raise ServiceError("worker pool is closed")
+        if self._inline is not None:
+            with self._inline_lock:
+                return [self._inline.execute(request)]
+        responses = []
+        for worker in self._workers:
+            with worker.lock:
+                responses.append(worker.solve(request, None))
+        return responses
+
+    def statistics(self) -> Dict[str, object]:
+        """Aggregate pool + cache statistics across all workers."""
+        per_worker = self.broadcast({"op": "stats"})
+        pools = [r["stats"]["pool"] for r in per_worker if r.get("ok")]
+        aggregate: Dict[str, object] = {
+            "jobs": self.jobs,
+            "timeouts": self.timeouts,
+            "worker_kills": sum(w.kills for w in self._workers),
+            "pool": {
+                "hits": sum(p["hits"] for p in pools),
+                "misses": sum(p["misses"] for p in pools),
+                "evictions": sum(p["evictions"] for p in pools),
+                "entries": [entry for p in pools for entry in p["entries"]],
+            },
+        }
+        caches = [
+            r["stats"]["cache"]
+            for r in per_worker
+            if r.get("ok") and "cache" in r["stats"]
+        ]
+        if caches:
+            aggregate["cache"] = {
+                key: sum(c[key] for c in caches) for key in caches[0]
+            }
+        return aggregate
+
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        """Drop warm sessions in every worker; returns how many were dropped."""
+        responses = self.broadcast({"op": "invalidate", "fingerprint": fingerprint})
+        return sum(r.get("dropped", 0) for r in responses if r.get("ok"))
+
+    def close(self) -> None:
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+        self._workers = []

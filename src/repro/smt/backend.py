@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import os
 import re
+import select
 import shlex
 import shutil
 import subprocess
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 try:  # Protocol is 3.8+; fall back to a plain base class elsewhere.
     from typing import Protocol, runtime_checkable
@@ -44,7 +46,7 @@ except ImportError:  # pragma: no cover - ancient pythons only
 from repro.smt.dpllt import CheckResult, IncrementalDpllTEngine
 from repro.smt.models import Model
 from repro.smt.sat import DEFAULT_REDUCE_BASE, DEFAULT_THEORY_BUMP
-from repro.smt.smtlib import to_smtlib
+from repro.smt.smtlib import _collect_declarations, to_smtlib
 from repro.smt.terms import Term, free_variables
 from repro.utils.errors import (
     BackendUnavailableError,
@@ -57,6 +59,7 @@ __all__ = [
     "BackendSpec",
     "DpllTBackend",
     "SmtLibProcessBackend",
+    "SmtLibPipeBackend",
     "register_backend",
     "create_backend",
     "available_backends",
@@ -207,6 +210,15 @@ class DpllTBackend:
         """
         self._engine.set_idl_propagation(enabled)
 
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Bound later checks by a ``time.monotonic`` instant (None clears).
+
+        A check running past the deadline returns
+        :data:`~repro.smt.dpllt.CheckResult.UNKNOWN`; learned state
+        survives, so a retry with a larger budget starts warm.
+        """
+        self._engine.set_deadline(deadline)
+
     def statistics(self) -> Dict[str, int]:
         if self._engine.total_checks == 0:
             return {}
@@ -222,6 +234,18 @@ class DpllTBackend:
 # ---------------------------------------------------------------------------
 # External SMT-LIB process backend
 # ---------------------------------------------------------------------------
+
+
+class _DeadlineExpired(Exception):
+    """Internal: the backend deadline lapsed before the check finished."""
+
+
+class _PipeTimeout(Exception):
+    """Internal: no pipe output arrived before the I/O deadline."""
+
+
+class _PipeClosed(Exception):
+    """Internal: the piped solver process died or desynchronised."""
 
 
 _SEXPR_TOKEN = re.compile(r"\(|\)|[^\s()]+")
@@ -319,6 +343,7 @@ class SmtLibProcessBackend:
                 f"external SMT solver binary {self._command[0]!r} not found on PATH"
             )
         self._timeout = timeout
+        self._deadline: Optional[float] = None
         self._assertions: List[Term] = []
         self._scopes: List[int] = []
         self._last_result: Optional[CheckResult] = None
@@ -333,6 +358,15 @@ class SmtLibProcessBackend:
         except BackendUnavailableError:
             return False
         return True
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Bound later checks by a ``time.monotonic`` instant (None clears).
+
+        A check that cannot finish before the deadline returns
+        :data:`~repro.smt.dpllt.CheckResult.UNKNOWN` instead of raising,
+        mirroring :meth:`DpllTBackend.set_deadline`.
+        """
+        self._deadline = deadline
 
     # -- assertion management --------------------------------------------------
 
@@ -361,7 +395,13 @@ class SmtLibProcessBackend:
     def check(self, *assumptions: Term) -> CheckResult:
         terms = self._assertions + [_validate_assertion(a) for a in assumptions]
         script = to_smtlib(terms, get_model=True)
-        output, returncode = self._run(script)
+        try:
+            output, returncode = self._run(script)
+        except _DeadlineExpired:
+            self._checks += 1
+            self._last_result = CheckResult.UNKNOWN
+            self._last_model = None
+            return CheckResult.UNKNOWN
         self._checks += 1
         verdict, model = self._parse_output(output, terms, returncode)
         self._last_result = verdict
@@ -381,6 +421,12 @@ class SmtLibProcessBackend:
     # -- internals ----------------------------------------------------------------
 
     def _run(self, script: str) -> Tuple[str, int]:
+        timeout = self._timeout
+        if self._deadline is not None:
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                raise _DeadlineExpired()
+            timeout = min(timeout, remaining)
         with tempfile.NamedTemporaryFile(
             "w", suffix=".smt2", prefix="repro-", delete=False
         ) as handle:
@@ -391,9 +437,11 @@ class SmtLibProcessBackend:
                 self._command + [path],
                 capture_output=True,
                 text=True,
-                timeout=self._timeout,
+                timeout=timeout,
             )
         except subprocess.TimeoutExpired as exc:
+            if self._deadline is not None and time.monotonic() >= self._deadline:
+                raise _DeadlineExpired() from exc
             raise SolverError(
                 f"external solver timed out after {self._timeout}s"
             ) from exc
@@ -449,6 +497,382 @@ class SmtLibProcessBackend:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SmtLibProcessBackend({' '.join(self._command)!r})"
+
+
+# ---------------------------------------------------------------------------
+# Pooled SMT-LIB pipe backend
+# ---------------------------------------------------------------------------
+
+
+class SmtLibPipeBackend:
+    """Keep one external solver alive and talk SMT-LIB over its stdin pipe.
+
+    Where :class:`SmtLibProcessBackend` pays a process launch plus a full
+    script re-parse for every ``check``, this backend holds a single solver
+    session open and drives it incrementally: assumption-scoped checks use
+    ``(push 1)`` / ``(pop 1)``, and the session is recycled in place with
+    ``(reset-assertions)`` after :attr:`recycle_after` checks so solver-side
+    garbage (learned lemmas for long-dead scopes, allocator growth) cannot
+    accumulate without bound.  ``(set-option :global-declarations true)``
+    keeps declarations alive across the recycle, so only assertions replay.
+
+    Synchronisation uses echo markers: every command batch ends with
+    ``(echo "repro-sync-N")`` and the reader collects output lines until the
+    marker comes back, so error chatter can never desynchronise verdict
+    parsing.  A crashed or desynchronised session is restarted and the
+    mirrored assertion stack replayed — one retry per check, then the error
+    surfaces as a :class:`~repro.utils.errors.SolverError`.
+    """
+
+    name = "smtlib-pipe"
+
+    def __init__(
+        self,
+        command: Union[str, Sequence[str], None] = None,
+        timeout: float = 60.0,
+        recycle_after: int = 256,
+        logic: str = "ALL",
+        max_iterations: Optional[int] = None,  # accepted for factory parity
+        theory_mode: Optional[str] = None,  # accepted for factory parity
+        reduce_db: Optional[bool] = None,  # accepted for factory parity
+        reduce_base: Optional[int] = None,  # accepted for factory parity
+        theory_bump: Optional[float] = None,  # accepted for factory parity
+        idl_propagation: Optional[bool] = None,  # accepted for factory parity
+    ) -> None:
+        if command is None:
+            command = os.environ.get(SMTLIB_SOLVER_ENV)
+        if not command:
+            raise BackendUnavailableError(
+                "no external SMT solver configured; set the "
+                f"{SMTLIB_SOLVER_ENV} environment variable (e.g. to 'z3') or "
+                "pass command= explicitly"
+            )
+        self._command = shlex.split(command) if isinstance(command, str) else list(command)
+        if shutil.which(self._command[0]) is None:
+            raise BackendUnavailableError(
+                f"external SMT solver binary {self._command[0]!r} not found on PATH"
+            )
+        self._timeout = timeout
+        self._recycle_after = recycle_after
+        self._logic = logic
+        self._deadline: Optional[float] = None
+        self._assertions: List[Term] = []
+        self._scopes: List[int] = []
+        self._declared: Set[str] = set()
+        self._proc: Optional[subprocess.Popen] = None
+        self._buffer = b""
+        self._marker = 0
+        self._checks = 0
+        self._checks_since_reset = 0
+        self._recycles = 0
+        self._restarts = 0
+        self._last_result: Optional[CheckResult] = None
+        self._last_model: Optional[Model] = None
+
+    @classmethod
+    def is_available(cls, command: Union[str, Sequence[str], None] = None) -> bool:
+        """True when a usable solver command is configured on this host."""
+        try:
+            cls(command=command)
+        except BackendUnavailableError:
+            return False
+        return True
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Bound later checks by a ``time.monotonic`` instant (None clears).
+
+        A check running past the deadline returns
+        :data:`~repro.smt.dpllt.CheckResult.UNKNOWN`; the wedged session is
+        discarded, so the next check starts from a fresh replayed process.
+        """
+        self._deadline = deadline
+
+    # -- assertion management --------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        added = [_validate_assertion(term) for term in terms]
+        self._assertions.extend(added)
+        self._last_result = None
+        self._last_model = None
+        if self._proc is not None:
+            try:
+                self._write(
+                    self._declaration_lines(added)
+                    + [f"(assert {term})" for term in added]
+                )
+            except _PipeClosed:
+                self._shutdown()  # replayed lazily at the next check
+
+    def add_all(self, terms: Iterable[Term]) -> None:
+        self.add(*terms)
+
+    def push(self) -> None:
+        self._scopes.append(len(self._assertions))
+        if self._proc is not None:
+            try:
+                self._write(["(push 1)"])
+            except _PipeClosed:
+                self._shutdown()
+
+    def pop(self) -> None:
+        if not self._scopes:
+            raise SolverError("pop without matching push")
+        size = self._scopes.pop()
+        del self._assertions[size:]
+        self._last_result = None
+        self._last_model = None
+        if self._proc is not None:
+            try:
+                self._write(["(pop 1)"])
+            except _PipeClosed:
+                self._shutdown()
+
+    # -- solving ----------------------------------------------------------------
+
+    def check(self, *assumptions: Term) -> CheckResult:
+        checked = [_validate_assertion(a) for a in assumptions]
+        for attempt in (0, 1):
+            try:
+                return self._check_once(checked)
+            except _PipeClosed:
+                self._shutdown()
+                self._restarts += 1
+                if attempt:
+                    raise SolverError(
+                        f"external solver {self._command[0]!r} failed twice on "
+                        "one check (crashed or produced no verdict)"
+                    )
+            except _PipeTimeout as exc:
+                # A wedged mid-solve session cannot be trusted for reuse.
+                self._shutdown()
+                if self._deadline is not None and time.monotonic() >= self._deadline:
+                    self._checks += 1
+                    self._last_result = CheckResult.UNKNOWN
+                    self._last_model = None
+                    return CheckResult.UNKNOWN
+                raise SolverError(
+                    f"external solver timed out after {self._timeout}s"
+                ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def model(self) -> Model:
+        if self._last_result is not CheckResult.SAT or self._last_model is None:
+            raise SolverError("model() requires the previous check() to be SAT")
+        return self._last_model
+
+    def statistics(self) -> Dict[str, int]:
+        if self._checks == 0:
+            return {}
+        stats = {"external_checks": self._checks}
+        if self._recycles:
+            stats["pipe_recycles"] = self._recycles
+        if self._restarts:
+            stats["pipe_restarts"] = self._restarts
+        return stats
+
+    def close(self) -> None:
+        """Terminate the solver session (restarted on demand by ``check``)."""
+        self._shutdown()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown best effort
+        try:
+            self._shutdown()
+        except Exception:
+            pass
+
+    # -- internals ----------------------------------------------------------------
+
+    def _check_once(self, assumptions: List[Term]) -> CheckResult:
+        self._ensure_session()
+        if self._recycle_after and self._checks_since_reset >= self._recycle_after:
+            self._soft_reset()
+        commands = self._declaration_lines(assumptions)
+        commands.append("(push 1)")
+        commands.extend(f"(assert {a})" for a in assumptions)
+        commands.append("(check-sat)")
+        self._write(commands)
+        deadline = self._io_deadline()
+        verdict: Optional[CheckResult] = None
+        for line in self._sync(deadline):
+            if verdict is None and line in ("sat", "unsat", "unknown"):
+                verdict = CheckResult(line)
+        if verdict is None:
+            raise _PipeClosed()  # desync: rebuild the session and retry
+        model: Optional[Model] = None
+        if verdict is CheckResult.SAT:
+            self._write(["(get-model)"])
+            model = self._parse_model(
+                self._sync(deadline), self._assertions + assumptions
+            )
+        self._write(["(pop 1)"])
+        self._checks += 1
+        self._checks_since_reset += 1
+        self._last_result = verdict
+        self._last_model = model
+        return verdict
+
+    def _parse_model(self, lines: List[str], terms: Sequence[Term]) -> Model:
+        values: Dict[str, object] = {}
+        _collect_define_funs(_parse_sexprs("\n".join(lines)), values)
+        names: Dict[str, object] = {}
+        for term in terms:
+            names.update(free_variables(term))
+        if names and not values:
+            raise SolverError(
+                "external solver answered sat but returned no model:\n"
+                + "\n".join(lines)
+            )
+        for name, sort in names.items():
+            if name not in values:
+                values[name] = False if getattr(sort, "is_bool", False) else 0
+        return Model(values)  # type: ignore[arg-type]
+
+    def _declaration_lines(self, terms: Sequence[Term]) -> List[str]:
+        variables, sorts, functions = _collect_declarations(list(terms))
+        lines: List[str] = []
+        for sort in sorts:
+            if sort.name not in self._declared:
+                self._declared.add(sort.name)
+                lines.append(f"(declare-sort {sort.name} 0)")
+        for name, sort in variables:
+            if name not in self._declared:
+                self._declared.add(name)
+                lines.append(f"(declare-fun {name} () {sort.name})")
+        for name, domain, codomain in functions:
+            if name not in self._declared:
+                self._declared.add(name)
+                domain_str = " ".join(s.name for s in domain)
+                lines.append(f"(declare-fun {name} ({domain_str}) {codomain.name})")
+        return lines
+
+    def _ensure_session(self) -> None:
+        if self._proc is not None and self._proc.poll() is None:
+            return
+        self._shutdown()
+        self._start()
+
+    def _start(self) -> None:
+        try:
+            self._proc = subprocess.Popen(
+                self._command,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+            )
+        except OSError as exc:
+            raise BackendUnavailableError(
+                f"could not start external SMT solver {self._command[0]!r}: {exc}"
+            ) from exc
+        self._buffer = b""
+        self._declared = set()
+        self._checks_since_reset = 0
+        self._write(
+            [
+                "(set-option :print-success false)",
+                "(set-option :global-declarations true)",
+                f"(set-logic {self._logic})",
+            ]
+        )
+        self._replay()
+
+    def _soft_reset(self) -> None:
+        self._recycles += 1
+        self._checks_since_reset = 0
+        # reset-assertions pops every level and drops every assertion, but
+        # :global-declarations keeps symbols alive, so only assertions replay.
+        self._write(["(reset-assertions)"])
+        self._replay()
+
+    def _replay(self) -> None:
+        commands = self._declaration_lines(self._assertions)
+        prev = 0
+        for size in self._scopes:
+            commands.extend(f"(assert {t})" for t in self._assertions[prev:size])
+            commands.append("(push 1)")
+            prev = size
+        commands.extend(f"(assert {t})" for t in self._assertions[prev:])
+        if commands:
+            self._write(commands)
+
+    def _shutdown(self) -> None:
+        proc, self._proc = self._proc, None
+        self._buffer = b""
+        if proc is None:
+            return
+        try:
+            if proc.poll() is None:
+                try:
+                    proc.stdin.write(b"(exit)\n")
+                    proc.stdin.flush()
+                except Exception:
+                    pass
+                proc.terminate()
+                try:
+                    proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - stuck solver
+                    proc.kill()
+                    proc.wait()
+            else:
+                proc.wait()
+        finally:
+            for stream in (proc.stdin, proc.stdout):
+                try:
+                    stream.close()
+                except Exception:  # pragma: no cover - cleanup best effort
+                    pass
+
+    def _io_deadline(self) -> float:
+        deadline = time.monotonic() + self._timeout
+        if self._deadline is not None:
+            deadline = min(deadline, self._deadline)
+        return deadline
+
+    def _write(self, lines: Sequence[str]) -> None:
+        if self._proc is None or self._proc.stdin is None:
+            raise _PipeClosed()
+        data = ("\n".join(lines) + "\n").encode("utf-8")
+        try:
+            self._proc.stdin.write(data)
+            self._proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise _PipeClosed() from exc
+
+    def _sync(self, deadline: float) -> List[str]:
+        """Emit an echo marker and collect every output line before it."""
+        self._marker += 1
+        marker = f"repro-sync-{self._marker}"
+        self._write([f'(echo "{marker}")'])
+        lines: List[str] = []
+        while True:
+            line = self._read_line(deadline)
+            if line.strip('"') == marker:
+                return lines
+            if line:
+                lines.append(line)
+
+    def _read_line(self, deadline: float) -> str:
+        if self._proc is None or self._proc.stdout is None:
+            raise _PipeClosed()
+        fd = self._proc.stdout.fileno()
+        while b"\n" not in self._buffer:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _PipeTimeout()
+            ready, _, _ = select.select([fd], [], [], min(remaining, 0.5))
+            if not ready:
+                continue
+            chunk = os.read(fd, 65536)
+            if not chunk:
+                raise _PipeClosed()
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return line.decode("utf-8", "replace").strip()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SmtLibPipeBackend({' '.join(self._command)!r}, "
+            f"checks={self._checks}, recycles={self._recycles})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -510,3 +934,4 @@ def create_backend(
 
 register_backend(DpllTBackend.name, DpllTBackend)
 register_backend(SmtLibProcessBackend.name, SmtLibProcessBackend)
+register_backend(SmtLibPipeBackend.name, SmtLibPipeBackend)

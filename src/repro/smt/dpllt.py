@@ -31,6 +31,7 @@ least one propositional model per blocking clause.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -556,8 +557,18 @@ class DpllTEngine:
         self._reduce_base = reduce_base
         self._theory_bump = theory_bump
         self._idl_propagation = idl_propagation
+        self._deadline: Optional[float] = None
         self.stats = SmtStats()
         self._model: Optional[Model] = None
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Bound every later :meth:`check` by a ``time.monotonic`` instant.
+
+        A check that runs past the deadline returns
+        :data:`CheckResult.UNKNOWN` — the wall-clock twin of the
+        ``max_iterations`` budget.  ``None`` clears the bound.
+        """
+        self._deadline = deadline
 
     def _make_sat_solver(self) -> SatSolver:
         return SatSolver(
@@ -610,7 +621,10 @@ class DpllTEngine:
             # The iteration budget bounds *theory* conflicts (the online
             # analogue of offline's blocking-clause rounds); purely Boolean
             # search stays unbudgeted, exactly like the offline loop.
-            result = sat.solve(theory_conflict_limit=self._max_iterations)
+            result = sat.solve(
+                theory_conflict_limit=self._max_iterations,
+                deadline=self._deadline,
+            )
             if result is SatResult.UNSAT:
                 return CheckResult.UNSAT
             if result is SatResult.UNKNOWN:
@@ -670,7 +684,9 @@ class DpllTEngine:
                 self.stats.iterations += 1
                 if self.stats.iterations > self._max_iterations:
                     return CheckResult.UNKNOWN
-                result = sat.solve()
+                if self._deadline is not None and time.monotonic() >= self._deadline:
+                    return CheckResult.UNKNOWN
+                result = sat.solve(deadline=self._deadline)
                 if result is SatResult.UNSAT:
                     return CheckResult.UNSAT
                 if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
@@ -747,6 +763,7 @@ class IncrementalDpllTEngine:
         )
         self._max_iterations = max_iterations
         self.theory_mode = _validate_theory_mode(theory_mode)
+        self._deadline: Optional[float] = None
         self._clauses_fed = 0
         self._atoms_seen = 0
         self._arith_atoms: Dict[Term, int] = {}
@@ -858,7 +875,9 @@ class IncrementalDpllTEngine:
                 return self._finish(CheckResult.UNKNOWN)
             # Budget theory conflicts only (see DpllTEngine._check_online).
             result = sat.solve(
-                sat_assumptions, theory_conflict_limit=self._max_iterations
+                sat_assumptions,
+                theory_conflict_limit=self._max_iterations,
+                deadline=self._deadline,
             )
             if result is SatResult.UNSAT:
                 return self._finish(CheckResult.UNSAT)
@@ -912,7 +931,12 @@ class IncrementalDpllTEngine:
                 stats.iterations += 1
                 if stats.iterations > self._max_iterations:
                     return self._finish(CheckResult.UNKNOWN)
-                result = self._sat.solve(sat_assumptions)
+                if (
+                    self._deadline is not None
+                    and time.monotonic() >= self._deadline
+                ):
+                    return self._finish(CheckResult.UNKNOWN)
+                result = self._sat.solve(sat_assumptions, deadline=self._deadline)
                 if result is SatResult.UNSAT:
                     return self._finish(CheckResult.UNSAT)
                 if result is SatResult.UNKNOWN:  # pragma: no cover - no limit set
@@ -964,6 +988,17 @@ class IncrementalDpllTEngine:
         """
         if self._core is not None:
             self._core.set_idl_propagation(enabled)
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Bound every later :meth:`check` by a ``time.monotonic`` instant.
+
+        A check that runs past the deadline returns
+        :data:`CheckResult.UNKNOWN`; ``None`` clears the bound.  The
+        deadline is a per-check *query* budget — learned clauses and theory
+        state from a timed-out check survive, so a retry with a larger
+        budget starts warm.
+        """
+        self._deadline = deadline
 
     @property
     def last_result(self) -> Optional[CheckResult]:

@@ -29,6 +29,7 @@ Literals are non-zero Python ints: variable ``v`` is the positive literal
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -423,13 +424,16 @@ class SatSolver:
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
         theory_conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> SatResult:
         """Determine satisfiability under the given assumption literals.
 
         Returns :data:`SatResult.UNKNOWN` only when ``conflict_limit``
-        (total conflicts) or ``theory_conflict_limit`` (theory conflicts
+        (total conflicts), ``theory_conflict_limit`` (theory conflicts
         only — purely Boolean search stays unbudgeted, mirroring the
-        offline lazy loop's iteration bound) is hit.
+        offline lazy loop's iteration bound) or ``deadline`` (a
+        ``time.monotonic`` instant, polled every few hundred search steps
+        so the clock read stays off the propagation hot path) is hit.
         """
         if not self._ok:
             return SatResult.UNSAT
@@ -444,8 +448,18 @@ class SatSolver:
         theory_conflicts_base = self.stats.theory_conflicts
         restart_count = 0
         restart_budget = self._restart_base * luby(1)
+        # Poll on the first iteration (an already-lapsed deadline must win
+        # even on trivial instances), then every 256 search steps.
+        deadline_poll = 255
 
         while True:
+            if deadline is not None:
+                deadline_poll += 1
+                if deadline_poll >= 256:
+                    deadline_poll = 0
+                    if time.monotonic() >= deadline:
+                        self._backtrack(0)
+                        return SatResult.UNKNOWN
             conflict = self._propagate()
             if conflict is None:
                 conflict = self._theory_sync()

@@ -76,3 +76,15 @@ class CacheSchemaError(ReproError):
     stale or mis-keyed answers, or crashing mid-lookup): the fix is to
     point the cache at a fresh directory or delete the old one.
     """
+
+
+class ServiceError(ReproError):
+    """Raised for failures in the verification service layer.
+
+    Covers both sides of the wire: a client that cannot reach or talk to a
+    daemon, and a daemon whose worker pool is in an unusable state.
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """Raised when a service peer sends a malformed or oversized frame."""

@@ -12,8 +12,18 @@ Two storage layers compose:
 * an in-memory LRU (always on), bounded by ``maxsize`` entries;
 * an optional on-disk JSON store (one file per key under ``directory``),
   which survives processes and is shared by concurrent workers — safe
-  because entries are immutable once written and writes are atomic
-  (``os.replace`` of a temp file).
+  because entries are immutable once written, writes are atomic
+  (``os.replace`` of a temp file), and every store-level mutation
+  (entry write, index update, eviction, quarantine) happens under an
+  advisory ``flock`` on ``<directory>/_lock``, so a daemon and any number
+  of concurrent one-shot CLIs can share one store.
+
+The disk layer can be size-bounded: ``max_entries`` / ``max_bytes`` cap the
+store, with least-recently-used entries evicted first.  Recency lives in a
+``_index.json`` sidecar (schema-stamped like the store itself); a missing
+or torn index is rebuilt from a directory scan, never trusted blindly.
+Unreadable entry files are moved into ``<directory>/_quarantine/`` and
+counted, instead of raising mid-batch or being re-parsed forever.
 
 **Semantics.** Only conclusive verdicts (``SAFE`` / ``VIOLATION``) are
 cached; ``UNKNOWN`` is a resource exhaustion artefact and must stay
@@ -46,8 +56,14 @@ import json
 import os
 import tempfile
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # POSIX advisory locking; the cache degrades to lockless elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.encoding.encoder import EncoderOptions
 from repro.encoding.properties import Property
@@ -237,21 +253,78 @@ def _decode_witness(trace: ExecutionTrace, payload: Dict[str, object]) -> Witnes
 # ---------------------------------------------------------------------------
 
 
-class ResultCache:
-    """In-memory LRU of verification answers, optionally backed by disk."""
+class _StoreLock:
+    """Advisory inter-process lock over one on-disk store.
 
-    def __init__(self, maxsize: int = 4096, directory: Optional[str] = None) -> None:
+    Backed by ``flock`` on ``<directory>/_lock``; reentrant use is not
+    needed (lock scopes never nest).  On platforms without ``fcntl`` the
+    lock degrades to a no-op — single-process behaviour is unchanged.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self._path = os.path.join(directory, "_lock")
+        self._handle = None
+
+    def __enter__(self) -> "_StoreLock":
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return self
+        self._handle = open(self._path, "a+b")
+        fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._handle.close()
+                self._handle = None
+
+
+class ResultCache:
+    """In-memory LRU of verification answers, optionally backed by disk.
+
+    ``max_entries`` / ``max_bytes`` bound the *disk* layer (``None`` means
+    unbounded, the historical behaviour); least-recently-used entries are
+    evicted first, with recency tracked in ``_index.json``.  All disk
+    mutations take the store's advisory file lock, so one directory can be
+    shared by a daemon and concurrent one-shot processes.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        directory: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError("ResultCache needs maxsize >= 1")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("ResultCache needs max_entries >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("ResultCache needs max_bytes >= 1")
         self.maxsize = maxsize
         self.directory = directory
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._entries: "OrderedDict[CacheKey, Dict[str, object]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        self.quarantined = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             self._check_store_schema()
+
+    # -- locking -----------------------------------------------------------------
+
+    def _store_lock(self):
+        """The store's advisory file lock (a no-op for memory-only caches)."""
+        if self.directory is None:
+            return nullcontext()
+        return _StoreLock(self.directory)
 
     # -- schema ------------------------------------------------------------------
 
@@ -260,6 +333,10 @@ class ResultCache:
 
     def _check_store_schema(self) -> None:
         """Stamp a fresh store / refuse one written under another layout."""
+        with self._store_lock():
+            self._check_store_schema_locked()
+
+    def _check_store_schema_locked(self) -> None:
         path = self._schema_marker_path()
         if os.path.exists(path):
             try:
@@ -301,6 +378,8 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "entries": len(self._entries),
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
         }
 
     def clear(self) -> None:
@@ -321,30 +400,157 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
-            return None  # a torn/corrupt file is a miss, never an error
-        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+        except OSError:
+            return None  # racing writer/evictor: a miss, never an error
+        except ValueError:
+            # A torn or corrupt file would be re-parsed (and re-fail) on
+            # every lookup: move it aside once and count it.
+            self._quarantine(key, path)
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
             # An entry copied in from an older store (pre-marker caches had
             # no version stamp at all): never misread it, treat as a miss.
             return None
+        if self._bounded():
+            with self._store_lock():
+                self._touch_index_locked(key.digest())
         return entry
 
     def _write_to_disk(self, key: CacheKey, entry: Dict[str, object]) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        data = json.dumps(entry)
+        with self._store_lock():
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=self.directory, suffix=".tmp", delete=False, encoding="utf-8"
+            )
+            try:
+                with handle:
+                    handle.write(data)
+                os.replace(handle.name, path)
+            except OSError:  # pragma: no cover - disk store is best effort
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                return
+            if self._bounded():
+                self._touch_index_locked(key.digest(), size=len(data))
+
+    # -- disk bounds & hygiene ---------------------------------------------------
+
+    def _bounded(self) -> bool:
+        return self.directory is not None and (
+            self.max_entries is not None or self.max_bytes is not None
+        )
+
+    def _index_path(self) -> str:
+        return os.path.join(self.directory, "_index.json")
+
+    def _load_index_locked(self) -> Dict[str, object]:
+        try:
+            with open(self._index_path(), "r", encoding="utf-8") as handle:
+                index = json.load(handle)
+            if (
+                isinstance(index, dict)
+                and index.get("schema") == CACHE_SCHEMA_VERSION
+                and isinstance(index.get("entries"), dict)
+            ):
+                return index
+        except (OSError, ValueError):
+            pass
+        return self._rebuild_index_locked()
+
+    def _rebuild_index_locked(self) -> Dict[str, object]:
+        """Reconstruct recency from a directory scan (mtime order)."""
+        rows: List[Tuple[float, str, int]] = []
+        for name in os.listdir(self.directory):
+            if name.startswith("_") or not name.endswith(".json"):
+                continue
+            try:
+                stat = os.stat(os.path.join(self.directory, name))
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            rows.append((stat.st_mtime, name[:-5], stat.st_size))
+        entries: Dict[str, List[int]] = {}
+        clock = 0
+        for _, digest, size in sorted(rows):
+            clock += 1
+            entries[digest] = [int(size), clock]
+        return {"schema": CACHE_SCHEMA_VERSION, "clock": clock, "entries": entries}
+
+    def _save_index_locked(self, index: Dict[str, object]) -> None:
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.directory, suffix=".tmp", delete=False, encoding="utf-8"
         )
         try:
             with handle:
-                json.dump(entry, handle)
-            os.replace(handle.name, path)
-        except OSError:  # pragma: no cover - disk store is best effort
+                json.dump(index, handle)
+            os.replace(handle.name, self._index_path())
+        except OSError:  # pragma: no cover - index write is best effort
             try:
                 os.unlink(handle.name)
             except OSError:
                 pass
+
+    def _touch_index_locked(self, digest: str, size: Optional[int] = None) -> None:
+        """Stamp ``digest`` most-recently-used, then evict past the bounds."""
+        index = self._load_index_locked()
+        entries: Dict[str, List[int]] = index["entries"]  # type: ignore[assignment]
+        if size is None:
+            known = entries.get(digest)
+            if known is not None:
+                size = known[0]
+            else:
+                try:
+                    size = os.path.getsize(
+                        os.path.join(self.directory, digest + ".json")
+                    )
+                except OSError:  # entry vanished: nothing to track
+                    entries.pop(digest, None)
+                    self._save_index_locked(index)
+                    return
+        index["clock"] = int(index.get("clock", 0)) + 1
+        entries[digest] = [int(size), index["clock"]]
+        self._evict_locked(entries)
+        self._save_index_locked(index)
+
+    def _evict_locked(self, entries: Dict[str, List[int]]) -> None:
+        total = sum(size for size, _ in entries.values())
+        while entries:
+            over_entries = (
+                self.max_entries is not None and len(entries) > self.max_entries
+            )
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            victim = min(entries, key=lambda d: entries[d][1])
+            total -= entries.pop(victim)[0]
+            try:
+                os.unlink(os.path.join(self.directory, victim + ".json"))
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self.evictions += 1
+
+    def _quarantine(self, key: CacheKey, path: str) -> None:
+        quarantine_dir = os.path.join(self.directory, "_quarantine")
+        with self._store_lock():
+            try:
+                os.makedirs(quarantine_dir, exist_ok=True)
+                os.replace(
+                    path, os.path.join(quarantine_dir, os.path.basename(path))
+                )
+            except OSError:  # pragma: no cover - last resort: drop it
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            if self._bounded():
+                index = self._load_index_locked()
+                if index["entries"].pop(key.digest(), None) is not None:
+                    self._save_index_locked(index)
+        self.quarantined += 1
 
     def _remember(self, key: CacheKey, entry: Dict[str, object]) -> None:
         self._entries[key] = entry

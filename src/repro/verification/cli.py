@@ -28,6 +28,16 @@ keyed by trace fingerprint::
     mcapi-verify --workload racy_fanin --repeat 8 --jobs 4
     mcapi-verify --workload figure1 --repeat 4 --portfolio --cache-dir .mcapi-cache
 
+``--timeout SECONDS`` bounds each solver check; a query that exceeds its
+budget reports ``unknown`` (reason: timeout) instead of running forever.
+
+Service mode — ``serve`` runs the long-lived daemon
+(:mod:`repro.service`), and ``--server ADDR`` offloads a query to one::
+
+    mcapi-verify serve --port 9177 --jobs 4 --cache-dir /tmp/mcapi-cache
+    mcapi-verify --server 127.0.0.1:9177 --workload racy_fanin --repeat 8
+    mcapi-verify shutdown --server 127.0.0.1:9177
+
 Workloads live in a declarative registry; adding one is a
 :func:`register_workload` call, not another ``elif``.
 """
@@ -43,7 +53,7 @@ from repro.encoding.encoder import EncoderOptions, MatchPairStrategy
 from repro.program.ast import Program
 from repro.smt.backend import available_backends
 from repro.smt.dpllt import THEORY_MODES
-from repro.utils.errors import BackendUnavailableError, SolverError
+from repro.utils.errors import BackendUnavailableError, ServiceError, SolverError
 from repro.verification.result import Verdict
 from repro.verification.session import VerificationSession, resolve_mode
 from repro.workloads import (
@@ -150,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mcapi-verify",
         description="Symbolically verify an MCAPI workload from a recorded trace.",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="verify",
+        choices=["verify", "serve", "shutdown"],
+        help="verify a workload (default), run the verification daemon, "
+        "or stop a running daemon (with --server)",
     )
     parser.add_argument(
         "--workload",
@@ -264,6 +282,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="check for reachable deadlocks (partial-match encoding) "
         "instead of the safety properties",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query solver budget; an exceeded budget reports "
+        "unknown (reason: timeout) instead of running forever",
+    )
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="ADDR",
+        help="offload the query to a running daemon at host:port "
+        "(see `mcapi-verify serve`)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="serve only: interface to listen on",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve only: TCP port to listen on",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve only: warm verification sessions kept per worker",
+    )
     return parser
 
 
@@ -344,12 +397,16 @@ def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -
         portfolio=portfolio,
         cache_dir=args.cache_dir,
         mode=mode,
+        timeout_s=args.timeout,
     )
     for index, result in enumerate(results):
         origin = "cache" if result.from_cache else (result.backend or "?")
+        reason = (
+            f" reason={result.unknown_reason}" if result.unknown_reason else ""
+        )
         print(
             f"[{index}] seed={args.seed + index} "
-            f"verdict={result.verdict.value} ({origin})"
+            f"verdict={result.verdict.value}{reason} ({origin})"
         )
     solved = sum(1 for result in results if not result.from_cache)
     print(
@@ -359,11 +416,114 @@ def _run_batch(args: argparse.Namespace, program: Program, options, mode: str) -
     return 1 if any(r.verdict is Verdict.VIOLATION for r in results) else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``mcapi-verify serve`` — run the verification daemon until shutdown."""
+    from repro.service import DEFAULT_POOL_SIZE, DEFAULT_PORT, run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        jobs=max(args.jobs, 0),
+        pool_size=(
+            args.pool_size if args.pool_size is not None else DEFAULT_POOL_SIZE
+        ),
+        cache_dir=args.cache_dir,
+        default_timeout_s=args.timeout,
+    )
+
+
+def _run_shutdown(args: argparse.Namespace) -> int:
+    """``mcapi-verify shutdown --server ADDR`` — stop a running daemon."""
+    from repro.service import DEFAULT_PORT, ServiceClient
+
+    address = args.server or f"127.0.0.1:{DEFAULT_PORT}"
+    with ServiceClient(address) as client:
+        client.shutdown()
+    print(f"verification service at {client.address} stopping")
+    return 0
+
+
+def _run_remote(args: argparse.Namespace, mode: str) -> int:
+    """``--server ADDR`` — offload the query to a running daemon."""
+    from repro.service import ServiceClient
+
+    if args.portfolio or args.portfolio_theory:
+        print(
+            "error: portfolio flags cannot be combined with --server "
+            "(the daemon picks its own backends)",
+            file=sys.stderr,
+        )
+        return 2
+    for flag in ("show_trace", "show_smt"):
+        if getattr(args, flag):
+            print(
+                f"warning: --{flag.replace('_', '-')} is ignored with --server "
+                "(traces and encodings stay on the daemon)",
+                file=sys.stderr,
+            )
+    params = {"senders": args.senders, "messages": args.messages}
+    if args.property is not None:
+        params["property"] = args.property
+    shared: Dict[str, object] = {
+        "workload": args.workload,
+        "params": params,
+        "mode": mode,
+        "backend": args.backend,
+        "match_pairs": args.match_pairs,
+        "pair_fifo": args.pair_fifo,
+    }
+    if args.theory_mode is not None:
+        shared["theory_mode"] = args.theory_mode
+    if args.timeout is not None:
+        shared["timeout_s"] = args.timeout
+    repeat = max(args.repeat, 1)
+    queries = [{"seed": args.seed + offset} for offset in range(repeat)]
+    with ServiceClient(args.server) as client:
+        results = client.verify_batch(queries, **shared)
+        if args.stats:
+            stats = client.stats()
+    for index, result in enumerate(results):
+        origin = "cache" if result.from_cache else (result.backend or "?")
+        reason = (
+            f" reason={result.unknown_reason}" if result.unknown_reason else ""
+        )
+        print(
+            f"[{index}] seed={args.seed + index} "
+            f"verdict={result.verdict.value}{reason} ({origin})"
+        )
+    if repeat == 1:
+        print(results[0].describe())
+    if args.stats:
+        print()
+        print("service statistics:")
+        pool = stats.get("pool", {})
+        cache = stats.get("cache") or {}
+        for label, source in (("pool", pool), ("cache", cache)):
+            for key in sorted(source):
+                if isinstance(source[key], (int, float, str, bool)):
+                    print(f"  {label}.{key} = {source[key]}")
+        for key in ("requests", "timeouts", "worker_kills", "jobs"):
+            if key in stats:
+                print(f"  {key} = {stats[key]}")
+    return 1 if any(r.verdict is Verdict.VIOLATION for r in results) else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_workloads:
         print(_list_workloads())
         return 0
+    mode = "deadlock" if args.check_deadlock else "safety"
+    try:
+        if args.command == "serve":
+            return _run_serve(args)
+        if args.command == "shutdown":
+            return _run_shutdown(args)
+        if args.server is not None:
+            return _run_remote(args, mode)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
     program = WORKLOADS[args.workload].build(args)
 
     options = EncoderOptions(
@@ -374,7 +534,6 @@ def main(argv: Optional[list] = None) -> int:
         ),
         enforce_pair_fifo=args.pair_fifo,
     )
-    mode = "deadlock" if args.check_deadlock else "safety"
     try:
         if (
             args.repeat > 1
@@ -397,7 +556,7 @@ def main(argv: Optional[list] = None) -> int:
             on_deadlock="static" if mode == "deadlock" else "raise",
             **_solver_knob_kwargs(args),
         )
-        result = session.verdict()
+        result = session.verdict(timeout_s=args.timeout)
     except BackendUnavailableError as exc:
         print(f"backend {args.backend!r} unavailable: {exc}", file=sys.stderr)
         return 2

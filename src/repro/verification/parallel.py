@@ -130,6 +130,7 @@ class _SolveTask:
     specs: Tuple[BackendSpec, ...]
     portfolio: bool
     max_solver_iterations: int
+    timeout_s: Optional[float] = None
 
 
 def _session_for(
@@ -175,7 +176,7 @@ def _race_portfolio(task: _SolveTask) -> VerificationResult:
         )
     if len(sessions) == 1:
         session, label = sessions[0]
-        result = session.verdict()
+        result = session.verdict(timeout_s=task.timeout_s)
         result.backend = label
         return result
 
@@ -185,7 +186,7 @@ def _race_portfolio(task: _SolveTask) -> VerificationResult:
 
     def contend(session: VerificationSession, label: str) -> None:
         try:
-            result = session.verdict()
+            result = session.verdict(timeout_s=task.timeout_s)
             # Label the result with the contender that produced it — for a
             # theory portfolio both contenders share the backend name, and
             # the winner's mode is part of the answer.
@@ -223,7 +224,8 @@ def _solve_task(task: _SolveTask) -> Tuple[int, VerificationResult]:
     """Worker entry point: solve one distinct question, return its result."""
     if task.portfolio:
         return task.position, _race_portfolio(task)
-    return task.position, _session_for(task, task.specs[0]).verdict()
+    session = _session_for(task, task.specs[0])
+    return task.position, session.verdict(timeout_s=task.timeout_s)
 
 
 def _duplicate_result(
@@ -240,6 +242,7 @@ def _duplicate_result(
         trace=trace,
         backend=source.backend,
         from_cache=True,
+        unknown_reason=source.unknown_reason,
     )
 
 
@@ -294,6 +297,7 @@ class ParallelVerifier:
         seed: int = 0,
         max_solver_iterations: int = 200_000,
         mode: str = "safety",
+        timeout_s: Optional[float] = None,
     ) -> None:
         self.jobs = os.cpu_count() or 1 if jobs is None else jobs
         if self.jobs < 1:
@@ -309,6 +313,9 @@ class ParallelVerifier:
         self.portfolio = portfolio
         self.seed = seed
         self.max_solver_iterations = max_solver_iterations
+        #: Per-item wall-clock budget; past it a solve answers
+        #: ``UNKNOWN(reason="timeout")`` (never cached) instead of hanging.
+        self.timeout_s = timeout_s
         if portfolio:
             if backends is not None:
                 lineup = backends
@@ -404,6 +411,7 @@ class ParallelVerifier:
                 specs=self.specs,
                 portfolio=self.portfolio,
                 max_solver_iterations=self.max_solver_iterations,
+                timeout_s=self.timeout_s,
             )
             for indices in pending.values()
         ]

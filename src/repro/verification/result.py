@@ -50,6 +50,13 @@ class VerificationResult:
     program_run: Optional[ProgramRun] = None
     backend: Optional[str] = None
     from_cache: bool = False
+    #: Why the verdict is UNKNOWN, when it is: ``"timeout"`` for a missed
+    #: wall-clock deadline, ``"iteration-limit"`` is left implicit (``None``).
+    unknown_reason: Optional[str] = None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.verdict is Verdict.UNKNOWN and self.unknown_reason == "timeout"
 
     @property
     def is_violation(self) -> bool:
@@ -61,6 +68,8 @@ class VerificationResult:
 
     def describe(self) -> str:
         lines = [f"verdict: {self.verdict.value}"]
+        if self.unknown_reason is not None:
+            lines.append(f"unknown reason: {self.unknown_reason}")
         if self.from_cache:
             lines.append("answered from cache (no encoding built)")
         if self.problem is not None:

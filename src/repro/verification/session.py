@@ -281,7 +281,9 @@ class VerificationSession:
 
     # ------------------------------------------------------------------ queries
 
-    def verdict(self, mode: str = "safety") -> VerificationResult:
+    def verdict(
+        self, mode: str = "safety", timeout_s: Optional[float] = None
+    ) -> VerificationResult:
         """Check whether any modelled execution violates the properties.
 
         ``mode="safety"`` (default) checks the session's own property set;
@@ -290,11 +292,17 @@ class VerificationSession:
         passed as a *check assumption*, so the persistent assertion set —
         shared with every other query — is never polluted.  Results are
         cached per mode; repeated calls are free.
+
+        ``timeout_s`` bounds the solve by wall clock: past the deadline the
+        check comes back ``UNKNOWN`` with ``unknown_reason="timeout"``
+        instead of hanging.  Timed-out answers are *not* memoized, so a
+        retry with a larger (or no) budget gets a fresh solve — against a
+        backend whose learned state survived the interrupted attempt.
         """
         if mode == "deadlock":
-            return self.deadlocks()
+            return self.deadlocks(timeout_s=timeout_s)
         if mode == "orphan":
-            return self.orphans()
+            return self.orphans(timeout_s=timeout_s)
         if mode != "safety":
             raise EncodingError(
                 f"unknown verification mode {mode!r}; pick one of {VERIFICATION_MODES}"
@@ -316,8 +324,13 @@ class VerificationSession:
             return self._verdict
 
         backend = self.backend
+        deadline = self._arm_deadline(backend, timeout_s)
         start = time.perf_counter()
-        outcome = backend.check(negated)
+        try:
+            outcome = backend.check(negated)
+        finally:
+            if deadline is not None:
+                self._disarm_deadline(backend)
         solve_seconds = time.perf_counter() - start
 
         witness: Optional[Witness] = None
@@ -329,7 +342,14 @@ class VerificationSession:
         else:
             verdict = Verdict.UNKNOWN
 
-        self._verdict = VerificationResult(
+        unknown_reason: Optional[str] = None
+        if (
+            verdict is Verdict.UNKNOWN
+            and deadline is not None
+            and time.monotonic() >= deadline
+        ):
+            unknown_reason = "timeout"
+        result = VerificationResult(
             verdict=verdict,
             problem=self._problem,
             witness=witness,
@@ -339,8 +359,36 @@ class VerificationSession:
             trace=self.trace,
             program_run=self.program_run,
             backend=self.backend_name,
+            unknown_reason=unknown_reason,
         )
-        return self._verdict
+        if unknown_reason is None:
+            self._verdict = result
+        return result
+
+    @staticmethod
+    def _arm_deadline(
+        backend: SolverBackend, timeout_s: Optional[float]
+    ) -> Optional[float]:
+        """Arm a wall-clock deadline on the backend; returns the instant.
+
+        Backends without ``set_deadline`` still get the instant tracked so
+        a late UNKNOWN can be *labelled* a timeout, but they cannot be
+        interrupted mid-check — only the in-tree backends guarantee the
+        returns-instead-of-hanging contract.
+        """
+        if timeout_s is None:
+            return None
+        deadline = time.monotonic() + timeout_s
+        setter = getattr(backend, "set_deadline", None)
+        if setter is not None:
+            setter(deadline)
+        return deadline
+
+    @staticmethod
+    def _disarm_deadline(backend: SolverBackend) -> None:
+        setter = getattr(backend, "set_deadline", None)
+        if setter is not None:
+            setter(None)
 
     def _require_not_enumerating(self, operation: str) -> None:
         """Queries must not run inside an active enumeration's solver scope:
@@ -370,7 +418,7 @@ class VerificationSession:
         ]
         return self.backend.check(*constraints) is CheckResult.SAT
 
-    def deadlocks(self) -> VerificationResult:
+    def deadlocks(self, timeout_s: Optional[float] = None) -> VerificationResult:
         """Can any modelled (partial) execution deadlock?
 
         ``VIOLATION`` means a reachable deadlock exists; the witness names
@@ -387,7 +435,7 @@ class VerificationSession:
         answers from its own backend directly.
         """
         if self._is_deadlock_configured():
-            return self.verdict()
+            return self.verdict(timeout_s=timeout_s)
         if self._deadlock_session is None:
             options = replace(self._encoder.options, partial_matches=True)
             self._deadlock_session = VerificationSession(
@@ -402,9 +450,9 @@ class VerificationSession:
                 idl_propagation=self._idl_propagation,
                 program_run=self.program_run,
             )
-        return self._deadlock_session.verdict()
+        return self._deadlock_session.verdict(timeout_s=timeout_s)
 
-    def orphans(self) -> VerificationResult:
+    def orphans(self, timeout_s: Optional[float] = None) -> VerificationResult:
         """Can a message be sent and never received (an orphan/lost message)?
 
         Answered on this session's own encoding and backend via an assumed
@@ -423,11 +471,16 @@ class VerificationSession:
             else prop.term(self.trace)
         )
         backend = self.backend
+        deadline = self._arm_deadline(backend, timeout_s)
         start = time.perf_counter()
-        if term.is_true:
-            outcome = CheckResult.UNSAT  # no sends: nothing can be orphaned
-        else:
-            outcome = backend.check(Not(term))
+        try:
+            if term.is_true:
+                outcome = CheckResult.UNSAT  # no sends: nothing can be orphaned
+            else:
+                outcome = backend.check(Not(term))
+        finally:
+            if deadline is not None:
+                self._disarm_deadline(backend)
         solve_seconds = time.perf_counter() - start
         witness: Optional[Witness] = None
         if outcome is CheckResult.SAT:
@@ -437,7 +490,14 @@ class VerificationSession:
             verdict = Verdict.SAFE
         else:
             verdict = Verdict.UNKNOWN
-        self._orphan_verdict = VerificationResult(
+        unknown_reason: Optional[str] = None
+        if (
+            verdict is Verdict.UNKNOWN
+            and deadline is not None
+            and time.monotonic() >= deadline
+        ):
+            unknown_reason = "timeout"
+        result = VerificationResult(
             verdict=verdict,
             problem=self._problem,
             witness=witness,
@@ -447,8 +507,11 @@ class VerificationSession:
             trace=self.trace,
             program_run=self.program_run,
             backend=self.backend_name,
+            unknown_reason=unknown_reason,
         )
-        return self._orphan_verdict
+        if unknown_reason is None:
+            self._orphan_verdict = result
+        return result
 
     def _is_deadlock_configured(self) -> bool:
         """True when this session itself already encodes the deadlock question."""
@@ -572,6 +635,7 @@ def verify_many(
     reduce_db: Optional[bool] = None,
     theory_bump: Optional[float] = None,
     idl_propagation: Optional[bool] = None,
+    timeout_s: Optional[float] = None,
 ) -> List[VerificationResult]:
     """Batch front door: verify many programs and/or traces in one call.
 
@@ -593,6 +657,10 @@ def verify_many(
     :class:`~repro.smt.backend.BackendSpec` shipped to workers.  The solver
     hot-path knobs ``reduce_db`` / ``theory_bump`` / ``idl_propagation``
     travel the same way (``None`` keeps the backend defaults).
+
+    ``timeout_s`` bounds each item's solve by wall clock; a query that
+    cannot finish in time comes back ``UNKNOWN`` with
+    ``unknown_reason="timeout"`` instead of stalling the whole batch.
 
     ``jobs``, ``cache``/``cache_dir`` and ``portfolio`` hand the batch to
     :class:`repro.verification.parallel.ParallelVerifier` — sharding over
@@ -649,6 +717,7 @@ def verify_many(
             seed=seed,
             max_solver_iterations=max_solver_iterations,
             mode=mode,
+            timeout_s=timeout_s,
         ).verify_many(items)
     if backend is not None and not isinstance(backend, str) and len(items) > 1:
         raise SolverError(
@@ -693,5 +762,5 @@ def verify_many(
             raise EncodingError(
                 f"verify_many accepts Programs or ExecutionTraces, got {item!r}"
             )
-        results.append(session.verdict())
+        results.append(session.verdict(timeout_s=timeout_s))
     return results

@@ -1,0 +1,121 @@
+"""Tests for the service wire protocol: framing, envelope validation and
+the result payload round trip."""
+
+import json
+
+import pytest
+
+from repro.encoding.witness import Witness
+from repro.service import protocol
+from repro.utils.errors import ServiceProtocolError
+from repro.verification.result import Verdict, VerificationResult
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"jsonrpc": "2.0", "id": 7, "method": "stats", "params": {}}
+        frame = protocol.encode_frame(message)
+        assert frame.endswith(b"\n")
+        assert b"\n" not in frame[:-1]
+        assert protocol.decode_frame(frame) == message
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ServiceProtocolError):
+            protocol.decode_frame(b"{not json}\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServiceProtocolError):
+            protocol.decode_frame(b"[1, 2, 3]\n")
+        with pytest.raises(ServiceProtocolError):
+            protocol.decode_frame(b'"hello"\n')
+
+    def test_decode_rejects_invalid_utf8(self):
+        with pytest.raises(ServiceProtocolError):
+            protocol.decode_frame(b"\xff\xfe{}\n")
+
+    def test_oversized_frames_rejected_both_ways(self):
+        huge = {"jsonrpc": "2.0", "method": "x", "params": {"pad": "y" * (1 << 20)}}
+        with pytest.raises(ServiceProtocolError):
+            protocol.encode_frame(huge)
+        with pytest.raises(ServiceProtocolError):
+            protocol.decode_frame(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+
+class TestRequestValidation:
+    def test_valid_request(self):
+        request = protocol.make_request("verify", {"workload": "figure1"}, 3)
+        request_id, method, params = protocol.validate_request(request)
+        assert (request_id, method) == (3, "verify")
+        assert params == {"workload": "figure1"}
+
+    def test_missing_params_defaults_empty(self):
+        request = protocol.make_request("stats", None, 1)
+        _, _, params = protocol.validate_request(request)
+        assert params == {}
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"method": "verify"},  # no jsonrpc tag
+            {"jsonrpc": "1.0", "method": "verify"},  # wrong version
+            {"jsonrpc": "2.0"},  # no method
+            {"jsonrpc": "2.0", "method": ""},  # empty method
+            {"jsonrpc": "2.0", "method": 42},  # non-string method
+            {"jsonrpc": "2.0", "method": "verify", "params": [1]},  # list params
+        ],
+    )
+    def test_malformed_requests_rejected(self, message):
+        with pytest.raises(ServiceProtocolError):
+            protocol.validate_request(message)
+
+    def test_error_codes_are_jsonrpc_standard(self):
+        assert protocol.PARSE_ERROR == -32700
+        assert protocol.INVALID_REQUEST == -32600
+        assert protocol.METHOD_NOT_FOUND == -32601
+        assert protocol.INVALID_PARAMS == -32602
+        assert protocol.INTERNAL_ERROR == -32603
+
+
+class TestResultPayload:
+    def test_violation_with_witness_round_trip(self):
+        result = VerificationResult(
+            verdict=Verdict.VIOLATION,
+            witness=Witness(
+                matching={0: 2, 1: 1},
+                receive_values={0: 7, 1: 3},
+                unmatched_receives=[5],
+                orphan_sends=[4],
+            ),
+            solver_statistics={"iterations": 12, "skipme": object()},
+            encode_seconds=0.25,
+            solve_seconds=1.5,
+            backend="dpllt",
+        )
+        payload = protocol.result_to_payload(result)
+        assert json.loads(json.dumps(payload)) == payload  # JSON-serialisable
+        assert "skipme" not in payload["solver_statistics"]
+        rebuilt = protocol.payload_to_result(payload)
+        assert rebuilt.verdict is Verdict.VIOLATION
+        assert rebuilt.witness.matching == {0: 2, 1: 1}
+        assert rebuilt.witness.receive_values == {0: 7, 1: 3}
+        assert rebuilt.witness.unmatched_receives == [5]
+        assert rebuilt.witness.orphan_sends == [4]
+        assert rebuilt.solver_statistics["iterations"] == 12
+        assert rebuilt.backend == "dpllt"
+        assert rebuilt.solve_seconds == 1.5
+
+    def test_timeout_unknown_round_trip(self):
+        result = VerificationResult(
+            verdict=Verdict.UNKNOWN, unknown_reason="timeout", backend="dpllt"
+        )
+        rebuilt = protocol.payload_to_result(protocol.result_to_payload(result))
+        assert rebuilt.verdict is Verdict.UNKNOWN
+        assert rebuilt.unknown_reason == "timeout"
+        assert rebuilt.timed_out
+
+    def test_safe_without_witness_round_trip(self):
+        result = VerificationResult(verdict=Verdict.SAFE, from_cache=True)
+        rebuilt = protocol.payload_to_result(protocol.result_to_payload(result))
+        assert rebuilt.verdict is Verdict.SAFE
+        assert rebuilt.witness is None
+        assert rebuilt.from_cache

@@ -1,0 +1,376 @@
+"""Tests for the verification service: dispatch, the warm session pool,
+the shared result cache, concurrent TCP clients and daemon shutdown."""
+
+import asyncio
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import protocol
+from repro.service.client import ServiceClient, parse_address
+from repro.service.pool import SessionPool, WorkerPool
+from repro.service.server import VerificationService, run_stdio
+from repro.utils.errors import ServiceError
+from repro.verification.result import Verdict
+
+
+def _request(method, params=None, request_id=1):
+    return protocol.make_request(method, params, request_id)
+
+
+@pytest.fixture()
+def service():
+    svc = VerificationService(jobs=0)
+    yield svc
+    svc.close()
+
+
+class TestDispatch:
+    """handle_json drives the full pipeline without any sockets."""
+
+    def test_verify_violation_with_witness(self, service):
+        response = service.handle_json(
+            _request("verify", {"workload": "figure1"})
+        )
+        result = response["result"]["result"]
+        assert result["verdict"] == "violation"
+        assert result["witness"]["matching"]
+        assert response["result"]["pool_hit"] is False
+
+    def test_second_verify_hits_warm_pool(self, service):
+        service.handle_json(_request("verify", {"workload": "figure1"}))
+        response = service.handle_json(
+            _request("verify", {"workload": "figure1"}, request_id=2)
+        )
+        assert response["result"]["pool_hit"] is True
+
+    def test_verify_batch_mixed_verdicts(self, service):
+        response = service.handle_json(
+            _request(
+                "verify_batch",
+                {
+                    "queries": [
+                        {"workload": "figure1"},
+                        {"workload": "pipeline", "params": {"senders": 3}},
+                    ]
+                },
+            )
+        )
+        verdicts = [
+            item["result"]["verdict"] for item in response["result"]["results"]
+        ]
+        assert verdicts == ["violation", "safe"]
+
+    def test_batch_shared_params_apply_to_every_query(self, service):
+        response = service.handle_json(
+            _request(
+                "verify_batch",
+                {
+                    "workload": "figure1",
+                    "queries": [{"seed": 0}, {"seed": 1}],
+                },
+            )
+        )
+        assert len(response["result"]["results"]) == 2
+
+    def test_enumerate_matchings(self, service):
+        response = service.handle_json(
+            _request("enumerate", {"workload": "figure1"})
+        )
+        matchings = response["result"]["matchings"]
+        assert len(matchings) >= 2  # figure1's race admits several schedules
+
+    def test_stats_counters(self, service):
+        service.handle_json(_request("verify", {"workload": "figure1"}))
+        service.handle_json(_request("verify", {"workload": "figure1"}, request_id=2))
+        response = service.handle_json(_request("stats", request_id=3))
+        stats = response["result"]
+        assert stats["pool"]["misses"] == 1
+        assert stats["pool"]["hits"] == 1
+        assert stats["requests"] == 3
+        assert stats["jobs"] == 0
+
+    def test_shutdown_sets_flag(self, service):
+        response = service.handle_json(_request("shutdown"))
+        assert response["result"] == {"stopping": True}
+        assert service.shutdown_requested
+
+    def test_timeout_param_reports_unknown(self, service):
+        response = service.handle_json(
+            _request("verify", {"workload": "figure1", "timeout_s": 0.0})
+        )
+        result = response["result"]["result"]
+        assert result["verdict"] == "unknown"
+        assert result["unknown_reason"] == "timeout"
+
+    def test_default_timeout_applies_when_query_has_none(self):
+        svc = VerificationService(jobs=0, default_timeout_s=0.0)
+        try:
+            response = svc.handle_json(_request("verify", {"workload": "figure1"}))
+            assert response["result"]["result"]["unknown_reason"] == "timeout"
+        finally:
+            svc.close()
+
+
+class TestDispatchErrors:
+    def test_unknown_method(self, service):
+        response = service.handle_json(_request("explode"))
+        assert response["error"]["code"] == protocol.METHOD_NOT_FOUND
+
+    def test_missing_jsonrpc_tag(self, service):
+        response = service.handle_json({"id": 1, "method": "verify"})
+        assert response["error"]["code"] == protocol.INVALID_REQUEST
+
+    def test_unknown_workload(self, service):
+        response = service.handle_json(
+            _request("verify", {"workload": "not-a-workload"})
+        )
+        assert response["error"]["code"] == protocol.INVALID_PARAMS
+
+    def test_unknown_workload_param(self, service):
+        response = service.handle_json(
+            _request("verify", {"workload": "figure1", "params": {"bogus": 1}})
+        )
+        assert response["error"]["code"] == protocol.INVALID_PARAMS
+
+    def test_empty_batch_rejected(self, service):
+        response = service.handle_json(_request("verify_batch", {"queries": []}))
+        assert response["error"]["code"] == protocol.INVALID_PARAMS
+
+    def test_error_does_not_kill_later_requests(self, service):
+        service.handle_json(_request("verify", {"workload": "nope"}))
+        response = service.handle_json(
+            _request("verify", {"workload": "figure1"}, request_id=2)
+        )
+        assert response["result"]["result"]["verdict"] == "violation"
+
+
+class TestSessionPool:
+    def test_lru_eviction_and_stats(self):
+        from repro.service.pool import PoolKey
+
+        pool = SessionPool(capacity=2)
+        keys = [
+            PoolKey(
+                fingerprint=f"f{i}",
+                options="endpoint;fifo=False",
+                backend="dpllt",
+                theory_mode="default",
+            )
+            for i in range(3)
+        ]
+        for key in keys:
+            assert pool.get(key) is None
+            pool.put(key, object())
+        assert pool.get(keys[0]) is None  # evicted by capacity 2
+        assert pool.get(keys[2]) is not None
+        stats = pool.statistics()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 4
+
+    def test_invalidate_by_fingerprint(self):
+        from repro.service.pool import PoolKey
+
+        pool = SessionPool(capacity=8)
+        key_a = PoolKey(
+            fingerprint="aa", options="o", backend="dpllt", theory_mode="default"
+        )
+        key_b = PoolKey(
+            fingerprint="bb", options="o", backend="dpllt", theory_mode="default"
+        )
+        pool.put(key_a, object())
+        pool.put(key_b, object())
+        assert pool.invalidate("aa") == 1
+        assert pool.get(key_a) is None
+        assert pool.get(key_b) is not None
+        assert pool.invalidate() == 1  # drop the rest
+
+
+class TestSharedCache:
+    def test_two_services_share_one_cache_dir(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = VerificationService(jobs=0, cache_dir=cache_dir)
+        try:
+            response = first.handle_json(_request("verify", {"workload": "figure1"}))
+            assert response["result"]["result"]["from_cache"] is False
+        finally:
+            first.close()
+        second = VerificationService(jobs=0, cache_dir=cache_dir)
+        try:
+            response = second.handle_json(_request("verify", {"workload": "figure1"}))
+            assert response["result"]["result"]["from_cache"] is True
+        finally:
+            second.close()
+
+
+class _DaemonHarness:
+    """A live TCP daemon on an OS-assigned port, run on a background thread."""
+
+    def __init__(self, jobs=0, **kwargs):
+        self.service = VerificationService(jobs=jobs, **kwargs)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        self.port = probe.getsockname()[1]
+        probe.close()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", self.port), 0.2).close()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError("daemon did not come up")
+
+    def _run(self):
+        asyncio.run(self.service.serve_forever("127.0.0.1", self.port))
+
+    def client(self):
+        return ServiceClient(f"127.0.0.1:{self.port}")
+
+    def stop(self):
+        if self.thread.is_alive():
+            try:
+                with self.client() as client:
+                    client.shutdown()
+            except ServiceError:
+                pass
+        self.thread.join(timeout=10.0)
+        assert not self.thread.is_alive(), "daemon failed to stop"
+
+
+@pytest.fixture()
+def daemon():
+    harness = _DaemonHarness(jobs=0)
+    yield harness
+    harness.stop()
+
+
+class TestTcpDaemon:
+    def test_verify_round_trip(self, daemon):
+        with daemon.client() as client:
+            result = client.verify("figure1")
+        assert result.verdict is Verdict.VIOLATION
+        assert result.witness is not None
+
+    def test_batch_and_enumerate(self, daemon):
+        with daemon.client() as client:
+            results = client.verify_batch(
+                [{"workload": "figure1"}, {"workload": "pipeline"}]
+            )
+            matchings = client.enumerate("figure1")
+        assert [r.verdict for r in results] == [Verdict.VIOLATION, Verdict.SAFE]
+        assert len(matchings) >= 2
+
+    def test_concurrent_clients_share_one_warm_session(self, daemon):
+        """Same fingerprint from many clients → one encode, pool hits for
+        the rest (the requests serialise on the inline executor lock)."""
+        verdicts = {}
+
+        def worker(index):
+            with daemon.client() as client:
+                verdicts[index] = client.verify("figure1").verdict
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(v is Verdict.VIOLATION for v in verdicts.values())
+        with daemon.client() as client:
+            stats = client.stats()
+        assert stats["pool"]["misses"] == 1  # one encode for four clients
+        assert stats["pool"]["hits"] == 3
+
+    def test_malformed_frame_gets_parse_error(self, daemon):
+        sock = socket.create_connection(("127.0.0.1", daemon.port), 5.0)
+        try:
+            sock.sendall(b"this is not json\n")
+            response = json.loads(sock.makefile("rb").readline())
+        finally:
+            sock.close()
+        assert response["error"]["code"] == protocol.PARSE_ERROR
+
+    def test_unknown_method_error_surfaces_in_client(self, daemon):
+        with daemon.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client._call("frobnicate")
+        assert str(protocol.METHOD_NOT_FOUND) in str(excinfo.value)
+
+    def test_shutdown_stops_daemon(self, daemon):
+        with daemon.client() as client:
+            assert client.shutdown() == {"stopping": True}
+        daemon.thread.join(timeout=10.0)
+        assert not daemon.thread.is_alive()
+        with pytest.raises(ServiceError):
+            ServiceClient(f"127.0.0.1:{daemon.port}")
+
+
+class TestStdio:
+    def test_stdio_round_trip(self):
+        lines = [
+            json.dumps(_request("verify", {"workload": "figure1"}, request_id=1)),
+            json.dumps(_request("stats", request_id=2)),
+            json.dumps(_request("shutdown", request_id=3)),
+        ]
+        stdout = io.StringIO()
+        rc = run_stdio(jobs=0, stdin=io.StringIO("\n".join(lines) + "\n"), stdout=stdout)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert rc == 0
+        assert responses[0]["result"]["result"]["verdict"] == "violation"
+        assert responses[1]["result"]["requests"] == 2
+        assert responses[2]["result"] == {"stopping": True}
+
+    def test_stdio_stops_reading_after_shutdown(self):
+        lines = [
+            json.dumps(_request("shutdown", request_id=1)),
+            json.dumps(_request("verify", {"workload": "figure1"}, request_id=2)),
+        ]
+        stdout = io.StringIO()
+        run_stdio(jobs=0, stdin=io.StringIO("\n".join(lines) + "\n"), stdout=stdout)
+        responses = stdout.getvalue().splitlines()
+        assert len(responses) == 1  # the post-shutdown verify is never served
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("127.0.0.1:9177", ("127.0.0.1", 9177)),
+            (":8000", ("127.0.0.1", 8000)),
+            ("8000", ("127.0.0.1", 8000)),
+            ("verifier.local", ("verifier.local", 9177)),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_address(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "host:notaport"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(ServiceError):
+            parse_address(text)
+
+
+class TestWorkerPoolRouting:
+    def test_inline_pool_counts_timeouts(self):
+        pool = WorkerPool(jobs=0)
+        try:
+            response = pool.submit(
+                {"op": "verify", "workload": "figure1"}, timeout_s=0.0
+            )
+            assert response["result"]["unknown_reason"] == "timeout"
+            assert pool.timeouts == 1
+        finally:
+            pool.close()
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(jobs=0)
+        pool.close()
+        with pytest.raises(ServiceError):
+            pool.submit({"op": "verify", "workload": "figure1"})

@@ -1,0 +1,201 @@
+"""Tests for the hardened on-disk result store: advisory locking,
+size-bounded LRU eviction, index rebuild and corrupt-entry quarantine."""
+
+import json
+import os
+
+import pytest
+
+from repro.program.interpreter import run_program
+from repro.verification.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheKey,
+    ResultCache,
+    make_cache_key,
+)
+from repro.verification.result import Verdict, VerificationResult
+from repro.workloads import pipeline
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_program(pipeline(2), seed=0).trace
+
+
+def _key(tag: str) -> CacheKey:
+    return CacheKey(
+        fingerprint=f"fp-{tag}", properties="p", options="o", backend="dpllt"
+    )
+
+
+def _result(trace) -> VerificationResult:
+    return VerificationResult(verdict=Verdict.SAFE, trace=trace, backend="dpllt")
+
+
+def _entry_files(directory: str):
+    return sorted(
+        name
+        for name in os.listdir(directory)
+        if name.endswith(".json") and not name.startswith("_")
+    )
+
+
+class TestLocking:
+    def test_store_mutations_create_the_lock_file(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.store(_key("a"), _result(trace))
+        assert os.path.exists(os.path.join(directory, "_lock"))
+
+    def test_two_instances_share_one_store(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        writer = ResultCache(directory=directory)
+        writer.store(_key("a"), _result(trace))
+        reader = ResultCache(directory=directory)
+        hit = reader.lookup(_key("a"), trace)
+        assert hit is not None
+        assert hit.verdict is Verdict.SAFE
+        assert hit.from_cache
+
+    def test_memory_only_cache_needs_no_lock(self, trace):
+        cache = ResultCache()
+        cache.store(_key("a"), _result(trace))
+        assert cache.lookup(_key("a"), trace) is not None
+
+
+class TestBoundedStore:
+    def test_max_entries_evicts_least_recently_used(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_entries=2)
+        for tag in ("a", "b", "c"):
+            cache.store(_key(tag), _result(trace))
+        assert len(_entry_files(directory)) == 2
+        assert cache.evictions == 1
+        # The oldest entry ("a") is the victim: a fresh instance misses it
+        # but still hits the survivors.
+        fresh = ResultCache(directory=directory, max_entries=2)
+        assert fresh.lookup(_key("a"), trace) is None
+        assert fresh.lookup(_key("c"), trace) is not None
+
+    def test_lookup_refreshes_recency(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_entries=2)
+        cache.store(_key("a"), _result(trace))
+        cache.store(_key("b"), _result(trace))
+        # Touch "a" from a *fresh* instance (disk hit), then overflow: the
+        # LRU victim must now be "b".
+        toucher = ResultCache(directory=directory, max_entries=2)
+        assert toucher.lookup(_key("a"), trace) is not None
+        toucher.store(_key("c"), _result(trace))
+        survivor = ResultCache(directory=directory, max_entries=2)
+        assert survivor.lookup(_key("b"), trace) is None
+        assert survivor.lookup(_key("a"), trace) is not None
+
+    def test_max_bytes_bound(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_bytes=1)
+        cache.store(_key("a"), _result(trace))
+        cache.store(_key("b"), _result(trace))
+        # Every entry is bigger than the bound, so at most the newest
+        # write's eviction pass leaves the store empty.
+        assert len(_entry_files(directory)) == 0
+        assert cache.evictions == 2
+
+    def test_unbounded_store_keeps_everything(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        for tag in ("a", "b", "c", "d"):
+            cache.store(_key(tag), _result(trace))
+        assert len(_entry_files(directory)) == 4
+        assert cache.evictions == 0
+
+    def test_index_sidecar_is_schema_stamped(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_entries=4)
+        cache.store(_key("a"), _result(trace))
+        with open(os.path.join(directory, "_index.json"), encoding="utf-8") as fh:
+            index = json.load(fh)
+        assert index["schema"] == CACHE_SCHEMA_VERSION
+        assert _key("a").digest() in index["entries"]
+
+    def test_torn_index_is_rebuilt_from_scan(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_entries=2)
+        cache.store(_key("a"), _result(trace))
+        cache.store(_key("b"), _result(trace))
+        with open(os.path.join(directory, "_index.json"), "w") as fh:
+            fh.write("{torn")
+        # The next mutation rebuilds recency from the directory and still
+        # enforces the bound.
+        cache.store(_key("c"), _result(trace))
+        assert len(_entry_files(directory)) == 2
+
+    def test_missing_index_is_rebuilt(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_entries=2)
+        cache.store(_key("a"), _result(trace))
+        os.unlink(os.path.join(directory, "_index.json"))
+        cache.store(_key("b"), _result(trace))
+        cache.store(_key("c"), _result(trace))
+        assert len(_entry_files(directory)) == 2
+
+    @pytest.mark.parametrize("kwargs", [{"max_entries": 0}, {"max_bytes": 0}])
+    def test_invalid_bounds_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            ResultCache(directory=str(tmp_path / "cache"), **kwargs)
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_quarantined_once(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        writer = ResultCache(directory=directory)
+        key = _key("a")
+        writer.store(key, _result(trace))
+        path = os.path.join(directory, key.digest() + ".json")
+        with open(path, "w") as fh:
+            fh.write("{corrupt json")
+        reader = ResultCache(directory=directory)
+        assert reader.lookup(key, trace) is None
+        assert reader.quarantined == 1
+        assert not os.path.exists(path)  # moved aside, not re-parsed forever
+        quarantined = os.listdir(os.path.join(directory, "_quarantine"))
+        assert quarantined == [key.digest() + ".json"]
+        # A later lookup is a plain miss, not another quarantine.
+        assert reader.lookup(key, trace) is None
+        assert reader.quarantined == 1
+
+    def test_quarantined_entry_leaves_the_bounded_index(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory, max_entries=4)
+        key = _key("a")
+        cache.store(key, _result(trace))
+        with open(os.path.join(directory, key.digest() + ".json"), "w") as fh:
+            fh.write("not json at all")
+        fresh = ResultCache(directory=directory, max_entries=4)
+        assert fresh.lookup(key, trace) is None
+        with open(os.path.join(directory, "_index.json"), encoding="utf-8") as fh:
+            index = json.load(fh)
+        assert key.digest() not in index["entries"]
+
+    def test_wrong_schema_entry_is_a_miss_not_a_quarantine(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        key = _key("a")
+        path = os.path.join(directory, key.digest() + ".json")
+        with open(path, "w") as fh:
+            json.dump({"schema": CACHE_SCHEMA_VERSION + 1, "verdict": "safe"}, fh)
+        assert cache.lookup(key, trace) is None
+        assert cache.quarantined == 0
+        assert os.path.exists(path)  # valid JSON stays put
+
+
+class TestStatistics:
+    def test_counters_exposed(self, tmp_path, trace):
+        cache = ResultCache(directory=str(tmp_path / "cache"), max_entries=1)
+        cache.store(_key("a"), _result(trace))
+        cache.store(_key("b"), _result(trace))
+        stats = cache.statistics()
+        assert stats["stores"] == 2
+        assert stats["evictions"] == 1
+        assert "quarantined" in stats
+        assert "hits" in stats and "misses" in stats

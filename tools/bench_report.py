@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Benchmark runner emitting a ``BENCH_solver.json`` perf-trajectory snapshot.
+"""Benchmark runner emitting perf-trajectory snapshots.
 
-Runs the benchmark suite (or, with ``--quick``, a representative subset)
-module by module through pytest, recording per-module wall time and exit
-status, then runs a set of *direct solver probes* — fixed workloads driven
-straight through :class:`repro.smt.dpllt.DpllTEngine` — capturing the full
-solver statistics (theory propagations split by theory, reduceDB rounds,
-clauses deleted, live-clause peak, conflicts, decisions).
+Two artifacts:
 
-The JSON artifact is uploaded by CI on every run, so the perf trajectory of
-the solver hot path is recorded PR over PR and a regression shows up as a
-diff between artifacts rather than as an anecdote.  Run from the
-repository root::
+* ``BENCH_solver.json`` — per-module benchmark wall times plus *direct
+  solver probes*: fixed workloads driven straight through
+  :class:`repro.smt.dpllt.DpllTEngine`, capturing the full solver
+  statistics (theory propagations split by theory, reduceDB rounds,
+  clauses deleted, live-clause peak, conflicts, decisions).
+* ``BENCH_service.json`` — *service probes*: a mixed-fingerprint query
+  stream pushed through :class:`repro.service.server.VerificationService`
+  twice, recording cold vs warm-pool queries/sec and the pool counters.
+
+Both artifacts are uploaded by CI on every run, so the perf trajectory of
+the solver hot path and the service layer is recorded PR over PR and a
+regression shows up as a diff between artifacts rather than as an
+anecdote.  Run from the repository root::
 
     python tools/bench_report.py --output BENCH_solver.json
     python tools/bench_report.py --quick          # probes + the solver benches
+    python tools/bench_report.py --probes-only --service-output BENCH_service.json
 
 Only the standard library is used; pytest is invoked as a subprocess with
 the same interpreter.
@@ -45,6 +50,7 @@ FULL_BENCHMARKS = QUICK_BENCHMARKS + [
     "benchmarks/test_bench_parallel.py",
     "benchmarks/test_bench_deadlock.py",
     "benchmarks/test_bench_figure4.py",
+    "benchmarks/test_bench_service.py",
 ]
 
 
@@ -132,9 +138,76 @@ def solver_probes():
     return probes
 
 
+def service_probes():
+    """Cold vs warm-pool throughput of the verification service.
+
+    The stream is the service benchmark's shape scaled down (8 distinct
+    questions × 4 seeds = 32 queries) and runs inline (``jobs=0``) so the
+    probe measures pool semantics, not this host's process-spawn latency.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.service import protocol
+    from repro.service.server import VerificationService
+
+    specs = [
+        {"workload": "figure1"},
+        {"workload": "racy_fanin", "params": {"senders": 2}},
+        {"workload": "racy_fanin", "params": {"senders": 3}},
+        {"workload": "racy_fanin", "params": {"senders": 4}},
+        {"workload": "pipeline", "params": {"senders": 6}},
+        {"workload": "scatter_gather", "params": {"senders": 3}},
+        {"workload": "client_server", "params": {"senders": 3}},
+        {"workload": "token_ring", "params": {"senders": 4}},
+    ]
+    queries = [dict(spec, seed=seed) for seed in range(4) for spec in specs]
+
+    service = VerificationService(jobs=0)
+    try:
+
+        def push():
+            start = time.perf_counter()
+            for index, query in enumerate(queries):
+                response = service.handle_json(
+                    protocol.make_request("verify", query, request_id=index)
+                )
+                assert "error" not in response, response
+            return time.perf_counter() - start
+
+        cold_seconds = push()
+        warm_seconds = push()
+        stats = service.handle_json(
+            protocol.make_request("stats", request_id=len(queries))
+        )["result"]
+    finally:
+        service.close()
+
+    probe = {
+        "queries": len(queries),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "cold_queries_per_sec": round(len(queries) / cold_seconds, 1),
+        "warm_queries_per_sec": round(len(queries) / warm_seconds, 1),
+        "warm_speedup": round(cold_seconds / warm_seconds, 2),
+        "pool_hits": stats["pool"]["hits"],
+        "pool_misses": stats["pool"]["misses"],
+    }
+    print(
+        f"  probe service_stream_32: cold {probe['cold_queries_per_sec']} q/s, "
+        f"warm {probe['warm_queries_per_sec']} q/s "
+        f"({probe['warm_speedup']}x)"
+    )
+    return {"service_stream_32": probe}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_solver.json")
+    parser.add_argument(
+        "--service-output",
+        default="BENCH_service.json",
+        metavar="PATH",
+        help="where the service cold-vs-warm snapshot is written",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -165,6 +238,19 @@ def main(argv=None):
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}")
+
+    service_report = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "service_probes": {},
+    }
+    print("service probes:")
+    service_report["service_probes"] = service_probes()
+    with open(args.service_output, "w", encoding="utf-8") as handle:
+        json.dump(service_report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.service_output}")
     failed = [
         module
         for module, entry in report["benchmarks"].items()
