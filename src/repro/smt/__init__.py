@@ -6,7 +6,9 @@ must be dependency-free, the package provides the full stack from scratch:
 * :mod:`repro.smt.terms` — the term language and smart constructors,
 * :mod:`repro.smt.simplify` — preprocessing rewrites,
 * :mod:`repro.smt.cnf` — Tseitin conversion to CNF,
-* :mod:`repro.smt.sat` — a CDCL SAT solver,
+* :mod:`repro.smt.sat` — a CDCL SAT solver on flat arena storage (with an
+  optional compiled propagation kernel, :mod:`repro.smt.satkernel`),
+* :mod:`repro.smt.dimacs` — DIMACS CNF import feeding the SAT core,
 * :mod:`repro.smt.theory` — difference logic, linear integer arithmetic and
   congruence closure theory solvers,
 * :mod:`repro.smt.dpllt` — the lazy DPLL(T) loop (one-shot and incremental),
@@ -47,6 +49,7 @@ from repro.smt.terms import (
     Var,
     Xor,
 )
+from repro.smt.dimacs import DimacsProblem, load_dimacs, parse_dimacs
 from repro.smt.dpllt import THEORY_MODES
 from repro.smt.models import Model
 from repro.smt.backend import (
@@ -94,6 +97,9 @@ __all__ = [
     "Var",
     "Xor",
     "Model",
+    "DimacsProblem",
+    "load_dimacs",
+    "parse_dimacs",
     "CheckResult",
     "THEORY_MODES",
     "Solver",

@@ -1,0 +1,252 @@
+/* Native propagation kernel for the flat-memory SAT core.
+ *
+ * The Python solver (repro.smt.sat.SatSolver) keeps every hot structure in
+ * flat int32 storage: the clause arena and the assignment/level/reason/phase
+ * columns are Python array('i') buffers, and this kernel owns the watch
+ * lists as malloc'd per-literal (ref, blocker) pair vectors.  sk_propagate
+ * is a line-for-line port of the solver's pure-Python `_propagate_py` loop
+ * (fresh-blocker fast path, normalisation swap, first-fit replacement
+ * watch, in-place watch-list compaction) so the two paths are
+ * bit-identical in every observable: assignments, trail order, watch-list
+ * evolution, and conflict choice.  Keep them in lockstep — the Python loop
+ * is the reference, and tests/smt/test_flat_core_differential.py asserts
+ * the equivalence.
+ *
+ * Built on demand by repro.smt.satkernel via the system C compiler and
+ * loaded with ctypes; when neither is available the solver silently runs
+ * the Python loop instead.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    int32_t *d;   /* flattened (ref, blocker) pairs */
+    int32_t len;  /* used ints (2 * pair count) */
+    int32_t cap;  /* allocated ints */
+} WL;
+
+typedef struct {
+    WL *w;
+    int32_t n;
+} WT;
+
+/* Context for one propagation call.  Buffer pointers are only valid for
+ * the duration of the call (Python array buffers move when they grow). */
+typedef struct {
+    int32_t *arena;
+    int32_t *assign;  /* by var: 0 unassigned, 1 true, -1 false */
+    int32_t *level;   /* by var */
+    int32_t *reason;  /* by var: 0 none, cref, or -1 lazy theory */
+    int32_t *phase;   /* by var: saved polarity, 0/1 */
+    int32_t *queue;   /* in: pending trail suffix; out: plus enqueued lits */
+    int32_t queue_len;
+    int32_t qhead;
+    int32_t dl;            /* current decision level */
+    int32_t props;         /* out: literals dequeued */
+    int32_t conflict_flit; /* out: the falsified literal at the conflict */
+} PropCtx;
+
+static void wl_push(WL *wl, int32_t ref, int32_t blocker) {
+    if (wl->len + 2 > wl->cap) {
+        int32_t cap = wl->cap ? wl->cap * 2 : 8;
+        wl->d = (int32_t *)realloc(wl->d, (size_t)cap * sizeof(int32_t));
+        wl->cap = cap;
+    }
+    wl->d[wl->len] = ref;
+    wl->d[wl->len + 1] = blocker;
+    wl->len += 2;
+}
+
+void *sk_wt_new(int32_t n) {
+    WT *wt = (WT *)malloc(sizeof(WT));
+    if (!wt) return NULL;
+    wt->w = (WL *)calloc((size_t)(n > 0 ? n : 1), sizeof(WL));
+    wt->n = n > 0 ? n : 1;
+    return wt;
+}
+
+void sk_wt_free(void *wtv) {
+    WT *wt = (WT *)wtv;
+    if (!wt) return;
+    for (int32_t i = 0; i < wt->n; i++) free(wt->w[i].d);
+    free(wt->w);
+    free(wt);
+}
+
+/* Grow the per-literal table to at least n lists (new lists empty). */
+void sk_wt_ensure(void *wtv, int32_t n) {
+    WT *wt = (WT *)wtv;
+    if (n <= wt->n) return;
+    wt->w = (WL *)realloc(wt->w, (size_t)n * sizeof(WL));
+    memset(wt->w + wt->n, 0, (size_t)(n - wt->n) * sizeof(WL));
+    wt->n = n;
+}
+
+void sk_wt_push(void *wtv, int32_t idx, int32_t ref, int32_t blocker) {
+    wl_push(&((WT *)wtv)->w[idx], ref, blocker);
+}
+
+int32_t sk_wt_len(void *wtv, int32_t idx) {
+    return ((WT *)wtv)->w[idx].len;
+}
+
+void sk_wt_copy(void *wtv, int32_t idx, int32_t *out) {
+    WL *wl = &((WT *)wtv)->w[idx];
+    memcpy(out, wl->d, (size_t)wl->len * sizeof(int32_t));
+}
+
+void sk_wt_clear(void *wtv) {
+    WT *wt = (WT *)wtv;
+    for (int32_t i = 0; i < wt->n; i++) wt->w[i].len = 0;
+}
+
+/* Rewrite every entry through the cref translation table built by arena
+ * compaction: remap[old_cref] is the new cref or -1 for a deleted clause,
+ * whose entries are dropped.  Entry order is preserved and inlined-binary
+ * entries (negative refs) keep their sign. */
+void sk_wt_remap(void *wtv, const int32_t *remap, int32_t remap_len) {
+    WT *wt = (WT *)wtv;
+    for (int32_t li = 0; li < wt->n; li++) {
+        WL *wl = &wt->w[li];
+        int32_t *d = wl->d;
+        int32_t j = 0;
+        for (int32_t i = 0; i < wl->len; i += 2) {
+            int32_t entry = d[i];
+            int32_t cref = entry < 0 ? -entry : entry;
+            int32_t nref = cref < remap_len ? remap[cref] : -1;
+            if (nref < 0) continue;
+            d[j] = entry < 0 ? -nref : nref;
+            d[j + 1] = d[i + 1];
+            j += 2;
+        }
+        wl->len = j;
+    }
+}
+
+/* Unit propagation to fixpoint or first conflict.
+ *
+ * Returns 0 (no conflict) or the conflicting watch entry: a positive cref,
+ * or a negative value whose magnitude is the cref of an inlined binary
+ * clause.  On conflict ctx->conflict_flit holds the falsified literal and
+ * the arena already carries the conflict clause's post-normalisation
+ * literal order, so the caller reconstructs the conflict clause without
+ * any copying here. */
+int32_t sk_propagate(void *wtv, PropCtx *c) {
+    WT *wt = (WT *)wtv;
+    int32_t *arena = c->arena;
+    int32_t *assign = c->assign;
+    int32_t *level = c->level;
+    int32_t *reason = c->reason;
+    int32_t *phase = c->phase;
+    int32_t *q = c->queue;
+    int32_t qhead = c->qhead;
+    int32_t qlen = c->queue_len;
+    int32_t dl = c->dl;
+    int32_t props = 0;
+    int32_t result = 0;
+
+    while (qhead < qlen) {
+        int32_t lit = q[qhead++];
+        props++;
+        int32_t flit = -lit;
+        WL *wl = &wt->w[lit > 0 ? lit + lit + 1 : -lit - lit];
+        int32_t *d = wl->d;
+        int32_t i = 0, j = 0, n = wl->len;
+        while (i < n) {
+            int32_t ref = d[i];
+            int32_t blocker = d[i + 1];
+            i += 2;
+            int32_t bv = blocker > 0 ? assign[blocker] : -assign[-blocker];
+            if (ref < 0) {
+                /* Inlined binary clause: the blocker IS the other literal. */
+                d[j] = ref;
+                d[j + 1] = blocker;
+                j += 2;
+                if (bv > 0) continue;
+                if (bv == 0) {
+                    int32_t var = blocker > 0 ? blocker : -blocker;
+                    assign[var] = blocker > 0 ? 1 : -1;
+                    level[var] = dl;
+                    reason[var] = -ref;
+                    phase[var] = blocker > 0;
+                    q[qlen++] = blocker;
+                    continue;
+                }
+                result = ref;
+                break;
+            }
+            int32_t base = ref + 3;
+            if (bv > 0 && arena[base] == blocker) {
+                /* Fresh blocker: skip without reading the record. */
+                d[j] = ref;
+                d[j + 1] = blocker;
+                j += 2;
+                continue;
+            }
+            int32_t l0 = arena[base];
+            if (l0 == flit) {
+                l0 = arena[base + 1];
+                arena[base] = l0;
+                arena[base + 1] = flit;
+            }
+            int32_t fv = l0 > 0 ? assign[l0] : -assign[-l0];
+            if (fv > 0) {
+                d[j] = ref;
+                d[j + 1] = l0;
+                j += 2;
+                continue;
+            }
+            /* Look for a replacement watch. */
+            int32_t end = base + (arena[ref] >> 4);
+            int32_t k = base + 2;
+            while (k < end) {
+                int32_t lk = arena[k];
+                if ((lk > 0 ? assign[lk] : -assign[-lk]) >= 0) break;
+                k++;
+            }
+            if (k < end) {
+                int32_t lk = arena[k];
+                arena[base + 1] = lk;
+                arena[k] = flit;
+                /* lk != flit, so this never reallocs the list under us. */
+                wl_push(&wt->w[lk > 0 ? lk + lk : 1 - lk - lk], ref, l0);
+                continue;
+            }
+            /* Clause is unit or conflicting. */
+            d[j] = ref;
+            d[j + 1] = l0;
+            j += 2;
+            if (fv == 0) {
+                int32_t var = l0 > 0 ? l0 : -l0;
+                assign[var] = l0 > 0 ? 1 : -1;
+                level[var] = dl;
+                reason[var] = ref;
+                phase[var] = l0 > 0;
+                q[qlen++] = l0;
+                continue;
+            }
+            result = ref;
+            break;
+        }
+        if (result != 0) {
+            /* Conflict: keep the remaining clauses watched and stop. */
+            while (i < n) {
+                d[j] = d[i];
+                d[j + 1] = d[i + 1];
+                i += 2;
+                j += 2;
+            }
+            wl->len = j;
+            c->conflict_flit = flit;
+            qhead = qlen;
+            break;
+        }
+        wl->len = j;
+    }
+    c->qhead = qhead;
+    c->queue_len = qlen;
+    c->props = props;
+    return result;
+}

@@ -1,0 +1,121 @@
+"""DIMACS CNF import: feed standard SAT benchmark files to the flat core.
+
+The flat-memory :class:`~repro.smt.sat.SatSolver` consumes plain integer
+clauses, which is exactly what the DIMACS CNF exchange format encodes, so
+industrial benchmark instances (SATLIB, SAT Competition) drop straight
+into the solver::
+
+    problem = load_dimacs("uf20-01.cnf")
+    solver = problem.solver()
+    solver.solve()
+
+The parser accepts the common dialect in full: ``c`` comment lines, the
+``p cnf VARS CLAUSES`` problem line, clauses as 0-terminated integer
+streams that may span or share lines, and the SATLIB ``%`` end-of-file
+marker.  Malformed input raises :class:`~repro.utils.errors.SolverError`
+with a line number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.smt.sat import SatSolver
+from repro.utils.errors import SolverError
+
+__all__ = ["DimacsProblem", "parse_dimacs", "load_dimacs"]
+
+
+@dataclass
+class DimacsProblem:
+    """A parsed DIMACS CNF instance."""
+
+    num_vars: int
+    clauses: List[List[int]] = field(default_factory=list)
+
+    def solver(self, **kwargs) -> SatSolver:
+        """A :class:`SatSolver` loaded with this instance.
+
+        ``kwargs`` are forwarded to the solver constructor (``reduce_db``,
+        ``reduce_base``, ...).
+        """
+        solver = SatSolver(**kwargs)
+        solver.ensure_vars(self.num_vars)
+        solver.add_clauses(self.clauses)
+        return solver
+
+
+def parse_dimacs(text: str) -> DimacsProblem:
+    """Parse DIMACS CNF ``text`` into a :class:`DimacsProblem`."""
+    num_vars = -1
+    declared_clauses = -1
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("%"):  # SATLIB trailer: "%" then a lone "0"
+            break
+        if line.startswith("p"):
+            if num_vars >= 0:
+                raise SolverError(f"line {lineno}: duplicate problem line")
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise SolverError(
+                    f"line {lineno}: malformed problem line {line!r} "
+                    "(expected 'p cnf VARS CLAUSES')"
+                )
+            try:
+                num_vars = int(fields[2])
+                declared_clauses = int(fields[3])
+            except ValueError:
+                raise SolverError(
+                    f"line {lineno}: non-numeric problem line {line!r}"
+                ) from None
+            if num_vars < 0 or declared_clauses < 0:
+                raise SolverError(f"line {lineno}: negative counts in {line!r}")
+            continue
+        if num_vars < 0:
+            raise SolverError(
+                f"line {lineno}: clause before the 'p cnf' problem line"
+            )
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError:
+                raise SolverError(
+                    f"line {lineno}: invalid literal {token!r}"
+                ) from None
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                if abs(lit) > num_vars:
+                    raise SolverError(
+                        f"line {lineno}: literal {lit} exceeds the declared "
+                        f"{num_vars} variables"
+                    )
+                current.append(lit)
+    if num_vars < 0:
+        raise SolverError("no 'p cnf' problem line found")
+    if current:
+        # Tolerated in the wild: a final clause missing its terminating 0.
+        clauses.append(current)
+    if declared_clauses >= 0 and len(clauses) != declared_clauses:
+        raise SolverError(
+            f"problem line declares {declared_clauses} clauses "
+            f"but {len(clauses)} were given"
+        )
+    return DimacsProblem(num_vars=num_vars, clauses=clauses)
+
+
+def load_dimacs(path: str) -> DimacsProblem:
+    """Parse the DIMACS CNF file at ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SolverError(f"cannot read DIMACS file {path!r}: {exc}") from exc
+    return parse_dimacs(text)

@@ -52,6 +52,7 @@ from repro.smt.theory.euf import CongruenceClosure, IncrementalCongruenceClosure
 from repro.smt.theory.idl import (
     DifferenceLogicSolver,
     IncrementalDifferenceLogic,
+    edge_groups,
 )
 from repro.smt.theory.lia import IncrementalLinearInt, LinearIntSolver
 from repro.utils.errors import SolverError
@@ -123,6 +124,10 @@ class SmtStats:
     reduce_db_rounds: int = 0
     clauses_deleted: int = 0
     max_live_learned: int = 0
+    #: Flat-core arena gauges: compaction sweeps performed and the arena
+    #: footprint (bytes) after the last one.  Both 0 on the legacy core.
+    compactions: int = 0
+    arena_bytes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         avg_explanation = (
@@ -148,6 +153,8 @@ class SmtStats:
             "reduce_db_rounds": self.reduce_db_rounds,
             "clauses_deleted": self.clauses_deleted,
             "max_live_learned": self.max_live_learned,
+            "compactions": self.compactions,
+            "arena_bytes": self.arena_bytes,
         }
 
 
@@ -342,6 +349,14 @@ class TheoryCore(TheoryListener):
         self._arith_vars: Dict[int, Term] = {}
         self._euf_vars: Dict[int, Term] = {}
         self._cache = constraint_cache if constraint_cache is not None else {}
+        # Memoised "does asserting this phase of this atom force the LIA
+        # migration?" — the check walks every constraint of the atom, and
+        # on_assert is the single hottest theory entry point.
+        self._needs_lia: Dict[Tuple[int, bool], bool] = {}
+        # Memoised IDL edge groups per atom phase (see idl.edge_groups):
+        # the graph edges of an assertion are a pure function of the atom
+        # and its polarity, and re-deriving them dominated assert time.
+        self._idl_edges: Dict[Tuple[int, bool], list] = {}
         # One (arith_height, euf_height) frame per streamed literal.
         self._frames: List[Tuple[int, int]] = []
         # EUF trail height at the time each propagation was emitted, so a
@@ -455,11 +470,23 @@ class TheoryCore(TheoryListener):
         conflict: Optional[List[int]] = None
         if var in self._arith_vars:
             constraints = self._constraints_for(var, lit > 0)
-            if not self._arith_is_lia and any(
-                not c.is_difference for c in constraints
-            ):
-                self._migrate_to_lia()
-            conflict = self._arith.assert_lit(lit, constraints)
+            if not self._arith_is_lia:
+                key = (var, lit > 0)
+                needs_lia = self._needs_lia.get(key)
+                if needs_lia is None:
+                    needs_lia = any(not c.is_difference for c in constraints)
+                    self._needs_lia[key] = needs_lia
+                if needs_lia:
+                    self._migrate_to_lia()
+            if self._arith_is_lia:
+                conflict = self._arith.assert_lit(lit, constraints)
+            else:
+                key = (var, lit > 0)
+                edges = self._idl_edges.get(key)
+                if edges is None:
+                    edges = edge_groups(lit, constraints)
+                    self._idl_edges[key] = edges
+                conflict = self._arith.assert_lit(lit, constraints, edges)
         elif var in self._euf_vars:
             atom = self._euf_vars[var]
             conflict = self._euf.assert_lit(lit, atom.args[0], atom.args[1], lit > 0)
@@ -652,6 +679,8 @@ class DpllTEngine:
             self.stats.reduce_db_rounds = sat.stats.reduce_db_rounds
             self.stats.clauses_deleted = sat.stats.clauses_deleted
             self.stats.max_live_learned = sat.stats.max_live_learned
+            self.stats.compactions = getattr(sat.stats, "compactions", 0)
+            self.stats.arena_bytes = getattr(sat.stats, "arena_bytes", 0)
 
     # ------------------------------------------------------------------ offline
 
@@ -717,6 +746,8 @@ class DpllTEngine:
             self.stats.reduce_db_rounds = sat.stats.reduce_db_rounds
             self.stats.clauses_deleted = sat.stats.clauses_deleted
             self.stats.max_live_learned = sat.stats.max_live_learned
+            self.stats.compactions = getattr(sat.stats, "compactions", 0)
+            self.stats.arena_bytes = getattr(sat.stats, "arena_bytes", 0)
 
 
 class IncrementalDpllTEngine:
@@ -917,6 +948,8 @@ class IncrementalDpllTEngine:
             # A gauge, not a counter: the engine-lifetime peak is the number
             # that shows whether the live clause set stays bounded.
             stats.max_live_learned = sat.stats.max_live_learned
+            stats.compactions = getattr(sat.stats, "compactions", 0)
+            stats.arena_bytes = getattr(sat.stats, "arena_bytes", 0)
 
     def _check_offline(
         self, stats: SmtStats, sat_assumptions: List[int]
@@ -972,6 +1005,8 @@ class IncrementalDpllTEngine:
             )
             stats.clauses_deleted = self._sat.stats.clauses_deleted - base_deleted
             stats.max_live_learned = self._sat.stats.max_live_learned
+            stats.compactions = getattr(self._sat.stats, "compactions", 0)
+            stats.arena_bytes = getattr(self._sat.stats, "arena_bytes", 0)
 
     def model(self) -> Model:
         """The model of the last :meth:`check`, which must have returned SAT."""

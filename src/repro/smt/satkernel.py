@@ -1,0 +1,148 @@
+"""Build and load the optional native propagation kernel.
+
+The flat-memory SAT core keeps its hot state in int32 buffers (the clause
+arena and the per-variable assignment columns are ``array('i')``), which
+makes the propagation inner loop portable to C verbatim.  This module
+compiles ``_satkernel.c`` with the system C compiler on first use, caches
+the shared object next to the source keyed by a content hash, and exposes
+it through :mod:`ctypes`.
+
+Everything degrades gracefully: no compiler, a failed compile, a
+read-only tree (falls back to a per-user temp dir), or
+``REPRO_SAT_KERNEL=0`` in the environment all simply yield ``None`` from
+:func:`load`, and :class:`repro.smt.sat.SatSolver` runs its pure-Python
+propagation loop instead.  The two loops are maintained in lockstep and
+are asserted bit-identical by the flat-core differential tests, so which
+one runs is invisible in every observable — only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+__all__ = ["load", "kernel_source", "unavailable_reason"]
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_satkernel.c")
+
+_loaded = False
+_lib: Optional[ctypes.CDLL] = None
+_reason: Optional[str] = None
+
+
+class PropCtx(ctypes.Structure):
+    """Mirror of the C ``PropCtx``; see ``_satkernel.c`` for field docs."""
+
+    _fields_ = [
+        ("arena", ctypes.c_void_p),
+        ("assign", ctypes.c_void_p),
+        ("level", ctypes.c_void_p),
+        ("reason", ctypes.c_void_p),
+        ("phase", ctypes.c_void_p),
+        ("queue", ctypes.c_void_p),
+        ("queue_len", ctypes.c_int32),
+        ("qhead", ctypes.c_int32),
+        ("dl", ctypes.c_int32),
+        ("props", ctypes.c_int32),
+        ("conflict_flit", ctypes.c_int32),
+    ]
+
+
+def kernel_source() -> str:
+    return _SOURCE
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why the kernel is not loaded (None while it is, or before load())."""
+    return _reason
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build(cc: str, source: str, out_path: str) -> None:
+    tmp_path = out_path + ".tmp"
+    subprocess.run(
+        [cc, "-O2", "-fPIC", "-shared", "-o", tmp_path, source],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    os.replace(tmp_path, out_path)  # atomic under concurrent builders
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    i32 = ctypes.c_int32
+    lib.sk_wt_new.argtypes = [i32]
+    lib.sk_wt_new.restype = ctypes.c_void_p
+    lib.sk_wt_free.argtypes = [ctypes.c_void_p]
+    lib.sk_wt_free.restype = None
+    lib.sk_wt_ensure.argtypes = [ctypes.c_void_p, i32]
+    lib.sk_wt_ensure.restype = None
+    lib.sk_wt_push.argtypes = [ctypes.c_void_p, i32, i32, i32]
+    lib.sk_wt_push.restype = None
+    lib.sk_wt_len.argtypes = [ctypes.c_void_p, i32]
+    lib.sk_wt_len.restype = i32
+    lib.sk_wt_copy.argtypes = [ctypes.c_void_p, i32, ctypes.c_void_p]
+    lib.sk_wt_copy.restype = None
+    lib.sk_wt_clear.argtypes = [ctypes.c_void_p]
+    lib.sk_wt_clear.restype = None
+    lib.sk_wt_remap.argtypes = [ctypes.c_void_p, ctypes.c_void_p, i32]
+    lib.sk_wt_remap.restype = None
+    lib.sk_propagate.argtypes = [ctypes.c_void_p, ctypes.POINTER(PropCtx)]
+    lib.sk_propagate.restype = i32
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The kernel library, building it on first call; None if unavailable."""
+    global _loaded, _lib, _reason
+    if _loaded:
+        return _lib
+    _loaded = True
+    if os.environ.get("REPRO_SAT_KERNEL", "").lower() in ("0", "off", "no"):
+        _reason = "disabled by REPRO_SAT_KERNEL"
+        return None
+    try:
+        with open(_SOURCE, "rb") as handle:
+            source_bytes = handle.read()
+    except OSError as exc:
+        _reason = f"kernel source unreadable: {exc}"
+        return None
+    tag = hashlib.sha256(source_bytes).hexdigest()[:12]
+    so_name = f"_satkernel-{tag}.so"
+    candidates = [
+        os.path.join(os.path.dirname(_SOURCE), so_name),
+        os.path.join(
+            tempfile.gettempdir(), f"repro-satkernel-{os.getuid()}", so_name
+        ),
+    ]
+    for out_path in candidates:
+        if not os.path.exists(out_path):
+            cc = _compiler()
+            if cc is None:
+                _reason = "no C compiler on PATH"
+                return None
+            try:
+                os.makedirs(os.path.dirname(out_path), exist_ok=True)
+                _build(cc, _SOURCE, out_path)
+            except (OSError, subprocess.SubprocessError) as exc:
+                _reason = f"kernel build failed: {exc}"
+                continue
+        try:
+            _lib = _declare(ctypes.CDLL(out_path))
+            _reason = None
+            return _lib
+        except OSError as exc:
+            _reason = f"kernel load failed: {exc}"
+    return None

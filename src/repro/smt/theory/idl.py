@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.smt.linear import LinearLe
@@ -42,6 +42,7 @@ __all__ = [
     "IncrementalDifferenceLogic",
     "TheoryResult",
     "atom_edge",
+    "edge_groups",
 ]
 
 #: Name of the implicit zero node (also usable by callers as a variable that
@@ -61,7 +62,7 @@ class TheoryResult:
     conflict: Optional[List[int]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Edge:
     src: str
     dst: str
@@ -233,6 +234,23 @@ def _edges_of(constraint: LinearLe, tag: int) -> Optional[List[_Edge]]:
     return [_Edge(neg_var, pos_var, bound, tag)]
 
 
+def edge_groups(
+    lit: int, constraints: Sequence[LinearLe]
+) -> List[Optional[List[_Edge]]]:
+    """Precomputed per-constraint edge groups for :meth:`assert_lit`.
+
+    The graph edges of a constraint depend only on the constraint and the
+    tagging literal, and the DPLL(T) core always asserts the same
+    constraint tuple for a given literal — so callers on the hot path
+    memoise this per ``(atom, phase)`` and hand the result to
+    :meth:`IncrementalDifferenceLogic.assert_lit` via its ``edges``
+    parameter.  Reusing the same :class:`_Edge` objects across assertions
+    is safe: the undo stack removes edges by LIFO identity, and a literal
+    is never on the trail twice.
+    """
+    return [_edges_of(constraint, lit) for constraint in constraints]
+
+
 def atom_edge(constraint: LinearLe) -> Optional[Tuple[str, str, int]]:
     """The single ``(src, dst, weight)`` edge of a difference constraint.
 
@@ -249,7 +267,7 @@ def atom_edge(constraint: LinearLe) -> Optional[Tuple[str, str, int]]:
     return (edge.src, edge.dst, edge.weight)
 
 
-@dataclass
+@dataclass(slots=True)
 class _IdlFrame:
     """Undo record of one ``assert_lit`` call."""
 
@@ -257,7 +275,8 @@ class _IdlFrame:
     constraints: Tuple[LinearLe, ...]
     edges_before: int
     #: Potentials changed by this frame's relaxations: node -> value before.
-    old_pot: Dict[str, int] = field(default_factory=dict)
+    #: Allocated lazily — most assertions never violate an edge.
+    old_pot: Optional[Dict[str, int]] = None
 
 
 class IncrementalDifferenceLogic:
@@ -328,7 +347,10 @@ class IncrementalDifferenceLogic:
         return [(frame.lit, frame.constraints) for frame in self._frames]
 
     def assert_lit(
-        self, lit: int, constraints: Sequence[LinearLe]
+        self,
+        lit: int,
+        constraints: Sequence[LinearLe],
+        edges: Optional[Sequence[Optional[List[_Edge]]]] = None,
     ) -> Optional[List[int]]:
         """Assert ``constraints`` under literal ``lit``.
 
@@ -336,15 +358,20 @@ class IncrementalDifferenceLogic:
         conflict: the literals labelling one negative cycle (always
         including ``lit``).  On conflict the frame remains on the trail —
         the caller is expected to retract past it while backjumping.
+
+        ``edges`` optionally supplies the per-constraint edge groups
+        precomputed by :func:`edge_groups` (hot callers memoise them per
+        atom phase); when absent they are derived here.
         """
         frame = _IdlFrame(lit, tuple(constraints), len(self._edges))
         self._frames.append(frame)
         self._asserted_vars.add(abs(lit))
-        for constraint in frame.constraints:
-            edges = _edges_of(constraint, lit)
-            if edges is None:
+        if edges is None:
+            edges = [_edges_of(c, lit) for c in frame.constraints]
+        for group in edges:
+            if group is None:
                 return [lit]
-            for edge in edges:
+            for edge in group:
                 conflict = self._add_edge(edge, frame)
                 if conflict is not None:
                     # Abort the half-finished repair: the potential function
@@ -352,9 +379,10 @@ class IncrementalDifferenceLogic:
                     # conflict analysis materialises lazy explanations (over
                     # exactly such edge prefixes) *before* the backjump
                     # retracts this frame.
-                    for node, value in frame.old_pot.items():
-                        self._pot[node] = value
-                    frame.old_pot = {}
+                    if frame.old_pot:
+                        for node, value in frame.old_pot.items():
+                            self._pot[node] = value
+                        frame.old_pot = None
                     return conflict
         if self._propagate_enabled and self._atoms and frame.old_pot:
             # Only edges that *tightened* the potential function can create
@@ -380,8 +408,9 @@ class IncrementalDifferenceLogic:
                 if popped_in is not edge:  # pragma: no cover - invariant
                     raise SolverError("IDL undo stack out of sync")
             del self._edges[frame.edges_before:]
-            for node, value in frame.old_pot.items():
-                self._pot[node] = value
+            if frame.old_pot:
+                for node, value in frame.old_pot.items():
+                    self._pot[node] = value
             self._asserted_vars.discard(abs(frame.lit))
         if self._pending or self._prop_basis:
             # Propagations emitted above the surviving edge prefix are gone.
@@ -646,8 +675,11 @@ class IncrementalDifferenceLogic:
     # -- internals --------------------------------------------------------------
 
     def _set_pot(self, node: str, value: int, frame: _IdlFrame) -> None:
-        if node not in frame.old_pot:
-            frame.old_pot[node] = self._pot[node]
+        old_pot = frame.old_pot
+        if old_pot is None:
+            old_pot = frame.old_pot = {}
+        if node not in old_pot:
+            old_pot[node] = self._pot[node]
         self._pot[node] = value
 
     def _add_edge(self, edge: _Edge, frame: _IdlFrame) -> Optional[List[int]]:

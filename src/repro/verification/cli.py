@@ -220,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(entailed bounds fall back to conflict round trips)",
     )
     parser.add_argument(
+        "--dimacs",
+        default=None,
+        metavar="FILE",
+        help="solve a DIMACS CNF file with the flat-memory SAT core instead "
+        "of a workload; prints 's SATISFIABLE/UNSATISFIABLE' and a 'v' model "
+        "line, exit code 10/20 (SAT convention)",
+    )
+    parser.add_argument(
         "--property",
         default=None,
         choices=[None, "a-is-y", "a-is-x"],
@@ -508,11 +516,53 @@ def _run_remote(args: argparse.Namespace, mode: str) -> int:
     return 1 if any(r.verdict is Verdict.VIOLATION for r in results) else 0
 
 
+def _run_dimacs(args: argparse.Namespace) -> int:
+    """``--dimacs FILE`` — solve a CNF instance with the SAT core directly."""
+    import time
+
+    from repro.smt.dimacs import load_dimacs
+    from repro.smt.sat import SatResult
+
+    problem = load_dimacs(args.dimacs)
+    solver_kwargs: Dict[str, object] = {}
+    if args.no_reduce_db:
+        solver_kwargs["reduce_db"] = False
+    solver = problem.solver(**solver_kwargs)
+    deadline = time.monotonic() + args.timeout if args.timeout else None
+    verdict = solver.solve(deadline=deadline)
+    print(f"c {args.dimacs}: {problem.num_vars} vars, {len(problem.clauses)} clauses")
+    if verdict is SatResult.SAT:
+        print("s SATISFIABLE")
+        model = solver.model()
+        lits = [
+            str(var if model.get(var, False) else -var)
+            for var in range(1, problem.num_vars + 1)
+        ]
+        print(f"v {' '.join(lits)} 0")
+    elif verdict is SatResult.UNSAT:
+        print("s UNSATISFIABLE")
+    else:
+        print("s UNKNOWN")
+    if args.stats:
+        print("c solver statistics:")
+        for key, value in sorted(solver.stats.as_dict().items()):
+            print(f"c   {key} = {value}")
+    if verdict is SatResult.SAT:
+        return 10
+    return 20 if verdict is SatResult.UNSAT else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_workloads:
         print(_list_workloads())
         return 0
+    if args.dimacs is not None:
+        try:
+            return _run_dimacs(args)
+        except SolverError as exc:
+            print(f"dimacs error: {exc}", file=sys.stderr)
+            return 2
     mode = "deadlock" if args.check_deadlock else "safety"
     try:
         if args.command == "serve":

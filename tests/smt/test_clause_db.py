@@ -49,11 +49,32 @@ def _brute_force_sat(num_vars, clauses):
 
 
 def _watch_occurrences(solver):
+    """Watch-list occurrence count per cref (binary inline entries included)."""
     counts = {}
-    for watchers in solver._watches.values():
-        for clause in watchers:
-            counts[id(clause)] = counts.get(id(clause), 0) + 1
+    for var in range(1, solver.num_vars + 1):
+        for lit in (var, -var):
+            for ref, _blocker in solver.watch_entries(lit):
+                cref = -ref if ref < 0 else ref
+                counts[cref] = counts.get(cref, 0) + 1
     return counts
+
+
+def _lits_multiset(solver, refs):
+    """Clause literal tuples (order preserved by compaction) as a multiset."""
+    counts = {}
+    for ref in refs:
+        key = tuple(solver.clause_lits(ref))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _locked_refs(solver):
+    """Crefs pinned by being the reason of a trail literal."""
+    return {
+        solver.reason_ref(abs(lit))
+        for lit in solver._trail
+        if solver.reason_ref(abs(lit)) > 0
+    }
 
 
 class TestReductionInvariants:
@@ -69,55 +90,73 @@ class TestReductionInvariants:
 
     def test_binary_and_glue_clauses_survive(self):
         solver = self._solved_solver()
-        protected = {
-            id(c)
-            for c in solver._learned
-            if len(c.lits) <= 2 or c.lbd <= 3
-        }
-        assert solver._learned, "workload produced no learned clauses"
+        learned = solver.learned_refs()
+        assert learned, "workload produced no learned clauses"
+        protected = [
+            ref
+            for ref in learned
+            if solver.clause_info(ref)["size"] <= 2
+            or solver.clause_info(ref)["lbd"] <= 3
+        ]
+        protected_lits = _lits_multiset(solver, protected)
         solver.reduce_db()
-        survivors = {id(c) for c in solver._learned}
-        assert protected <= survivors
+        survivors = _lits_multiset(solver, solver.learned_refs())
+        for key, count in protected_lits.items():
+            assert survivors.get(key, 0) >= count, key
 
     def test_reason_locked_clauses_survive(self):
         solver = self._solved_solver()
-        locked = {
-            id(solver._reason[abs(lit)])
-            for lit in solver._trail
-            if solver._reason[abs(lit)] is not None
-        }
-        learned_locked = locked & {id(c) for c in solver._learned}
+        learned_locked = _locked_refs(solver) & set(solver.learned_refs())
+        locked_lits = _lits_multiset(solver, learned_locked)
         solver.reduce_db()
-        assert learned_locked <= {id(c) for c in solver._learned}
+        survivors = _lits_multiset(solver, solver.learned_refs())
+        for key, count in locked_lits.items():
+            assert survivors.get(key, 0) >= count, key
+        # Compaction must have remapped the reason crefs along with the
+        # records: every locked reason still dereferences to a live clause.
+        for ref in _locked_refs(solver):
+            info = solver.clause_info(ref)
+            assert info["size"] >= 2
 
     def test_victims_unlinked_and_watch_invariant_kept(self):
         solver = self._solved_solver()
-        before = {id(c) for c in solver._learned}
+        before = len(solver.learned_refs())
         deleted = solver.reduce_db()
-        after = {id(c) for c in solver._learned}
-        assert deleted == len(before) - len(after)
+        after = len(solver.learned_refs())
+        assert deleted == before - after
         counts = _watch_occurrences(solver)
-        victims = before - after
-        assert not (victims & set(counts)), "deleted clause still watched"
-        # Every surviving clause (problem or learned) is watched exactly twice.
-        for clause in solver._clauses + solver._learned:
-            assert counts.get(id(clause), 0) == 2, clause.lits
+        live = set(solver.problem_refs()) | set(solver.learned_refs())
+        # No dangling refs: everything watched is a live clause.
+        assert set(counts) <= live, "deleted clause still watched"
+        # Every live clause (problem or learned) is watched exactly twice.
+        for ref in sorted(live):
+            assert counts.get(ref, 0) == 2, solver.clause_lits(ref)
+        # Blockers name literals of their own clause (the fast path relies
+        # on this: a true blocker proves the clause satisfied).
+        for var in range(1, solver.num_vars + 1):
+            for lit in (var, -var):
+                for ref, blocker in solver.watch_entries(lit):
+                    cref = -ref if ref < 0 else ref
+                    assert blocker in solver.clause_lits(cref)
 
     def test_reduction_halves_the_deletable_population(self):
         solver = self._solved_solver()
+        locked = _locked_refs(solver)
         deletable = [
-            c
-            for c in solver._learned
-            if len(c.lits) > 2 and c.lbd > 3 and not c.pinned
+            ref
+            for ref in solver.learned_refs()
+            if solver.clause_info(ref)["size"] > 2
+            and solver.clause_info(ref)["lbd"] > 3
+            and not solver.clause_info(ref)["pinned"]
+            and ref not in locked
         ]
-        locked = set()
-        for lit in solver._trail:
-            locked.add(id(solver._reason[abs(lit)]))
-        deletable = [c for c in deletable if id(c) not in locked]
         deleted = solver.reduce_db()
         assert deleted == len(deletable) // 2
         assert solver.stats.clauses_deleted == deleted
         assert solver.stats.reduce_db_rounds == (1 if deleted else 0)
+        if deleted:
+            assert solver.stats.compactions >= 1
+            assert solver.arena_words >= solver.arena_live_words()
 
     def test_solver_still_correct_after_manual_reduction(self):
         rng = random.Random(13)
@@ -168,10 +207,19 @@ class TestReductionInvariants:
         rng = random.Random(3)
         solver.add_clauses(_random_clauses(rng, 12, 30))
         solver.solve()
-        if solver._learned:
-            pinned = [c for c in solver._learned if c.pinned]
+        if solver.learned_refs():
+            pinned = _lits_multiset(
+                solver,
+                [
+                    ref
+                    for ref in solver.learned_refs()
+                    if solver.clause_info(ref)["pinned"]
+                ],
+            )
             solver.reduce_db()
-            assert all(c in solver._learned for c in pinned)
+            survivors = _lits_multiset(solver, solver.learned_refs())
+            for key, count in pinned.items():
+                assert survivors.get(key, 0) >= count, key
 
 
 class TestReductionDifferential:

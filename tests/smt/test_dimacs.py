@@ -1,0 +1,106 @@
+"""DIMACS CNF import (``repro.smt.dimacs``) and its CLI lane."""
+
+import os
+
+import pytest
+
+from repro.smt.dimacs import load_dimacs, parse_dimacs
+from repro.smt.sat import SatResult
+from repro.utils.errors import SolverError
+from repro.verification.cli import main
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+
+
+class TestParser:
+    def test_parses_fixture_with_dialect_corners(self):
+        problem = load_dimacs(os.path.join(DATA, "simple_sat.cnf"))
+        assert problem.num_vars == 5
+        assert problem.clauses == [
+            [1, -2],
+            [2, 3],
+            [-3, 4],
+            [-1, -4, 5],
+            [-5, 2],
+            [4, 5],
+        ]
+
+    def test_comments_and_blank_lines_ignored(self):
+        problem = parse_dimacs("c hello\n\np cnf 2 1\nc mid\n1 2 0\n")
+        assert problem.num_vars == 2
+        assert problem.clauses == [[1, 2]]
+
+    def test_final_clause_without_terminator_tolerated(self):
+        problem = parse_dimacs("p cnf 3 2\n1 2 0\n-3 1\n")
+        assert problem.clauses == [[1, 2], [-3, 1]]
+
+    def test_missing_problem_line_rejected(self):
+        with pytest.raises(SolverError, match="problem line"):
+            parse_dimacs("1 2 0\n")
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(SolverError, match="problem line"):
+            parse_dimacs("p sat 3 2\n1 2 0\n")
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(SolverError, match="exceeds"):
+            parse_dimacs("p cnf 2 1\n1 3 0\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(SolverError, match="declares 2 clauses"):
+            parse_dimacs("p cnf 2 2\n1 2 0\n")
+
+    def test_missing_file_reports_path(self):
+        with pytest.raises(SolverError, match="no/such/file.cnf"):
+            load_dimacs("no/such/file.cnf")
+
+
+class TestSolving:
+    def test_sat_fixture_solves_and_models(self):
+        problem = load_dimacs(os.path.join(DATA, "simple_sat.cnf"))
+        solver = problem.solver()
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        for clause in problem.clauses:
+            assert any(model.get(abs(l), False) == (l > 0) for l in clause)
+
+    def test_pigeonhole_fixture_is_unsat(self):
+        problem = load_dimacs(os.path.join(DATA, "php_3_2.cnf"))
+        assert problem.solver().solve() is SatResult.UNSAT
+
+    def test_solver_kwargs_forwarded(self):
+        problem = load_dimacs(os.path.join(DATA, "php_3_2.cnf"))
+        solver = problem.solver(reduce_db=True, reduce_base=1)
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.stats.conflicts > 0
+
+
+class TestCliLane:
+    def test_sat_exit_code_and_model_line(self, capsys):
+        code = main(["--dimacs", os.path.join(DATA, "simple_sat.cnf")])
+        out = capsys.readouterr().out
+        assert code == 10
+        assert "s SATISFIABLE" in out
+        model_line = next(l for l in out.splitlines() if l.startswith("v "))
+        lits = [int(tok) for tok in model_line[2:].split()]
+        assert lits[-1] == 0
+        assignment = {abs(l): l > 0 for l in lits[:-1]}
+        problem = load_dimacs(os.path.join(DATA, "simple_sat.cnf"))
+        for clause in problem.clauses:
+            assert any(assignment[abs(l)] == (l > 0) for l in clause)
+
+    def test_unsat_exit_code(self, capsys):
+        code = main(["--dimacs", os.path.join(DATA, "php_3_2.cnf")])
+        assert code == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_stats_flag_prints_counters(self, capsys):
+        code = main(["--dimacs", os.path.join(DATA, "php_3_2.cnf"), "--stats"])
+        assert code == 20
+        out = capsys.readouterr().out
+        assert "c   conflicts" in out
+
+    def test_missing_file_is_a_clean_error(self, capsys):
+        code = main(["--dimacs", "no/such/file.cnf"])
+        assert code == 2
+        assert "dimacs error" in capsys.readouterr().err

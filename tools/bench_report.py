@@ -95,6 +95,72 @@ def _ordering_terms(num_clocks, window_slots):
     return terms
 
 
+def _random_3sat(seed, num_vars, ratio=4.26):
+    import random
+
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(int(num_vars * ratio)):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return clauses
+
+
+def sat_core_probe(num_vars=140, instances=6):
+    """Propagation-bound probe: hard random 3-SAT straight into the SAT core.
+
+    Reports propagations/sec (the flat core's headline number), whether
+    the native kernel is active, and the arena occupancy after the run —
+    live words over total words, showing how much garbage the compaction
+    policy tolerates.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.smt.sat import SatResult, SatSolver
+
+    propagations = 0
+    conflicts = 0
+    compactions = 0
+    arena_words = 0
+    arena_live = 0
+    kernel_active = False
+    verdicts = {"sat": 0, "unsat": 0}
+    start = time.perf_counter()
+    for seed in range(instances):
+        solver = SatSolver(reduce_db=True)
+        solver.ensure_vars(num_vars)
+        solver.add_clauses(_random_3sat(seed, num_vars))
+        verdict = solver.solve()
+        verdicts["sat" if verdict is SatResult.SAT else "unsat"] += 1
+        propagations += solver.stats.propagations
+        conflicts += solver.stats.conflicts
+        compactions += solver.stats.compactions
+        arena_words += solver.arena_words
+        arena_live += solver.arena_live_words()
+        kernel_active = solver.kernel_active
+    seconds = time.perf_counter() - start
+    probe = {
+        "seconds": round(seconds, 3),
+        "instances": instances,
+        "num_vars": num_vars,
+        "verdicts": verdicts,
+        "kernel_active": kernel_active,
+        "propagations": propagations,
+        "conflicts": conflicts,
+        "propagations_per_sec": round(propagations / seconds) if seconds else 0,
+        "compactions": compactions,
+        "arena_words": arena_words,
+        "arena_live_words": arena_live,
+        "arena_occupancy": round(arena_live / arena_words, 3) if arena_words else 1.0,
+    }
+    print(
+        f"  probe sat_core_3sat: {seconds:.2f}s, "
+        f"{probe['propagations_per_sec']:,} props/s "
+        f"(kernel={'on' if kernel_active else 'off'}, "
+        f"occupancy={probe['arena_occupancy']})"
+    )
+    return {"sat_core_3sat": probe}
+
+
 def solver_probes():
     """Fixed solver workloads reported with their full statistics."""
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
@@ -199,6 +265,43 @@ def service_probes():
     return {"service_stream_32": probe}
 
 
+def compare_with_baseline(report, baseline_path, threshold):
+    """Wall-time regression gate against a previous ``BENCH_solver.json``.
+
+    Compares the ``seconds`` of every benchmark module and solver probe
+    present in both snapshots.  An entry regresses when it is more than
+    ``threshold`` times slower *and* at least 0.1s slower in absolute
+    terms (sub-100ms probes are noise-bound).  Returns the list of
+    regressed entry names.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    regressions = []
+    print(f"baseline comparison (threshold {threshold:.2f}x):")
+    for section in ("benchmarks", "solver_probes"):
+        old_entries = baseline.get(section, {})
+        new_entries = report.get(section, {})
+        for name in sorted(set(old_entries) & set(new_entries)):
+            old_s = old_entries[name].get("seconds")
+            new_s = new_entries[name].get("seconds")
+            if not old_s or new_s is None:
+                continue
+            ratio = new_s / old_s
+            regressed = ratio > threshold and new_s - old_s > 0.1
+            marker = " REGRESSION" if regressed else ""
+            print(
+                f"  {section}/{name}: {old_s:.2f}s -> {new_s:.2f}s "
+                f"({ratio:.2f}x){marker}"
+            )
+            if regressed:
+                regressions.append(f"{section}/{name}")
+    if regressions:
+        print(f"REGRESSED: {', '.join(regressions)}")
+    else:
+        print("  no regressions")
+    return regressions
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_solver.json")
@@ -218,6 +321,20 @@ def main(argv=None):
         action="store_true",
         help="skip pytest benchmark modules entirely",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="previous BENCH_solver.json to compare against; exits 1 when "
+        "any shared module or probe regresses past the threshold",
+    )
+    parser.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=1.3,
+        metavar="RATIO",
+        help="wall-time ratio above which a baseline comparison fails",
+    )
     args = parser.parse_args(argv)
 
     report = {
@@ -229,6 +346,7 @@ def main(argv=None):
     }
     print("solver probes:")
     report["solver_probes"] = solver_probes()
+    report["solver_probes"].update(sat_core_probe())
     if not args.probes_only:
         modules = QUICK_BENCHMARKS if args.quick else FULL_BENCHMARKS
         print("benchmark modules:")
@@ -256,7 +374,17 @@ def main(argv=None):
         for module, entry in report["benchmarks"].items()
         if entry["exit_status"] != 0
     ]
-    return 1 if failed else 0
+    regressions = []
+    if args.baseline is not None:
+        if os.path.exists(args.baseline):
+            regressions = compare_with_baseline(
+                report, args.baseline, args.regression_threshold
+            )
+        else:
+            # First run of the gate (or the artifact expired): nothing to
+            # compare against is not a failure.
+            print(f"baseline {args.baseline} not found; skipping comparison")
+    return 1 if failed or regressions else 0
 
 
 if __name__ == "__main__":
