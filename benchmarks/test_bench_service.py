@@ -21,6 +21,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro import faults
 from repro.service import protocol
 from repro.service.server import VerificationService
 
@@ -65,6 +66,9 @@ def _push_stream(service, queries, client_threads=8):
 
 @pytest.mark.benchmark(group="service")
 def test_warm_pool_beats_cold_stream(benchmark, table_printer):
+    # The perf gates below are only meaningful injection-free: the fault
+    # harness's hot-path cost must be exactly one module-global read.
+    assert faults.ACTIVE is None, "fault plan leaked into the benchmark run"
     queries = _stream()
     assert len(queries) == 64
     service = VerificationService(jobs=4)

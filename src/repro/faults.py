@@ -1,0 +1,357 @@
+"""Deterministic fault injection for end-to-end resilience testing.
+
+The service stack is built from pure, idempotent verification queries, so
+every infrastructure failure — a crashed worker, a killed solver process, a
+torn cache write, a garbled protocol frame — is safely retryable.  This
+module makes those failures *first-class and injectable* so the retry,
+respawn and degradation machinery can be exercised deterministically:
+
+* A :class:`FaultPlan` is a seeded list of :class:`FaultRule`\\ s, each
+  naming an **injection site** (``pool.worker.request``,
+  ``protocol.decode``, ``cache.write.index``, ``pipe.check``,
+  ``kernel.propagate``, ...), a **fault kind** and a firing schedule.
+* Call sites consult the plan through :func:`draw` / :func:`fire`.  The
+  hot-path contract is *zero overhead when disabled*: every hook guards on
+  the module global ``faults.ACTIVE is not None`` (one attribute read)
+  before doing anything else.
+* Plans propagate to forked workers automatically (module state survives
+  ``fork``) and to daemon subprocesses through the ``REPRO_FAULT_PLAN``
+  environment variable, parsed once at import time.
+
+Fault kinds:
+
+``crash``
+    Raise an exception at the site (the call site picks the class so the
+    injected failure is indistinguishable from the natural one).
+``exit``
+    Hard process death (``os._exit``) — simulates a segfaulting worker.
+    Sites inside long-lived worker processes treat ``crash`` the same way.
+``hang``
+    Sleep ``delay`` seconds (default 30) — long enough to blow a deadline
+    and trigger the hard-kill path.
+``slow``
+    Sleep ``delay`` seconds (default 0.05) — latency without failure.
+``garble``
+    Deterministically corrupt the bytes passing through the site (frame
+    terminators are preserved, so corruption is *detectable*, never a
+    silent hang or a silently wrong verdict).
+
+Plan syntax (compact form, also accepted as JSON)::
+
+    REPRO_FAULT_PLAN='seed=7;pool.worker.request:exit:after=2,max=2;protocol.decode:garble:p=0.25'
+
+Each rule is ``site:kind[:key=value,...]`` with options ``p`` (firing
+probability per eligible hit), ``after`` (skip the first N hits), ``max``
+(total fires, 0 = unlimited), ``delay`` (seconds, hang/slow) and ``match``
+(substring the call site's context tag must contain, e.g. a workload
+name — this is what makes a *specific* query a poison query).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from random import Random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.utils.errors import ReproError
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "EXIT_CODE",
+    "FaultInjected",
+    "FaultRule",
+    "FaultPlan",
+    "ACTIVE",
+    "install",
+    "install_from_env",
+    "clear",
+    "draw",
+    "fire",
+    "garble",
+]
+
+#: Environment variable carrying an encoded plan to subprocesses.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit status used by ``exit`` faults, distinct enough to spot in logs.
+EXIT_CODE = 29
+
+FAULT_KINDS = ("crash", "exit", "hang", "garble", "slow")
+
+_HANG_DELAY = 30.0
+_SLOW_DELAY = 0.05
+
+
+class FaultInjected(ReproError):
+    """Default exception for ``crash`` faults (call sites usually override)."""
+
+
+@dataclass
+class FaultRule:
+    """One injection: where, what, and on which hits it fires."""
+
+    site: str
+    kind: str
+    p: float = 1.0
+    after: int = 0
+    max_fires: int = 1  # 0 means unlimited
+    delay: Optional[float] = None
+    match: Optional[str] = None
+    hits: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}"
+            )
+        if not self.site:
+            raise ReproError("fault rule needs a site pattern")
+
+    @property
+    def sleep_s(self) -> float:
+        if self.delay is not None:
+            return self.delay
+        return _HANG_DELAY if self.kind == "hang" else _SLOW_DELAY
+
+    def encode(self) -> str:
+        opts = []
+        if self.p != 1.0:
+            opts.append(f"p={self.p}")
+        if self.after:
+            opts.append(f"after={self.after}")
+        if self.max_fires != 1:
+            opts.append(f"max={self.max_fires}")
+        if self.delay is not None:
+            opts.append(f"delay={self.delay}")
+        if self.match is not None:
+            opts.append(f"match={self.match}")
+        text = f"{self.site}:{self.kind}"
+        return text + (":" + ",".join(opts) if opts else "")
+
+
+def _parse_rule(text: str) -> FaultRule:
+    parts = text.split(":", 2)
+    if len(parts) < 2:
+        raise ReproError(
+            f"bad fault rule {text!r}; expected site:kind[:key=value,...]"
+        )
+    site, kind = parts[0].strip(), parts[1].strip()
+    kwargs: Dict[str, object] = {}
+    if len(parts) == 3 and parts[2].strip():
+        for option in parts[2].split(","):
+            key, sep, value = option.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ReproError(f"bad fault rule option {option!r} in {text!r}")
+            if key == "p":
+                kwargs["p"] = float(value)
+            elif key == "after":
+                kwargs["after"] = int(value)
+            elif key == "max":
+                kwargs["max_fires"] = int(value)
+            elif key == "delay":
+                kwargs["delay"] = float(value)
+            elif key == "match":
+                kwargs["match"] = value
+            else:
+                raise ReproError(f"unknown fault rule option {key!r} in {text!r}")
+    return FaultRule(site=site, kind=kind, **kwargs)
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of fault injections.
+
+    Rules are consulted in order; the first rule that matches the site (and
+    the optional context tag) *and* is due on this hit fires.  Hit and fire
+    counters are per-process: a respawned worker starts from the counters
+    its parent held at fork time, which is exactly what makes "this worker
+    crashes on its Nth request" reproducible across respawns.
+    """
+
+    def __init__(self, rules: Sequence[Union[FaultRule, str]], seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rules: List[FaultRule] = [
+            rule if isinstance(rule, FaultRule) else _parse_rule(rule)
+            for rule in rules
+        ]
+        # One RNG per rule, seeded stably (hash() is salted across
+        # processes; crc32 is not) so p<1 schedules replay identically.
+        self._rngs = [
+            Random(zlib.crc32(f"{self.seed}:{i}:{rule.site}".encode("utf-8")))
+            for i, rule in enumerate(self.rules)
+        ]
+        self.fired: Dict[str, int] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the compact string form (or a JSON object)."""
+        text = text.strip()
+        if not text:
+            return cls([])
+        if text.startswith("{"):
+            payload = json.loads(text)
+            return cls(
+                [FaultRule(**rule) for rule in payload.get("rules", [])],
+                seed=int(payload.get("seed", 0)),
+            )
+        seed = 0
+        rules: List[FaultRule] = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if chunk.startswith("seed="):
+                seed = int(chunk[len("seed="):])
+                continue
+            rules.append(_parse_rule(chunk))
+        return cls(rules, seed=seed)
+
+    def encode(self) -> str:
+        """Round-trippable compact form, suitable for :data:`ENV_VAR`."""
+        chunks = [f"seed={self.seed}"] if self.seed else []
+        chunks.extend(rule.encode() for rule in self.rules)
+        return ";".join(chunks)
+
+    # -- consultation ------------------------------------------------------------
+
+    def draw(self, site: str, tag: Optional[str] = None) -> Optional[FaultRule]:
+        """Count a hit at ``site``; return the rule that fires, if any."""
+        chosen: Optional[FaultRule] = None
+        for index, rule in enumerate(self.rules):
+            if not fnmatchcase(site, rule.site):
+                continue
+            if rule.match is not None and rule.match not in (tag or ""):
+                continue
+            rule.hits += 1
+            if chosen is not None:
+                continue  # keep counting hits on later rules
+            if rule.hits <= rule.after:
+                continue
+            if rule.max_fires and rule.fires >= rule.max_fires:
+                continue
+            if rule.p < 1.0 and self._rngs[index].random() >= rule.p:
+                continue
+            rule.fires += 1
+            key = f"{site}:{rule.kind}"
+            self.fired[key] = self.fired.get(key, 0) + 1
+            chosen = rule
+        return chosen
+
+    def counters(self) -> Dict[str, int]:
+        """``site:kind`` → fire count, for assertions and ``stats`` output."""
+        return dict(self.fired)
+
+    def total_fires(self) -> int:
+        return sum(self.fired.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.encode()!r}, fired={self.total_fires()})"
+
+
+#: The installed plan, or None.  Hot paths guard on this attribute directly
+#: (``if faults.ACTIVE is not None``) so a disabled harness costs one
+#: module-global read per site.
+ACTIVE: Optional[FaultPlan] = None
+
+
+def install(
+    plan: Union[FaultPlan, str, None], export: bool = False
+) -> Optional[FaultPlan]:
+    """Install ``plan`` (a :class:`FaultPlan` or its string form) process-wide.
+
+    ``export=True`` additionally writes the encoded plan to
+    :data:`ENV_VAR` so *subprocesses that re-import the package* (daemon
+    smoke tests, spawned solvers) inherit it; forked workers share module
+    state and need no export.  Returns the installed plan.
+    """
+    global ACTIVE
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    ACTIVE = plan
+    if export:
+        if plan is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = plan.encode()
+    return plan
+
+
+def install_from_env(environ=os.environ) -> Optional[FaultPlan]:
+    """(Re-)install the plan named by :data:`ENV_VAR`, or clear if unset."""
+    text = environ.get(ENV_VAR)
+    return install(FaultPlan.parse(text) if text else None)
+
+
+def clear() -> None:
+    """Remove the installed plan (and the env var, so children run clean)."""
+    install(None, export=True)
+
+
+def draw(site: str, tag: Optional[str] = None) -> Optional[FaultRule]:
+    """The rule firing at ``site`` on this hit, or None.
+
+    For call sites that materialise the fault themselves (kill a
+    subprocess, ``os._exit`` a worker).  Returns immediately when no plan
+    is installed.
+    """
+    plan = ACTIVE
+    if plan is None:
+        return None
+    return plan.draw(site, tag)
+
+
+def garble(data: bytes) -> bytes:
+    """Deterministically corrupt ``data``, preserving a trailing newline.
+
+    The corruption XORs every payload byte, so a JSON frame becomes
+    undecodable junk (detected and rejected) rather than different valid
+    JSON — injected garbling can surface as an error or a retry, never as
+    a silently wrong answer.
+    """
+    if not data:
+        return data
+    terminator = b"\n" if data.endswith(b"\n") else b""
+    payload = data[: len(data) - len(terminator)]
+    return bytes(byte ^ 0xA5 for byte in payload) + terminator
+
+
+def fire(
+    site: str,
+    data: Optional[bytes] = None,
+    crash: type = FaultInjected,
+    tag: Optional[str] = None,
+) -> Optional[bytes]:
+    """Consult the plan at ``site`` and act on the drawn fault, generically.
+
+    ``crash`` (and ``exit`` outside a worker loop) raises ``crash(...)``;
+    ``hang``/``slow`` sleep; ``garble`` corrupts and returns ``data``.
+    Returns ``data`` unchanged when nothing fires.
+    """
+    plan = ACTIVE
+    if plan is None:
+        return data
+    rule = plan.draw(site, tag)
+    if rule is None:
+        return data
+    if rule.kind in ("hang", "slow"):
+        time.sleep(rule.sleep_s)
+        return data
+    if rule.kind == "garble":
+        if data is not None:
+            return garble(data)
+        raise crash(f"injected garble at {site} (no payload to corrupt)")
+    raise crash(f"injected {rule.kind} at {site}")
+
+
+# A daemon launched with REPRO_FAULT_PLAN set (the CI chaos smoke test)
+# activates its plan here, before any worker forks.
+install_from_env()

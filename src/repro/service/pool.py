@@ -31,19 +31,26 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.encoding.encoder import EncoderOptions, MatchPairStrategy
 from repro.program.ast import Program
 from repro.program.interpreter import run_program
 from repro.program.statictrace import static_trace
 from repro.service.protocol import result_to_payload
 from repro.trace.fingerprint import trace_fingerprint
-from repro.utils.errors import ReproError, ServiceError
+from repro.utils.errors import (
+    BackendUnavailableError,
+    ReproError,
+    ServiceError,
+    SolverError,
+)
 from repro.verification.cache import ResultCache, make_cache_key
 from repro.verification.result import Verdict, VerificationResult
 from repro.verification.session import (
@@ -62,6 +69,20 @@ DEFAULT_POOL_SIZE = 32
 #: the hard kill only fires for backends that cannot poll a clock.  The
 #: factor keeps the total response under 2x the requested deadline.
 HARD_KILL_FACTOR = 1.5
+
+#: A spec whose requests killed this many workers is *poison*: further
+#: submissions answer ``UNKNOWN(reason="worker_crash")`` immediately
+#: instead of burning a fresh worker per attempt.  Queries are pure, so a
+#: spec that keeps crashing is deterministic about it.
+POISON_CRASH_LIMIT = 3
+
+#: External backends that degrade to the in-tree engine when their solver
+#: binary is lost mid-flight (see :meth:`_Executor._verify`).
+_DEGRADABLE_BACKENDS = ("smtlib", "smtlib-pipe")
+
+
+class _WorkerDied(ServiceError):
+    """Internal: the worker process died mid-request (already respawned)."""
 
 
 @dataclass(frozen=True)
@@ -156,6 +177,10 @@ class SessionPool:
             self.evictions += 1
         return entry
 
+    def discard(self, key: PoolKey) -> bool:
+        """Drop one warm session (a broken backend must not stay pooled)."""
+        return self._entries.pop(key, None) is not None
+
     def invalidate(self, fingerprint: Optional[str] = None) -> int:
         """Drop warm sessions (all, or those of one trace fingerprint)."""
         if fingerprint is None:
@@ -200,6 +225,9 @@ class _Executor:
     ) -> None:
         self.pool = pool
         self.cache = cache
+        #: Structured degradation events (backend fallbacks, kernel
+        #: faults), surfaced through the ``stats`` op and the stats RPC.
+        self.degradations: List[Dict[str, object]] = []
 
     def _resolve_session(
         self, spec: Dict[str, object]
@@ -245,6 +273,7 @@ class _Executor:
                 stats: Dict[str, object] = {"pool": self.pool.statistics()}
                 if self.cache is not None:
                     stats["cache"] = self.cache.statistics()
+                stats["degradations"] = list(self.degradations)
                 return {"ok": True, "stats": stats}
             if op == "invalidate":
                 dropped = self.pool.invalidate(request.get("fingerprint"))
@@ -267,6 +296,8 @@ class _Executor:
             )
         timeout_s = request.get("timeout_s")
         timeout_s = None if timeout_s is None else float(timeout_s)
+        events_before = len(self.degradations)
+        failures_before = self.cache.store_failures if self.cache is not None else 0
         session, pool_hit, key = self._resolve_session(request)
         cache_key = None
         if self.cache is not None:
@@ -290,15 +321,80 @@ class _Executor:
                     "pool_hit": pool_hit,
                     "fingerprint": key.fingerprint,
                 }
-        result = session.verdict(mode=mode, timeout_s=timeout_s)
+        try:
+            result = session.verdict(mode=mode, timeout_s=timeout_s)
+        except (BackendUnavailableError, SolverError) as exc:
+            result = self._degraded_verdict(request, key, exc, mode, timeout_s)
+        if result.solver_statistics and result.solver_statistics.get("kernel_faults"):
+            self._record_degradation(
+                layer="kernel",
+                from_="native-kernel",
+                to="pure-python",
+                reason="runtime kernel fault during propagation",
+                request=request,
+            )
         if self.cache is not None and cache_key is not None:
             self.cache.store(cache_key, result)
-        return {
+        response = {
             "ok": True,
             "result": result_to_payload(result),
             "pool_hit": pool_hit,
             "fingerprint": key.fingerprint,
         }
+        if len(self.degradations) > events_before:
+            # Ship this request's events with the answer: the pool keeps a
+            # durable parent-side ledger, so a worker that later crashes
+            # does not take its degradation history down with it.
+            response["degradations"] = self.degradations[events_before:]
+        if self.cache is not None and self.cache.store_failures > failures_before:
+            response["store_failures"] = self.cache.store_failures - failures_before
+        return response
+
+    def _record_degradation(
+        self, layer: str, from_: str, to: str, reason: str, request: Dict[str, object]
+    ) -> None:
+        self.degradations.append(
+            {
+                "layer": layer,
+                "from": from_,
+                "to": to,
+                "reason": str(reason)[:200],
+                "workload": request.get("workload"),
+            }
+        )
+
+    def _degraded_verdict(
+        self,
+        request: Dict[str, object],
+        key: PoolKey,
+        exc: Exception,
+        mode: str,
+        timeout_s: Optional[float],
+    ):
+        """Backend ladder: an external solver lost mid-flight falls back to
+        the in-tree ``dpllt`` engine instead of failing the request.
+
+        Verification queries are pure, so re-solving on a different
+        backend yields the same verdict; the fallback is recorded as a
+        structured degradation event and stamped on the result's solver
+        statistics.
+        """
+        if key.backend not in _DEGRADABLE_BACKENDS:
+            raise exc
+        self.pool.discard(key)  # the broken session must not stay warm
+        self._record_degradation(
+            layer="backend",
+            from_=key.backend,
+            to="dpllt",
+            reason=str(exc),
+            request=request,
+        )
+        session, _, _ = self._resolve_session(dict(request, backend="dpllt"))
+        result = session.verdict(mode=mode, timeout_s=timeout_s)
+        result.solver_statistics = dict(
+            result.solver_statistics or {}, degraded_from=key.backend
+        )
+        return result
 
     def _enumerate(self, request: Dict[str, object]) -> Dict[str, object]:
         limit = request.get("limit")
@@ -334,7 +430,21 @@ def _worker_main(conn, pool_size: int, cache_dir: Optional[str]) -> None:
         if message is None:  # explicit shutdown
             return
         request_id, request = message
+        if faults.ACTIVE is not None:
+            rule = faults.draw(
+                "pool.worker.request", tag=str(request.get("workload"))
+            )
+            if rule is not None:
+                if rule.kind in ("crash", "exit"):
+                    os._exit(faults.EXIT_CODE)  # hard death mid-request
+                time.sleep(rule.sleep_s)  # hang/slow: the hard kill decides
         response = executor.execute(request)
+        if faults.ACTIVE is not None:
+            rule = faults.draw(
+                "pool.worker.reply", tag=str(request.get("workload"))
+            )
+            if rule is not None and rule.kind in ("crash", "exit"):
+                os._exit(faults.EXIT_CODE)  # death after solving, before reply
         try:
             conn.send((request_id, response))
         except (BrokenPipeError, OSError):
@@ -350,6 +460,12 @@ class _PooledWorker:
         self._cache_dir = cache_dir
         self.lock = threading.Lock()
         self.kills = 0
+        self.crashes = 0
+        #: Bumped on every respawn.  Respawns happen only under
+        #: :attr:`lock`, and :meth:`_respawn` is generation-guarded, so a
+        #: worker death observed by one caller can never be "fixed" twice
+        #: or surface as a spurious death to the next caller.
+        self.generation = 0
         self._spawn()
 
     def _spawn(self) -> None:
@@ -363,9 +479,22 @@ class _PooledWorker:
         self.process.start()
         child.close()
 
-    def _respawn(self) -> None:
+    def _respawn(self, observed_generation: Optional[int] = None) -> None:
+        """Replace the worker process.  Caller must hold :attr:`lock`.
+
+        ``observed_generation`` makes the call idempotent: a caller that
+        saw generation N die triggers at most one respawn for it — if the
+        worker was already replaced (generation moved on), the fresh
+        process is left alone.
+        """
+        if (
+            observed_generation is not None
+            and observed_generation != self.generation
+        ):
+            return
         self.close(graceful=False)
         self._spawn()
+        self.generation += 1
 
     def solve(
         self, request: Dict[str, object], timeout_s: Optional[float]
@@ -375,13 +504,20 @@ class _PooledWorker:
         Caller must hold :attr:`lock`.  ``timeout_s`` is the *request's*
         deadline; the hard kill budget is ``HARD_KILL_FACTOR`` times that,
         giving the in-solver soft deadline every chance to answer first.
+        Raises :class:`_WorkerDied` if the worker process died mid-request
+        (the worker is respawned before the exception leaves, so the pool
+        never routes to a dead process).
         """
         request_id = id(request)
+        generation = self.generation
         try:
             self.conn.send((request_id, dict(request, timeout_s=timeout_s)))
         except (BrokenPipeError, OSError):
-            self._respawn()
-            raise ServiceError("verification worker died; it has been restarted")
+            self.crashes += 1
+            self._respawn(generation)
+            raise _WorkerDied(
+                "verification worker died; it has been restarted"
+            )
         budget = None if timeout_s is None else max(timeout_s * HARD_KILL_FACTOR, 0.05)
         deadline = None if budget is None else time.monotonic() + budget
         while True:
@@ -393,15 +529,16 @@ class _PooledWorker:
                         continue
                     return response
             except (EOFError, OSError):
-                self._respawn()
-                raise ServiceError(
+                self.crashes += 1
+                self._respawn(generation)
+                raise _WorkerDied(
                     "verification worker died mid-request; it has been restarted"
                 )
             if deadline is not None and time.monotonic() >= deadline:
                 # The solver cannot be interrupted: cancel for real by
                 # killing the process.  Its warm sessions die with it.
                 self.kills += 1
-                self._respawn()
+                self._respawn(generation)
                 return _timeout_response(timeout_s)
 
     def close(self, graceful: bool = True) -> None:
@@ -443,6 +580,15 @@ class WorkerPool:
         self.pool_size = pool_size
         self.cache_dir = cache_dir
         self.timeouts = 0
+        self.worker_crashes = 0
+        self.redispatches = 0
+        self.poisoned = 0
+        #: Durable ledgers fed by deltas shipped back on responses; they
+        #: survive the worker processes that produced them.
+        self.degradation_events: List[Dict[str, object]] = []
+        self.cache_store_failures = 0
+        self._crash_counts: Dict[str, int] = {}
+        self._crash_lock = threading.Lock()
         self._closed = False
         if jobs == 0:
             cache = ResultCache(directory=cache_dir) if cache_dir else None
@@ -459,8 +605,9 @@ class WorkerPool:
                 _PooledWorker(context, pool_size, cache_dir) for _ in range(jobs)
             ]
 
-    def _route(self, request: Dict[str, object]) -> _PooledWorker:
-        """Affinity routing: same workload spec → same worker → warm pool."""
+    @staticmethod
+    def _spec_key(request: Dict[str, object]) -> str:
+        """Stable digest of everything that identifies one workload spec."""
         spec = (
             str(request.get("workload")),
             str(sorted((request.get("params") or {}).items())),
@@ -470,8 +617,59 @@ class WorkerPool:
             str(request.get("match_pairs") or "endpoint"),
             str(bool(request.get("pair_fifo", False))),
         )
-        digest = hashlib.sha256("\x1f".join(spec).encode("utf-8")).hexdigest()
+        return hashlib.sha256("\x1f".join(spec).encode("utf-8")).hexdigest()
+
+    def _route(self, request: Dict[str, object]) -> _PooledWorker:
+        """Affinity routing: same workload spec → same worker → warm pool."""
+        digest = self._spec_key(request)
         return self._workers[int(digest, 16) % len(self._workers)]
+
+    @staticmethod
+    def _crash_response() -> Dict[str, object]:
+        """The honest answer for a poison query: UNKNOWN, never a retry loop."""
+        result = VerificationResult(
+            verdict=Verdict.UNKNOWN, unknown_reason="worker_crash"
+        )
+        return {"ok": True, "result": result_to_payload(result), "pool_hit": False}
+
+    def _dispatch(
+        self,
+        worker: _PooledWorker,
+        request: Dict[str, object],
+        timeout_s: Optional[float],
+    ) -> Dict[str, object]:
+        """Solve on ``worker``, re-dispatching once if it dies mid-request.
+
+        Queries are pure and idempotent, so one re-dispatch to the
+        respawned worker is safe.  A spec that has crashed
+        ``POISON_CRASH_LIMIT`` workers is *poison*: it answers
+        ``UNKNOWN(reason="worker_crash")`` immediately (verify only —
+        stats/invalidate ops never reach this path's poison ledger).
+        """
+        is_verify = request.get("op", "verify") == "verify"
+        spec_key = self._spec_key(request) if is_verify else None
+        if spec_key is not None:
+            with self._crash_lock:
+                crashed = self._crash_counts.get(spec_key, 0)
+            if crashed >= POISON_CRASH_LIMIT:
+                return self._crash_response()
+        with worker.lock:
+            for attempt in (0, 1):
+                try:
+                    return worker.solve(request, timeout_s)
+                except _WorkerDied as exc:
+                    self.worker_crashes += 1
+                    if spec_key is not None:
+                        with self._crash_lock:
+                            crashed = self._crash_counts.get(spec_key, 0) + 1
+                            self._crash_counts[spec_key] = crashed
+                        if crashed >= POISON_CRASH_LIMIT:
+                            self.poisoned += 1
+                            return self._crash_response()
+                    if attempt == 1:
+                        raise  # the _WorkerDied maps to WORKER_CRASH on the wire
+                    self.redispatches += 1
+        raise ServiceError("unreachable")  # pragma: no cover
 
     def submit(
         self, request: Dict[str, object], timeout_s: Optional[float] = None
@@ -488,8 +686,11 @@ class WorkerPool:
                 )
         else:
             worker = self._route(request)
-            with worker.lock:
-                response = worker.solve(request, timeout_s)
+            response = self._dispatch(worker, request, timeout_s)
+        events = response.pop("degradations", None)
+        if events:
+            self.degradation_events.extend(events)
+        self.cache_store_failures += response.pop("store_failures", 0)
         if (
             response.get("ok")
             and (response.get("result") or {}).get("unknown_reason") == "timeout"
@@ -518,6 +719,10 @@ class WorkerPool:
             "jobs": self.jobs,
             "timeouts": self.timeouts,
             "worker_kills": sum(w.kills for w in self._workers),
+            "worker_crashes": self.worker_crashes,
+            "redispatches": self.redispatches,
+            "poisoned": self.poisoned,
+            "degradations": list(self.degradation_events),
             "pool": {
                 "hits": sum(p["hits"] for p in pools),
                 "misses": sum(p["misses"] for p in pools),
@@ -525,6 +730,8 @@ class WorkerPool:
                 "entries": [entry for p in pools for entry in p["entries"]],
             },
         }
+        if faults.ACTIVE is not None:
+            aggregate["faults"] = faults.ACTIVE.counters()
         caches = [
             r["stats"]["cache"]
             for r in per_worker
@@ -534,6 +741,11 @@ class WorkerPool:
             aggregate["cache"] = {
                 key: sum(c[key] for c in caches) for key in caches[0]
             }
+            # The per-worker counter dies with a crashed worker; the
+            # parent ledger has seen every failure a response reported.
+            aggregate["cache"]["store_failures"] = max(
+                aggregate["cache"]["store_failures"], self.cache_store_failures
+            )
         return aggregate
 
     def invalidate(self, fingerprint: Optional[str] = None) -> int:
@@ -544,5 +756,9 @@ class WorkerPool:
     def close(self) -> None:
         self._closed = True
         for worker in self._workers:
-            worker.close()
+            # The per-worker lock serializes shutdown against an in-flight
+            # dispatch (and its respawn): without it, closing mid-kill can
+            # leave a half-respawned process behind.
+            with worker.lock:
+                worker.close()
         self._workers = []

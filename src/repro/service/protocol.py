@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.encoding.witness import Witness
 from repro.utils.errors import ServiceProtocolError
 from repro.verification.result import Verdict, VerificationResult
@@ -30,6 +31,7 @@ __all__ = [
     "METHOD_NOT_FOUND",
     "INVALID_PARAMS",
     "INTERNAL_ERROR",
+    "WORKER_CRASH",
     "encode_frame",
     "decode_frame",
     "validate_request",
@@ -51,6 +53,12 @@ METHOD_NOT_FOUND = -32601
 INVALID_PARAMS = -32602
 INTERNAL_ERROR = -32603
 
+#: Implementation-defined code: the request's worker process died twice
+#: (once plus one re-dispatch).  Queries are idempotent, so clients may
+#: safely resend — the pool's poison ledger converts a spec that keeps
+#: crashing into an UNKNOWN answer instead of an endless retry loop.
+WORKER_CRASH = -32001
+
 
 def encode_frame(message: Dict[str, object]) -> bytes:
     """Render one protocol message as a newline-terminated JSON frame."""
@@ -59,11 +67,18 @@ def encode_frame(message: Dict[str, object]) -> bytes:
         raise ServiceProtocolError(
             f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
+    if faults.ACTIVE is not None:
+        data = faults.fire("protocol.encode", data=data, crash=ServiceProtocolError)
     return data
 
 
 def decode_frame(line: bytes) -> Dict[str, object]:
     """Parse one received line into a message dict, validating the envelope."""
+    if faults.ACTIVE is not None:
+        # A garbled frame decodes to junk and is *rejected* below — wire
+        # corruption surfaces as ServiceProtocolError (and a client retry),
+        # never as a different valid message.
+        line = faults.fire("protocol.decode", data=line, crash=ServiceProtocolError)
     if len(line) > MAX_FRAME_BYTES:
         raise ServiceProtocolError(
             f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"

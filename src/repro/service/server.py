@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, TextIO
 
 from repro import __version__
 from repro.service import protocol
-from repro.service.pool import DEFAULT_POOL_SIZE, WorkerPool
+from repro.service.pool import DEFAULT_POOL_SIZE, WorkerPool, _WorkerDied
 from repro.utils.errors import ReproError, ServiceError, ServiceProtocolError
 
 __all__ = ["VerificationService", "serve", "run_server", "run_stdio"]
@@ -94,6 +94,12 @@ class VerificationService:
                 protocol.METHOD_NOT_FOUND,
                 f"unknown method {method!r}; available: {', '.join(SERVICE_METHODS)}",
             )
+        except _WorkerDied as exc:
+            # Dedicated code so clients know a resend is safe: the query
+            # did not fail, its worker did (twice — once plus a
+            # re-dispatch), and the pool has already respawned it.
+            self.errors += 1
+            return protocol.make_error(request_id, protocol.WORKER_CRASH, str(exc))
         except ServiceError as exc:
             self.errors += 1
             return protocol.make_error(request_id, protocol.INVALID_PARAMS, str(exc))

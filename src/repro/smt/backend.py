@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover - ancient pythons only
         return cls
 
 
+from repro import faults
 from repro.smt.dpllt import CheckResult, IncrementalDpllTEngine
 from repro.smt.models import Model
 from repro.smt.sat import DEFAULT_REDUCE_BASE, DEFAULT_THEORY_BUMP
@@ -684,6 +685,16 @@ class SmtLibPipeBackend:
 
     def _check_once(self, assumptions: List[Term]) -> CheckResult:
         self._ensure_session()
+        if faults.ACTIVE is not None:
+            rule = faults.draw("pipe.check")
+            if rule is not None:
+                if rule.kind in ("crash", "exit"):
+                    # Kill the real subprocess so the real recovery path
+                    # (restart + declaration replay + one retry) runs.
+                    self._proc.kill()
+                    self._proc.wait()
+                else:
+                    time.sleep(rule.sleep_s)
         if self._recycle_after and self._checks_since_reset >= self._recycle_after:
             self._soft_reset()
         commands = self._declaration_lines(assumptions)

@@ -80,6 +80,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.smt import satkernel
 from repro.utils.errors import SolverError
 
@@ -141,6 +142,7 @@ class SatStats:
     max_live_learned: int = 0
     compactions: int = 0
     arena_bytes: int = 0
+    kernel_faults: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -158,6 +160,7 @@ class SatStats:
             "max_live_learned": self.max_live_learned,
             "compactions": self.compactions,
             "arena_bytes": self.arena_bytes,
+            "kernel_faults": self.kernel_faults,
         }
 
 
@@ -866,8 +869,43 @@ class SatSolver:
         differs.
         """
         if self._cwt is not None:
-            return self._propagate_c()
+            if (
+                faults.ACTIVE is not None
+                and faults.draw("kernel.propagate") is not None
+            ):
+                # Injected before the C call so both the arena and the C
+                # watch table are pristine when we copy them back out.
+                self._degrade_kernel()
+                return self._propagate_py()
+            try:
+                return self._propagate_c()
+            except OSError:
+                # A genuinely faulting kernel call: fall back for good.
+                self._degrade_kernel()
+                return self._propagate_py()
         return self._propagate_py()
+
+    def _degrade_kernel(self) -> None:
+        """Mid-flight kernel → pure-Python degradation.
+
+        The C watch table is read back into Python lists (the two loops
+        share every other piece of state — the arena and the flat columns
+        are ``array('i')`` on both sides), the kernel handle is dropped,
+        and every future :meth:`_propagate` runs the reference loop.  The
+        search continues exactly where it was; only the wall clock changes.
+        """
+        watches: List[List[int]] = []
+        for index in range(2 * self._num_vars + 2):
+            length = self._kernel.sk_wt_len(self._cwt, index)
+            buf = array("i", bytes(4 * length))
+            if length:
+                self._kernel.sk_wt_copy(self._cwt, index, buf.buffer_info()[0])
+            watches.append(buf.tolist())
+        self._kernel.sk_wt_free(self._cwt)
+        self._cwt = None
+        self._kernel = None
+        self._watches = watches
+        self.stats.kernel_faults += 1
 
     def _propagate_c(self) -> Optional[Tuple[List[int], int]]:
         """Kernel propagation: marshal buffer pointers, run, unmarshal.

@@ -26,6 +26,8 @@ import subprocess
 import tempfile
 from typing import Optional
 
+from repro import faults
+
 __all__ = ["load", "kernel_source", "unavailable_reason"]
 
 _SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_satkernel.c")
@@ -107,6 +109,12 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
 def load() -> Optional[ctypes.CDLL]:
     """The kernel library, building it on first call; None if unavailable."""
     global _loaded, _lib, _reason
+    if faults.ACTIVE is not None and faults.draw("kernel.load") is not None:
+        # An injected load failure behaves exactly like a missing compiler:
+        # this *call* yields no kernel and the caller runs pure Python.
+        # Deliberately before the memoization check so already-loaded
+        # libraries can also be withheld from new solvers.
+        return None
     if _loaded:
         return _lib
     _loaded = True

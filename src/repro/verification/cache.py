@@ -65,6 +65,7 @@ try:  # POSIX advisory locking; the cache degrades to lockless elsewhere.
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro import faults
 from repro.encoding.encoder import EncoderOptions
 from repro.encoding.properties import Property
 from repro.encoding.witness import Witness
@@ -314,6 +315,7 @@ class ResultCache:
         self.stores = 0
         self.evictions = 0
         self.quarantined = 0
+        self.store_failures = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             self._check_store_schema()
@@ -380,6 +382,7 @@ class ResultCache:
             "entries": len(self._entries),
             "evictions": self.evictions,
             "quarantined": self.quarantined,
+            "store_failures": self.store_failures,
         }
 
     def clear(self) -> None:
@@ -420,6 +423,8 @@ class ResultCache:
         path = self._disk_path(key)
         if path is None:
             return
+        if faults.ACTIVE is not None:
+            faults.fire("cache.write.entry", crash=OSError)
         data = json.dumps(entry)
         with self._store_lock():
             handle = tempfile.NamedTemporaryFile(
@@ -434,6 +439,11 @@ class ResultCache:
                     os.unlink(handle.name)
                 except OSError:
                     pass
+                return
+            if faults.ACTIVE is not None and faults.draw("cache.write.index"):
+                # Simulated crash *between* the entry write and the index
+                # update — the exact torn state the scan-rebuild path exists
+                # to recover from.
                 return
             if self._bounded():
                 self._touch_index_locked(key.digest(), size=len(data))
@@ -612,6 +622,11 @@ class ResultCache:
             ),
         }
         self._remember(key, entry)
-        self._write_to_disk(key, entry)
+        try:
+            self._write_to_disk(key, entry)
+        except OSError:
+            # The disk layer is best effort: a failed persist must never
+            # fail the verification request that produced the result.
+            self.store_failures += 1
         self.stores += 1
         return True

@@ -510,9 +510,25 @@ def _run_remote(args: argparse.Namespace, mode: str) -> int:
             for key in sorted(source):
                 if isinstance(source[key], (int, float, str, bool)):
                     print(f"  {label}.{key} = {source[key]}")
-        for key in ("requests", "timeouts", "worker_kills", "jobs"):
+        for key in (
+            "requests",
+            "timeouts",
+            "worker_kills",
+            "worker_crashes",
+            "redispatches",
+            "poisoned",
+            "jobs",
+        ):
             if key in stats:
                 print(f"  {key} = {stats[key]}")
+        degradations = stats.get("degradations") or []
+        if degradations:
+            print(f"  degradations = {len(degradations)}")
+            for event in degradations:
+                print(
+                    f"    {event.get('layer')}: {event.get('from')} -> "
+                    f"{event.get('to')} ({event.get('reason')})"
+                )
     return 1 if any(r.verdict is Verdict.VIOLATION for r in results) else 0
 
 
@@ -572,6 +588,12 @@ def main(argv: Optional[list] = None) -> int:
         if args.server is not None:
             return _run_remote(args, mode)
     except ServiceError as exc:
+        if getattr(exc, "unavailable", False):
+            # Connection never established: one actionable line, and the
+            # conventional EX_UNAVAILABLE status so wrappers can tell
+            # "daemon not running" from a query that failed.
+            print(f"error: {exc}", file=sys.stderr)
+            return 69
         print(f"service error: {exc}", file=sys.stderr)
         return 2
     program = WORKLOADS[args.workload].build(args)

@@ -50,9 +50,13 @@ import multiprocessing
 import os
 import queue
 import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.encoding.encoder import EncoderOptions
 from repro.encoding.properties import Property
 from repro.program.ast import Program
@@ -222,6 +226,19 @@ def _race_portfolio(task: _SolveTask) -> VerificationResult:
 
 def _solve_task(task: _SolveTask) -> Tuple[int, VerificationResult]:
     """Worker entry point: solve one distinct question, return its result."""
+    if faults.ACTIVE is not None:
+        rule = faults.draw("parallel.task", tag=str(task.position))
+        if rule is not None:
+            if rule.kind in ("crash", "exit"):
+                if multiprocessing.current_process().name == "MainProcess":
+                    # Inline/serial execution: a hard exit would take the
+                    # caller down, so the crash surfaces as an exception
+                    # the serial lane converts to UNKNOWN(worker_crash).
+                    raise faults.FaultInjected(
+                        "injected worker crash at parallel.task"
+                    )
+                os._exit(faults.EXIT_CODE)
+            time.sleep(rule.sleep_s)
     if task.portfolio:
         return task.position, _race_portfolio(task)
     session = _session_for(task, task.specs[0])
@@ -337,6 +354,17 @@ class ParallelVerifier:
         if cache is None and cache_dir is not None:
             cache = ResultCache(directory=cache_dir)
         self.cache = cache
+        #: Cumulative crash-recovery counters across this verifier's
+        #: batches: ``worker_crashes`` (waves that lost a worker),
+        #: ``retried_tasks`` (tasks re-sharded into isolation),
+        #: ``crash_unknowns`` (tasks answered UNKNOWN after crashing
+        #: twice) and ``degraded_serial`` (pools that could not start).
+        self.resilience: Dict[str, int] = {
+            "worker_crashes": 0,
+            "retried_tasks": 0,
+            "crash_unknowns": 0,
+            "degraded_serial": 0,
+        }
 
     # ------------------------------------------------------------------ keys
 
@@ -440,14 +468,86 @@ class ParallelVerifier:
         if not tasks:
             return {}
         if self.jobs == 1 or len(tasks) == 1:
-            return dict(_solve_task(task) for task in tasks)
+            return dict(self._solve_inline(task) for task in tasks)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
         workers = min(self.jobs, len(tasks))
-        with context.Pool(processes=workers) as pool:
-            return dict(pool.map(_solve_task, tasks, chunksize=1))
+        solved: Dict[int, VerificationResult] = {}
+        crashed = self._run_wave(tasks, workers, context, solved)
+        if crashed:
+            # A hard-dead worker fails *every* unfinished future in the
+            # wave (BrokenProcessPool cannot say which task killed it), so
+            # the affected tasks are re-sharded one at a time into
+            # isolated single-worker pools: the innocent majority
+            # completes, and only a genuinely poisonous task crashes
+            # again — answered with an honest UNKNOWN, never retried
+            # further and never a wrong verdict.
+            self.resilience["worker_crashes"] += 1
+            for task in crashed:
+                self.resilience["retried_tasks"] += 1
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=1, mp_context=context
+                    ) as isolated:
+                        position, result = isolated.submit(
+                            _solve_task, task
+                        ).result()
+                    solved[position] = result
+                except (BrokenProcessPool, OSError):
+                    self.resilience["crash_unknowns"] += 1
+                    solved[task.position] = VerificationResult(
+                        verdict=Verdict.UNKNOWN,
+                        unknown_reason="worker_crash",
+                        trace=task.trace,
+                    )
+        return solved
+
+    def _run_wave(
+        self,
+        tasks: List[_SolveTask],
+        workers: int,
+        context,
+        solved: Dict[int, VerificationResult],
+    ) -> List[_SolveTask]:
+        """One shared-pool pass over ``tasks``; returns the crashed ones.
+
+        If the pool cannot even start (fork failure, resource limits) the
+        whole batch degrades to serial in-process execution instead.
+        """
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        except OSError:  # pragma: no cover - resource exhaustion
+            self.resilience["degraded_serial"] += 1
+            for task in tasks:
+                position, result = self._solve_inline(task)
+                solved[position] = result
+            return []
+        crashed: List[_SolveTask] = []
+        try:
+            futures = [(executor.submit(_solve_task, task), task) for task in tasks]
+            for future, task in futures:
+                try:
+                    position, result = future.result()
+                    solved[position] = result
+                except (BrokenProcessPool, OSError):
+                    crashed.append(task)
+        finally:
+            executor.shutdown(wait=True)
+        return crashed
+
+    def _solve_inline(self, task: _SolveTask) -> Tuple[int, VerificationResult]:
+        """Solve in this process; injected crashes become honest UNKNOWNs."""
+        try:
+            return _solve_task(task)
+        except faults.FaultInjected:
+            self.resilience["crash_unknowns"] += 1
+            return task.position, VerificationResult(
+                verdict=Verdict.UNKNOWN,
+                unknown_reason="worker_crash",
+                trace=task.trace,
+            )
 
 
 def verify_many_parallel(

@@ -1,0 +1,55 @@
+"""Shared fixtures for the seeded chaos suite.
+
+Every test in this package may install a process-wide
+:class:`repro.faults.FaultPlan`; the autouse fixture guarantees no plan
+(and no ``REPRO_FAULT_PLAN`` variable) leaks into the next test — or into
+the rest of the test run, whose hot paths must stay injection-free.
+"""
+
+import stat
+import sys
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def pipe_stub(tmp_path):
+    """An executable stub speaking interactive SMT-LIB (echo/check/model).
+
+    Mirrors the pipe-backend test stub: answers every ``(check-sat)``
+    with ``sat`` and serves a fixed model, which is enough to exercise
+    the restart-and-replay machinery when fault injection kills it.
+    """
+
+    def build(name="chaos-pipe-solver", verdicts="sat"):
+        script = tmp_path / name
+        script.write_text(
+            f"#!{sys.executable}\n"
+            "import sys\n"
+            f"verdicts = {verdicts!r}.split(',')\n"
+            "checks = 0\n"
+            "for line in sys.stdin:\n"
+            "    line = line.strip()\n"
+            "    if line.startswith('(echo'):\n"
+            "        print(line.split('\"')[1]); sys.stdout.flush()\n"
+            "    elif line == '(check-sat)':\n"
+            "        print(verdicts[min(checks, len(verdicts) - 1)])\n"
+            "        sys.stdout.flush()\n"
+            "        checks += 1\n"
+            "    elif line == '(get-model)':\n"
+            "        print('( (define-fun x () Int 4) )'); sys.stdout.flush()\n"
+            "    elif line == '(exit)':\n"
+            "        break\n"
+        )
+        script.chmod(script.stat().st_mode | stat.S_IXUSR)
+        return str(script)
+
+    return build

@@ -1,0 +1,107 @@
+"""Crash-mid-store hardening for the disk result cache.
+
+Two torn states, both injected at the exact boundary they model:
+
+* the entry write itself fails (``cache.write.entry``) — the disk layer
+  is best effort, so ``store`` still succeeds and a later clean store
+  persists normally;
+* the process dies *between* the entry write and the ``_index.json``
+  update (``cache.write.index``) — the scan-rebuild path must adopt the
+  orphaned entry instead of quarantining a perfectly valid file.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.program.interpreter import run_program
+from repro.verification.cache import CacheKey, ResultCache
+from repro.verification.result import Verdict, VerificationResult
+from repro.workloads import pipeline
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_program(pipeline(2), seed=0).trace
+
+
+def _key(tag: str) -> CacheKey:
+    return CacheKey(
+        fingerprint=f"fp-{tag}", properties="p", options="o", backend="dpllt"
+    )
+
+
+def _result(trace) -> VerificationResult:
+    return VerificationResult(verdict=Verdict.SAFE, trace=trace, backend="dpllt")
+
+
+def _entry_files(directory):
+    return sorted(
+        name
+        for name in os.listdir(directory)
+        if name.endswith(".json") and not name.startswith("_")
+    )
+
+
+class TestEntryWriteFailure:
+    def test_failed_persist_never_fails_the_store(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        faults.install("cache.write.entry:crash:max=1")
+        assert cache.store(_key("a"), _result(trace)) is True
+        assert cache.statistics()["store_failures"] == 1
+        assert _entry_files(directory) == []
+        # The memory layer still answers this process...
+        assert cache.lookup(_key("a"), trace) is not None
+        # ...but a fresh process sees a clean miss, not a torn entry.
+        fresh = ResultCache(directory=directory)
+        assert fresh.lookup(_key("a"), trace) is None
+        # With the fault exhausted, re-storing persists for everyone.
+        assert cache.store(_key("a"), _result(trace)) is True
+        assert len(_entry_files(directory)) == 1
+        assert ResultCache(directory=directory).lookup(_key("a"), trace) is not None
+
+
+class TestIndexWriteCrash:
+    def test_scan_rebuild_adopts_the_orphan_entry(self, tmp_path, trace):
+        directory = str(tmp_path / "cache")
+        writer = ResultCache(directory=directory, max_entries=4)
+        writer.store(_key("old"), _result(trace))  # a healthy, indexed entry
+        faults.install("cache.write.index:crash:max=1")
+        writer.store(_key("torn"), _result(trace))
+        # The torn state: both entry files on disk, the index knowing
+        # only about the first.
+        assert len(_entry_files(directory)) == 2
+        with open(os.path.join(directory, "_index.json")) as handle:
+            index = json.load(handle)
+        assert _key("torn").digest() not in index["entries"]
+        assert _key("old").digest() in index["entries"]
+        faults.clear()
+
+        # Recovery: the next instance's directory scan adopts the orphan.
+        reader = ResultCache(directory=directory, max_entries=4)
+        recovered = reader.lookup(_key("torn"), trace)
+        assert recovered is not None
+        assert recovered.verdict is Verdict.SAFE
+        assert recovered.from_cache is True
+        assert reader.lookup(_key("old"), trace) is not None
+        assert reader.statistics()["quarantined"] == 0
+        # The touch on lookup re-indexed the orphan durably.
+        with open(os.path.join(directory, "_index.json")) as handle:
+            index = json.load(handle)
+        assert _key("torn").digest() in index["entries"]
+
+    def test_orphan_counts_toward_eviction_bounds(self, tmp_path, trace):
+        # The rebuilt index must see orphans as first-class entries: when
+        # the store later exceeds max_entries, eviction still converges.
+        directory = str(tmp_path / "cache")
+        writer = ResultCache(directory=directory, max_entries=2)
+        faults.install("cache.write.index:crash:max=1")
+        writer.store(_key("a"), _result(trace))  # orphaned
+        writer.store(_key("b"), _result(trace))
+        writer.store(_key("c"), _result(trace))
+        fresh = ResultCache(directory=directory, max_entries=2)
+        fresh.store(_key("d"), _result(trace))
+        assert len(_entry_files(directory)) <= 2

@@ -1,0 +1,172 @@
+"""The end-to-end chaos invariant (the PR's acceptance gate).
+
+A 64-query mixed stream (8 distinct questions × 8 recording seeds, two of
+them on a piped external solver) runs twice against a live TCP daemon:
+once clean, once under a seeded plan injecting four distinct fault types —
+worker crashes, pipe-solver kills, cache write failures and frame garbling.
+
+Invariant: every chaos answer is the clean run's verdict or an honest
+``UNKNOWN`` — never a wrong verdict, never a hung client, never a dead
+daemon — and the statistics prove each fault type actually fired and was
+recovered from.
+"""
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.service.client import ServiceClient
+from repro.service.server import VerificationService
+from repro.utils.errors import ServiceError
+
+DISTINCT_SPECS = [
+    {"workload": "figure1"},
+    {"workload": "racy_fanin", "params": {"senders": 2}},
+    {"workload": "racy_fanin", "params": {"senders": 3}},
+    {"workload": "racy_fanin", "params": {"senders": 4}},
+    {"workload": "pipeline", "params": {"senders": 6}},
+    {"workload": "scatter_gather", "params": {"senders": 3}},
+    {"workload": "client_server", "params": {"senders": 3}},
+    {"workload": "token_ring", "params": {"senders": 4}},
+]
+SEEDS = range(8)
+
+#: Chaos plan: four fault types at once.  The worker-crash rule matches
+#: only racy_fanin queries so a stats broadcast (tag ``"None"``) never
+#: lands on the injection site; counters are per-process, so every worker
+#: incarnation dies on its third racy_fanin request and the re-dispatch
+#: (a fresh fork, counters at zero) always completes.  The cache rule is
+#: deterministic (first two stores of every incarnation fail) because a
+#: probabilistic rule might never fire inside short-lived incarnations.
+CHAOS_PLAN = (
+    "seed=1117;"
+    "pool.worker.request:exit:match=racy_fanin,after=2,max=2;"
+    "pipe.check:crash:max=0;"
+    "cache.write.entry:crash:max=2;"
+    "protocol.decode:garble:after=3,max=2"
+)
+
+
+def _queries(pipe_solver_available):
+    queries = []
+    for seed in SEEDS:
+        for spec in DISTINCT_SPECS:
+            query = dict(spec, seed=seed)
+            if (
+                pipe_solver_available
+                and seed == 0
+                and spec["workload"] in ("pipeline", "token_ring")
+            ):
+                # Two queries ride the external piped solver; both are
+                # genuinely safe, so the clean stub ("unsat") and the
+                # chaos-time dpllt fallback agree on the verdict.
+                query["backend"] = "smtlib-pipe"
+            queries.append(query)
+    return queries
+
+
+class _Daemon:
+    """A live TCP daemon on an OS-assigned port, on a background thread."""
+
+    def __init__(self, **kwargs):
+        self.service = VerificationService(**kwargs)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        self.port = probe.getsockname()[1]
+        probe.close()
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(
+                self.service.serve_forever("127.0.0.1", self.port)
+            ),
+            daemon=True,
+        )
+        self.thread.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", self.port), 0.2).close()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError("daemon did not come up")
+
+    def stop(self):
+        if self.thread.is_alive():
+            try:
+                with ServiceClient(f"127.0.0.1:{self.port}") as client:
+                    client.shutdown()
+            except ServiceError:
+                pass
+        self.thread.join(timeout=10.0)
+
+
+def _run_stream(daemon, queries):
+    verdicts = []
+    with ServiceClient(f"127.0.0.1:{daemon.port}", backoff_s=0.01) as client:
+        for query in queries:
+            verdicts.append(client.verify(**_to_kwargs(query)).verdict.value)
+        stats = client.stats()
+        retried = client.retried_calls
+    return verdicts, stats, retried
+
+
+def _to_kwargs(query):
+    kwargs = dict(query)
+    kwargs["workload"] = kwargs.pop("workload")
+    return kwargs
+
+
+def test_chaos_batch_matches_clean_run(tmp_path, pipe_stub, monkeypatch):
+    monkeypatch.setenv("REPRO_SMT_SOLVER", pipe_stub(verdicts="unsat"))
+    queries = _queries(pipe_solver_available=True)
+    assert len(queries) == 64
+    assert sum(1 for q in queries if q.get("backend") == "smtlib-pipe") == 2
+
+    # -- clean pass: the ground truth -------------------------------------
+    faults.clear()
+    daemon = _Daemon(jobs=2, cache_dir=str(tmp_path / "clean-cache"))
+    try:
+        clean, clean_stats, _ = _run_stream(daemon, queries)
+    finally:
+        daemon.stop()
+    assert clean_stats["worker_crashes"] == 0
+    assert clean_stats["degradations"] == []
+
+    # -- chaos pass: same stream, seeded fault plan ------------------------
+    # Installed *before* the daemon so forked workers inherit the plan.
+    faults.install(CHAOS_PLAN)
+    daemon = _Daemon(jobs=2, cache_dir=str(tmp_path / "chaos-cache"))
+    try:
+        chaos, stats, retried = _run_stream(daemon, queries)
+
+        # The invariant: correct verdict or honest UNKNOWN, never wrong.
+        assert len(chaos) == len(clean)
+        for clean_verdict, chaos_verdict in zip(clean, chaos):
+            assert chaos_verdict in (clean_verdict, "unknown")
+        # Recovery is the common case: the stream stays conclusive.
+        unknowns = sum(1 for v in chaos if v == "unknown")
+        assert unknowns <= len(chaos) // 4
+
+        # Each of the four fault types demonstrably fired and was survived:
+        assert stats["worker_crashes"] >= 1  # pool.worker.request:exit
+        assert stats["redispatches"] >= 1
+        backend_events = [
+            e for e in stats["degradations"] if e["layer"] == "backend"
+        ]
+        assert backend_events, "pipe.check:crash produced no backend ladder"
+        assert all(e["to"] == "dpllt" for e in backend_events)
+        assert stats["cache"]["store_failures"] >= 1  # cache.write.entry
+        assert retried >= 1  # protocol.decode:garble forced client resends
+        assert stats["faults"].get("protocol.decode:garble", 0) >= 1
+
+        # The daemon survived everything: it still answers, on a fresh
+        # connection, with a correct verdict.
+        with ServiceClient(f"127.0.0.1:{daemon.port}") as client:
+            assert client.verify("figure1").verdict.value == clean[0]
+        assert daemon.thread.is_alive()
+    finally:
+        daemon.stop()

@@ -1,0 +1,226 @@
+"""Client-side resilience: reconnect + backoff retries for idempotent
+methods, and protocol-frame corruption surfacing as errors — never hangs.
+
+The peer here is a scripted fake daemon, not a real service: each test
+declares exactly the byte-level behaviour of every accepted connection
+(truncate a frame, send junk, vanish mid-frame, answer properly), so the
+client's recovery path is exercised deterministically.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import faults
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.utils.errors import ServiceError, ServiceProtocolError
+
+#: A minimal valid verify response payload (payload_to_result only needs
+#: the verdict; everything else defaults).
+_OK_RESULT = {"result": {"verdict": "safe"}}
+
+
+def _respond_ok(conn, line):
+    request = json.loads(line)
+    frame = json.dumps(
+        {"jsonrpc": "2.0", "id": request["id"], "result": _OK_RESULT}
+    ).encode("utf-8")
+    conn.sendall(frame + b"\n")
+
+
+def _respond_junk(conn, line):
+    conn.sendall(b"\xa5\xa5 this is not json \xa5\xa5\n")
+
+
+def _respond_truncated(conn, line):
+    conn.sendall(b'{"jsonrpc": "2.0", "id": 1, "resu')  # then close
+
+
+def _respond_oversized(conn, line):
+    conn.sendall(b"x" * (protocol.MAX_FRAME_BYTES + 64) + b"\n")
+
+
+def _respond_nothing(conn, line):
+    pass  # close without answering
+
+
+def _respond_wrong_id(conn, line):
+    conn.sendall(b'{"jsonrpc": "2.0", "id": 99999, "result": {}}\n')
+
+
+def _respond_parse_error(conn, line):
+    request = json.loads(line)
+    frame = json.dumps(
+        protocol.make_error(None, protocol.PARSE_ERROR, "frame is not valid JSON")
+    ).encode("utf-8")
+    conn.sendall(frame + b"\n")
+
+
+class _FakeDaemon:
+    """One scripted behaviour per accepted connection, in order."""
+
+    def __init__(self, behaviors):
+        self.behaviors = list(behaviors)
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while self.behaviors:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            behavior = self.behaviors.pop(0)
+            try:
+                line = conn.makefile("rb").readline()
+                behavior(conn, line)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._sock.close()
+
+    def close(self):
+        self.behaviors = []
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def client(self, **kwargs):
+        kwargs.setdefault("backoff_s", 0.001)
+        return ServiceClient(f"127.0.0.1:{self.port}", timeout=5.0, **kwargs)
+
+
+class TestFrameCorruption:
+    """Satellite: corrupted response frames raise, promptly, with retries=0."""
+
+    @pytest.mark.parametrize(
+        "behavior, expected",
+        [
+            (_respond_junk, ServiceProtocolError),
+            (_respond_truncated, ServiceProtocolError),
+            (_respond_oversized, ServiceProtocolError),
+            (_respond_wrong_id, ServiceProtocolError),
+            (_respond_nothing, ServiceError),
+        ],
+    )
+    def test_corruption_raises_not_hangs(self, behavior, expected):
+        daemon = _FakeDaemon([behavior])
+        try:
+            client = daemon.client(retries=0)
+            with pytest.raises(expected):
+                client.verify("figure1")
+            client.close()
+        finally:
+            daemon.close()
+
+
+class TestRetries:
+    def test_transient_junk_is_retried_to_success(self):
+        daemon = _FakeDaemon([_respond_junk, _respond_ok])
+        try:
+            client = daemon.client(retries=2)
+            result = client.verify("figure1")
+            assert result.verdict.value == "safe"
+            assert client.retried_calls == 1
+            assert client.reconnects == 1
+            assert daemon.connections == 2
+            client.close()
+        finally:
+            daemon.close()
+
+    def test_dropped_connection_is_retried(self):
+        daemon = _FakeDaemon([_respond_nothing, _respond_truncated, _respond_ok])
+        try:
+            client = daemon.client(retries=2)
+            assert client.verify("figure1").verdict.value == "safe"
+            assert client.retried_calls == 2
+        finally:
+            daemon.close()
+
+    def test_parse_error_response_is_retried(self):
+        # A garbled *request* draws PARSE_ERROR from the server; the
+        # client resends instead of failing the (idempotent) query.
+        daemon = _FakeDaemon([_respond_parse_error, _respond_ok])
+        try:
+            client = daemon.client(retries=1)
+            assert client.verify("figure1").verdict.value == "safe"
+            assert client.retried_calls == 1
+        finally:
+            daemon.close()
+
+    def test_retry_budget_is_finite(self):
+        daemon = _FakeDaemon([_respond_junk] * 3)
+        try:
+            client = daemon.client(retries=2)
+            with pytest.raises(ServiceProtocolError):
+                client.verify("figure1")
+            assert client.retried_calls == 2  # budget, not forever
+        finally:
+            daemon.close()
+
+    def test_shutdown_is_never_retried(self):
+        daemon = _FakeDaemon([_respond_nothing, _respond_ok])
+        try:
+            client = daemon.client(retries=5)
+            with pytest.raises(ServiceError):
+                client.shutdown()
+            assert client.retried_calls == 0
+            assert daemon.connections == 1  # the second behaviour never ran
+        finally:
+            daemon.close()
+
+    def test_semantic_errors_are_not_retried(self):
+        def bad_params(conn, line):
+            request = json.loads(line)
+            frame = json.dumps(
+                protocol.make_error(
+                    request["id"], protocol.INVALID_PARAMS, "unknown workload"
+                )
+            ).encode("utf-8")
+            conn.sendall(frame + b"\n")
+
+        daemon = _FakeDaemon([bad_params, _respond_ok])
+        try:
+            client = daemon.client(retries=3)
+            with pytest.raises(ServiceError):
+                client.verify("figure1")
+            assert client.retried_calls == 0
+        finally:
+            daemon.close()
+
+    def test_injected_decode_garble_is_retried(self):
+        # End to end through the injection harness: the first response
+        # frame is garbled at the client's protocol.decode site, rejected,
+        # and the resent query answers cleanly.
+        daemon = _FakeDaemon([_respond_ok, _respond_ok])
+        try:
+            client = daemon.client(retries=1)
+            faults.install("protocol.decode:garble:max=1")
+            assert client.verify("figure1").verdict.value == "safe"
+            assert client.retried_calls == 1
+            assert faults.ACTIVE.counters() == {"protocol.decode:garble": 1}
+        finally:
+            daemon.close()
+
+    def test_unavailable_marker_on_refused_connection(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(f"127.0.0.1:{port}", timeout=1.0)
+        assert getattr(excinfo.value, "unavailable", False)

@@ -1,0 +1,98 @@
+"""Daemon smoke under an inherited fault plan (the CI chaos job's core).
+
+Unlike the in-process harness elsewhere in this suite, the daemon here is
+a *real subprocess* started with ``REPRO_FAULT_PLAN`` in its environment:
+the plan travels through exec + module import, its forked workers crash on
+schedule, and the daemon still answers every query, reports the crashes in
+its stats, and shuts down cleanly on request.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.service.client import ServiceClient
+
+#: Workers exit on their third request; re-dispatch recovers every time.
+SMOKE_PLAN = "pool.worker.request:exit:match=figure1,after=1,max=1"
+
+
+def _free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+@pytest.mark.parametrize("plan", [SMOKE_PLAN])
+def test_daemon_survives_inherited_fault_plan(plan, tmp_path):
+    port = _free_port()
+    env = dict(os.environ)
+    env[faults.ENV_VAR] = plan
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.verification.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "serve",
+            "--port",
+            str(port),
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", port), 0.2).close()
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            raise RuntimeError("daemon subprocess did not come up")
+
+        with ServiceClient(f"127.0.0.1:{port}", backoff_s=0.01) as client:
+            # The batch rides through the injected worker crash: the
+            # second figure1 kills its worker mid-batch, the pool
+            # re-dispatches, and every verdict still comes back right.
+            results = client.verify_batch(
+                [
+                    {"workload": "figure1"},
+                    {"workload": "figure1"},
+                    {"workload": "pipeline", "params": {"senders": 3}},
+                ]
+            )
+            assert [r.verdict.value for r in results] == [
+                "violation",
+                "violation",
+                "safe",
+            ]
+            stats = client.stats()
+            assert stats["worker_crashes"] >= 1
+            assert stats["redispatches"] >= 1
+            # The daemon's env-parsed plan shows up in its stats reply.
+            assert "faults" in stats
+            client.shutdown()
+
+        assert daemon.wait(timeout=20.0) == 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10.0)

@@ -1,0 +1,151 @@
+"""Unit tests for the fault-injection harness itself: plan parsing,
+deterministic firing schedules, garble semantics and process-wide
+installation."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.utils.errors import ReproError
+
+
+class TestParsing:
+    def test_compact_form_round_trips(self):
+        text = "seed=7;pool.worker.request:exit:after=2,max=2;protocol.decode:garble:p=0.25,max=0"
+        plan = FaultPlan.parse(text)
+        assert plan.seed == 7
+        assert [r.site for r in plan.rules] == [
+            "pool.worker.request",
+            "protocol.decode",
+        ]
+        assert plan.rules[0].kind == "exit"
+        assert plan.rules[0].after == 2
+        assert plan.rules[0].max_fires == 2
+        assert plan.rules[1].p == 0.25
+        assert FaultPlan.parse(plan.encode()).encode() == plan.encode()
+
+    def test_json_form(self):
+        payload = {
+            "seed": 3,
+            "rules": [{"site": "cache.write.entry", "kind": "crash", "p": 0.5}],
+        }
+        plan = FaultPlan.parse(json.dumps(payload))
+        assert plan.seed == 3
+        assert plan.rules[0].site == "cache.write.entry"
+        assert plan.rules[0].p == 0.5
+
+    def test_empty_plan(self):
+        assert FaultPlan.parse("").rules == []
+
+    @pytest.mark.parametrize(
+        "text",
+        ["justasite", "site:notakind", "site:crash:bogus=1", "site:crash:p"],
+    )
+    def test_bad_rules_rejected(self, text):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(text)
+
+
+class TestDrawSchedule:
+    def test_after_and_max(self):
+        plan = FaultPlan(["s:crash:after=2,max=2"])
+        fired = [plan.draw("s") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+        assert plan.counters() == {"s:crash": 2}
+        assert plan.total_fires() == 2
+
+    def test_unlimited_fires(self):
+        plan = FaultPlan(["s:crash:max=0"])
+        assert all(plan.draw("s") is not None for _ in range(5))
+
+    def test_site_glob(self):
+        plan = FaultPlan(["pool.worker.*:crash:max=0"])
+        assert plan.draw("pool.worker.request") is not None
+        assert plan.draw("pool.worker.reply") is not None
+        assert plan.draw("protocol.decode") is None
+
+    def test_match_tag_selects_poison_query(self):
+        plan = FaultPlan(["s:crash:max=0,match=figure1"])
+        assert plan.draw("s", tag="figure1") is not None
+        assert plan.draw("s", tag="pipeline") is None
+        assert plan.draw("s") is None
+
+    def test_probability_is_deterministic_per_seed(self):
+        first = FaultPlan(["s:crash:p=0.5,max=0"], seed=11)
+        pattern_a = [first.draw("s") is not None for _ in range(32)]
+        # Rebuilding the same plan replays the identical schedule.
+        second = FaultPlan(["s:crash:p=0.5,max=0"], seed=11)
+        pattern_b = [second.draw("s") is not None for _ in range(32)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_first_matching_rule_wins_but_all_count_hits(self):
+        plan = FaultPlan(["s:crash:max=1", "s:hang:max=0"])
+        first = plan.draw("s")
+        assert first.kind == "crash"
+        second = plan.draw("s")
+        assert second.kind == "hang"
+        assert plan.rules[1].hits == 2  # counted even while rule 0 fired
+
+
+class TestGarble:
+    def test_garble_preserves_terminator_and_is_detectable(self):
+        frame = b'{"jsonrpc":"2.0","id":1}\n'
+        mangled = faults.garble(frame)
+        assert mangled.endswith(b"\n")
+        assert mangled != frame
+        with pytest.raises(ValueError):
+            json.loads(mangled.decode("utf-8", errors="strict"))
+
+    def test_garble_empty(self):
+        assert faults.garble(b"") == b""
+
+
+class TestFire:
+    def test_crash_raises_chosen_class(self):
+        faults.install(FaultPlan(["s:crash"]))
+        with pytest.raises(KeyError):
+            faults.fire("s", crash=KeyError)
+
+    def test_garble_kind_corrupts_payload(self):
+        faults.install(FaultPlan(["s:garble"]))
+        assert faults.fire("s", data=b"abc\n") != b"abc\n"
+
+    def test_slow_returns_data(self):
+        faults.install(FaultPlan(["s:slow:delay=0.001"]))
+        assert faults.fire("s", data=b"abc\n") == b"abc\n"
+
+    def test_no_plan_is_passthrough(self):
+        faults.clear()
+        assert faults.ACTIVE is None
+        assert faults.fire("s", data=b"abc\n") == b"abc\n"
+        assert faults.draw("s") is None
+
+
+class TestInstall:
+    def test_install_string_and_clear(self):
+        plan = faults.install("s:crash")
+        assert faults.ACTIVE is plan
+        faults.clear()
+        assert faults.ACTIVE is None
+
+    def test_export_and_env_round_trip(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.install("seed=5;s:exit:after=1", export=True)
+        import os
+
+        encoded = os.environ[faults.ENV_VAR]
+        faults.install(None)
+        restored = faults.install_from_env()
+        assert restored is not None
+        assert restored.encode() == encoded
+        faults.clear()
+        assert faults.ENV_VAR not in os.environ
+
+    def test_rule_validation(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="s", kind="meltdown")
+        with pytest.raises(ReproError):
+            FaultRule(site="", kind="crash")

@@ -1,0 +1,84 @@
+"""ParallelVerifier resilience: a dead worker process fails its whole
+wave (BrokenProcessPool cannot assign blame), so crashed tasks are
+re-sharded into isolated single-worker pools — the innocent majority
+completes with correct verdicts and only a genuinely poisonous task is
+answered UNKNOWN(worker_crash)."""
+
+import pytest
+
+from repro import faults
+from repro.verification import ParallelVerifier, Verdict
+from repro.workloads import figure1_program, pipeline, racy_fanin, scatter_gather
+
+
+def _distinct_batch():
+    """Six fingerprint-distinct programs with known verdicts."""
+    programs = [
+        figure1_program(assert_a_is_y=True),
+        pipeline(2),
+        pipeline(3),
+        pipeline(4),
+        racy_fanin(2, assert_first_from_sender0=True),
+        scatter_gather(2),
+    ]
+    expected = [
+        Verdict.VIOLATION,
+        Verdict.SAFE,
+        Verdict.SAFE,
+        Verdict.SAFE,
+        Verdict.VIOLATION,
+        Verdict.SAFE,
+    ]
+    return programs, expected
+
+
+class TestWaveRecovery:
+    def test_crashed_wave_is_resharded_to_correct_verdicts(self):
+        # Each pool worker exits on its second task; the isolated retry
+        # pools are fresh processes (fault counters restart at zero), so
+        # every re-sharded task succeeds on its first and only request.
+        faults.install("parallel.task:exit:after=1,max=1")
+        programs, expected = _distinct_batch()
+        verifier = ParallelVerifier(jobs=2)
+        results = verifier.verify_many(programs)
+        assert [r.verdict for r in results] == expected
+        assert verifier.resilience["worker_crashes"] >= 1
+        assert verifier.resilience["retried_tasks"] >= 1
+        assert verifier.resilience["crash_unknowns"] == 0
+
+    def test_poison_task_gets_unknown_others_correct(self):
+        # Task at position 2 kills every process that touches it — the
+        # shared wave and then its isolated retry.  It alone answers
+        # UNKNOWN(worker_crash); nobody else is harmed and no verdict is
+        # ever wrong.
+        faults.install("parallel.task:exit:match=2,max=0")
+        programs, expected = _distinct_batch()
+        verifier = ParallelVerifier(jobs=2)
+        results = verifier.verify_many(programs)
+        assert len(results) == len(expected)
+        for index, (result, clean) in enumerate(zip(results, expected)):
+            if index == 2:
+                assert result.verdict is Verdict.UNKNOWN
+                assert result.unknown_reason == "worker_crash"
+            else:
+                assert result.verdict is clean
+        assert verifier.resilience["crash_unknowns"] == 1
+        assert verifier.resilience["retried_tasks"] >= 1
+
+
+class TestSerialLane:
+    def test_inline_crash_becomes_honest_unknown(self):
+        # jobs=1 solves in the calling process, where a hard exit would
+        # take the caller down: the injection surfaces as FaultInjected
+        # and the serial lane converts it to UNKNOWN(worker_crash).
+        faults.install("parallel.task:crash:max=1")
+        programs, expected = _distinct_batch()
+        verifier = ParallelVerifier(jobs=1)
+        results = verifier.verify_many(programs)
+        unknowns = [r for r in results if r.verdict is Verdict.UNKNOWN]
+        assert len(unknowns) == 1
+        assert unknowns[0].unknown_reason == "worker_crash"
+        assert verifier.resilience["crash_unknowns"] == 1
+        for result, clean in zip(results, expected):
+            if result.verdict is not Verdict.UNKNOWN:
+                assert result.verdict is clean

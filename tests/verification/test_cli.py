@@ -145,3 +145,32 @@ class TestBatchMode:
         assert "max_live_learned" in captured
         assert "theory_propagations_idl" in captured
         assert "theory_propagations_euf" in captured
+
+
+class TestServerUnavailable:
+    """``--server`` pointed at nothing must fail fast with EX_UNAVAILABLE."""
+
+    def _unused_address(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return f"127.0.0.1:{port}"
+
+    def test_connection_refused_exits_69(self, capsys):
+        code = main(
+            ["--server", self._unused_address(), "--workload", "figure1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 69  # EX_UNAVAILABLE
+        error_lines = [line for line in captured.err.splitlines() if line]
+        assert len(error_lines) == 1
+        assert "cannot reach verification service" in error_lines[0]
+        assert "mcapi-verify serve" in error_lines[0]
+
+    def test_shutdown_of_missing_daemon_exits_69(self, capsys):
+        code = main(["shutdown", "--server", self._unused_address()])
+        assert code == 69
+        assert "cannot reach" in capsys.readouterr().err
